@@ -1,0 +1,113 @@
+// Command fvflux runs the paper's experiments: functional simulation for
+// correctness and counters, calibrated projection for hardware scale, and a
+// side-by-side report against the published numbers.
+//
+// Usage:
+//
+//	fvflux -experiment all
+//	fvflux -experiment table1 -dims 16x12x10 -apps 3
+//	fvflux -experiment ablations -engine flat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig8|ablations|all")
+		dims       = flag.String("dims", "12x10x8", "functional mesh NxXNyXNz (Nx,Ny ≥ 3)")
+		apps       = flag.Int("apps", 2, "functional applications of Algorithm 1")
+		engine     = flag.String("engine", "fabric", "functional engine: fabric|flat")
+	)
+	flag.Parse()
+
+	d, err := cliutil.ParseDims(*dims)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := bench.Config{FuncDims: d, FuncApps: *apps}
+	switch *engine {
+	case "fabric":
+		cfg.UseFabric = true
+	case "flat":
+		cfg.UseFabric = false
+	default:
+		fatal(fmt.Errorf("unknown engine %q (want fabric or flat)", *engine))
+	}
+
+	run := func(name string, fn func(bench.Config) error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(cfg); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+
+	run("table1", func(c bench.Config) error {
+		t, err := bench.RunTable1(c)
+		if err != nil {
+			return err
+		}
+		return t.Render(os.Stdout)
+	})
+	run("table2", func(c bench.Config) error {
+		t, err := bench.RunTable2(c)
+		if err != nil {
+			return err
+		}
+		return t.Render(os.Stdout)
+	})
+	run("table3", func(c bench.Config) error {
+		t, err := bench.RunTable3(c)
+		if err != nil {
+			return err
+		}
+		return t.Render(os.Stdout)
+	})
+	run("table4", func(c bench.Config) error {
+		t, err := bench.RunTable4(c)
+		if err != nil {
+			return err
+		}
+		return t.Render(os.Stdout)
+	})
+	run("fig8", func(c bench.Config) error {
+		f, err := bench.RunFig8(c)
+		if err != nil {
+			return err
+		}
+		return f.Render(os.Stdout)
+	})
+	run("ablations", func(c bench.Config) error {
+		for _, ab := range []func(bench.Config) (*bench.Ablation, error){
+			bench.RunAblationDiagonals,
+			bench.RunAblationVectorization,
+			bench.RunAblationOverlap,
+			bench.RunAblationBufferReuse,
+		} {
+			a, err := ab(c)
+			if err != nil {
+				return err
+			}
+			if err := a.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fvflux:", err)
+	os.Exit(1)
+}

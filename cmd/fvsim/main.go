@@ -1,0 +1,83 @@
+// Command fvsim runs the transient implicit simulator: backward-Euler
+// pressure stepping with wells on a synthetic storage site, with every
+// Krylov operator application optionally flowing through the dataflow flux
+// kernel (the §8 execution model).
+//
+// Usage:
+//
+//	fvsim -dims 16x12x6 -steps 8 -dt 6h -rate 3.5 -dataflow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/mesh"
+	"repro/internal/physics"
+	"repro/internal/refflux"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		dimsStr  = flag.String("dims", "14x12x5", "mesh size NxXNyXNz")
+		steps    = flag.Int("steps", 6, "implicit time steps")
+		dtStr    = flag.String("dt", "6h", "time step length (Go duration)")
+		rate     = flag.Float64("rate", 4.0, "injection mass rate [kg/s] (balanced producer added)")
+		dataflow = flag.Bool("dataflow", false, "apply the Krylov operator through the dataflow kernel")
+	)
+	flag.Parse()
+
+	d, err := cliutil.ParseDims(*dimsStr)
+	if err != nil {
+		fatal(err)
+	}
+	dt, err := time.ParseDuration(*dtStr)
+	if err != nil {
+		fatal(fmt.Errorf("dt: %w", err))
+	}
+
+	m, err := mesh.BuildDefault(d)
+	if err != nil {
+		fatal(err)
+	}
+	fl := physics.DefaultFluid()
+	opts := sim.Options{
+		Dt:    dt.Seconds(),
+		Steps: *steps,
+		Wells: []sim.Well{
+			{X: d.Nx / 4, Y: d.Ny / 4, Rate: *rate},
+			{X: 3 * d.Nx / 4, Y: 3 * d.Ny / 4, Rate: -*rate},
+		},
+		Faces:               refflux.FacesAll,
+		UseDataflowOperator: *dataflow,
+	}
+	start := time.Now()
+	res, err := sim.RunTransient(m, fl, opts)
+	if err != nil {
+		fatal(err)
+	}
+	operator := "float64 host assembly"
+	if *dataflow {
+		operator = "dataflow flux kernel (float32, §8)"
+	}
+	fmt.Printf("transient run: %v cells, %d steps of %v, operator: %s\n",
+		d.Cells(), *steps, dt, operator)
+	fmt.Println("step  CG its  rel.residual  max Δp [bar]  mass err")
+	for _, st := range res.Steps {
+		fmt.Printf("%4d  %6d  %12.2e  %12.4f  %8.1e\n",
+			st.Step, st.Iterations, st.Residual, st.MaxDeltaP/1e5, st.MassError)
+	}
+	if res.OperatorApplications > 0 {
+		fmt.Printf("dataflow kernel applications: %d\n", res.OperatorApplications)
+	}
+	fmt.Printf("host time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fvsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "Massively Distributed Finite-Volume Flux
+// Computation" (Sai, Jacquelin, Hamon, Araya-Polo, Settgast — SC 2023): a
+// two-point flux approximation (TPFA) finite-volume kernel for geologic CO2
+// storage, mapped onto a wafer-scale dataflow architecture and compared
+// against RAJA- and CUDA-style GPU reference implementations.
+//
+// The public API lives in repro/massivefv. The root package carries the
+// module documentation and the benchmark suite (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; see
+// README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

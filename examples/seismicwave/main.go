@@ -1,0 +1,98 @@
+// Seismic wave on tilted transversely isotropic media — the paper's §8
+// application enabled by the diagonal exchange: the TTI cross-derivative
+// needs the four diagonal neighbors every time step. The example propagates
+// a Ricker wavelet through a tilted anisotropic medium on the wavelet
+// fabric, verifies it against the serial engine bit-for-bit, and renders the
+// anisotropic wavefront as ASCII art.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"repro/internal/wave"
+)
+
+func main() {
+	const nx, ny = 61, 61
+	med, err := wave.NewUniformMedium(nx, ny, 10, 2400, 1500, math.Pi/6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := wave.Options{
+		Dt:     0.8 * med.MaxStableDt(),
+		Steps:  90,
+		Source: wave.Source{X: nx / 2, Y: ny / 2, Freq: 14, Amp: 1},
+	}
+	fmt.Printf("TTI medium: vFast 2400 m/s, vSlow 1500 m/s, tilt 30°, dt %.4f ms\n", opts.Dt*1e3)
+
+	host, err := wave.Simulate(med, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.UseFabric = true
+	fab, err := wave.Simulate(med, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range host.U {
+		if host.U[i] != fab.U[i] {
+			log.Fatalf("fabric and host engines disagree at cell %d", i)
+		}
+	}
+	fmt.Printf("fabric engine (%dx%d PEs) matches the serial engine bit-for-bit over %d steps\n",
+		nx, ny, opts.Steps)
+
+	// ASCII wavefront: the ellipse's long axis follows the 30° tilt.
+	var peak float32
+	for _, v := range fab.U {
+		if v < 0 {
+			v = -v
+		}
+		if v > peak {
+			peak = v
+		}
+	}
+	fmt.Println("\nwavefront snapshot (tilted ellipse = anisotropy via diagonal neighbors):")
+	shades := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	for y := 0; y < ny; y += 2 {
+		for x := 0; x < nx; x++ {
+			v := fab.U[med.Index(x, y)]
+			if v < 0 {
+				v = -v
+			}
+			idx := int(float64(v) / float64(peak) * float64(len(shades)-1))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+
+	// Quantify the anisotropy: RMS arrival along the tilted fast axis vs
+	// its normal.
+	fast, slow := axisEnergy(med, fab.U, math.Pi/6), axisEnergy(med, fab.U, math.Pi/6+math.Pi/2)
+	fmt.Printf("\nwavefront energy along fast axis %.3e vs slow axis %.3e (ratio %.2f)\n",
+		fast, slow, fast/slow)
+}
+
+// axisEnergy sums |u|² along a ray from the center at angle theta.
+func axisEnergy(med *wave.Medium, u []float32, theta float64) float64 {
+	cx, cy := med.Nx/2, med.Ny/2
+	sum := 0.0
+	for r := 4; r < med.Nx/2-1; r++ {
+		x := cx + int(math.Round(float64(r)*math.Cos(theta)))
+		y := cy + int(math.Round(float64(r)*math.Sin(theta)))
+		if x < 0 || x >= med.Nx || y < 0 || y >= med.Ny {
+			break
+		}
+		v := float64(u[med.Index(x, y)])
+		sum += v * v
+	}
+	return sum
+}

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/mesh"
+	"repro/internal/perfmodel"
+	"repro/internal/physics"
+	"repro/internal/refflux"
+)
+
+// Config sizes the functional measurement runs that feed the projections.
+// The counters the model consumes are per-cell and deterministic, so a
+// reduced functional mesh measures them exactly; the harness also reports
+// host wall-clock for the simulators themselves.
+type Config struct {
+	// FuncDims is the functional mesh (fabric engine + GPU simulator).
+	// Needs Nx, Ny ≥ 3 so an interior PE exists.
+	FuncDims mesh.Dims
+	// FuncApps is the functional application count.
+	FuncApps int
+	// UseFabric selects the goroutine-per-PE engine (default); false uses
+	// the flat engine (bit-identical, faster for big functional meshes).
+	UseFabric bool
+	// Fluid overrides the default CO2 fluid when non-nil.
+	Fluid *physics.Fluid
+}
+
+// DefaultConfig returns the standard functional sizing.
+func DefaultConfig() Config {
+	return Config{
+		FuncDims:  mesh.Dims{Nx: 12, Ny: 10, Nz: 8},
+		FuncApps:  2,
+		UseFabric: true,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.FuncDims == (mesh.Dims{}) {
+		c.FuncDims = d.FuncDims
+		c.UseFabric = true
+	}
+	if c.FuncApps == 0 {
+		c.FuncApps = d.FuncApps
+	}
+	return c
+}
+
+func (c Config) fluid() physics.Fluid {
+	if c.Fluid != nil {
+		return *c.Fluid
+	}
+	return physics.DefaultFluid()
+}
+
+// Measurement is the outcome of the functional runs: counters for the model
+// plus numerical-validation evidence.
+type Measurement struct {
+	Dims mesh.Dims
+	Apps int
+
+	// Dataflow side.
+	Dataflow *core.Result
+	// DataflowMaxRelErr is the residual's worst relative error against the
+	// float64 reference (linearized density), scaled by the max residual.
+	DataflowMaxRelErr float64
+
+	// GPU side.
+	RAJAStats *gpusim.KernelStats
+	CUDAStats *gpusim.KernelStats
+	// GPUMaxRelErr is the RAJA residual's error against the float64
+	// exponential-density reference.
+	GPUMaxRelErr float64
+	// Occupancy is the modeled occupancy of the 16×8×8 launch.
+	Occupancy gpusim.Occupancy
+
+	// Host wall-clock of the functional simulators (not hardware numbers).
+	DataflowHostTime time.Duration
+	GPUHostTime      time.Duration
+}
+
+// Measure runs the functional experiments once and validates them.
+func Measure(cfg Config) (*Measurement, error) {
+	cfg = cfg.withDefaults()
+	if cfg.FuncDims.Nx < 3 || cfg.FuncDims.Ny < 3 {
+		return nil, fmt.Errorf("bench: functional mesh %v needs Nx,Ny ≥ 3 for an interior PE", cfg.FuncDims)
+	}
+	m, err := mesh.BuildDefault(cfg.FuncDims)
+	if err != nil {
+		return nil, err
+	}
+	fl := cfg.fluid()
+
+	meas := &Measurement{Dims: cfg.FuncDims, Apps: cfg.FuncApps}
+
+	// Dataflow functional run.
+	opts := core.DefaultOptions(cfg.FuncApps)
+	run := core.RunFlat
+	if cfg.UseFabric {
+		run = core.RunFabric
+	}
+	meas.Dataflow, err = run(m, fl, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: dataflow run: %w", err)
+	}
+	meas.DataflowHostTime = meas.Dataflow.Elapsed
+	if meas.Dataflow.Interior == nil {
+		return nil, fmt.Errorf("bench: no interior PE measured on %v", cfg.FuncDims)
+	}
+	// Validate against the float64 reference with the same density model.
+	p := m.Pressure32()
+	ref, err := refflux.Run(m, fl.WithModel(physics.DensityLinear), p, cfg.FuncApps, refflux.Options{})
+	if err != nil {
+		return nil, err
+	}
+	meas.DataflowMaxRelErr = maxRelErr(meas.Dataflow.Residual, ref)
+
+	// GPU functional runs (fresh meshes: pressure is perturbed in place).
+	gpuStart := time.Now()
+	rajaRes, rajaStats, err := runGPU(cfg, fl, perfmodel.VariantRAJA)
+	if err != nil {
+		return nil, err
+	}
+	_, cudaStats, err := runGPU(cfg, fl, perfmodel.VariantCUDA)
+	if err != nil {
+		return nil, err
+	}
+	meas.GPUHostTime = time.Since(gpuStart)
+	meas.RAJAStats, meas.CUDAStats = rajaStats, cudaStats
+	m2, err := mesh.BuildDefault(cfg.FuncDims)
+	if err != nil {
+		return nil, err
+	}
+	p2 := m2.Pressure32()
+	refExp, err := refflux.Run(m2, fl, p2, cfg.FuncApps, refflux.Options{})
+	if err != nil {
+		return nil, err
+	}
+	meas.GPUMaxRelErr = maxRelErr(rajaRes, refExp)
+	meas.Occupancy = gpusim.NewDevice(gpusim.A100()).OccupancyFor(gpusim.Dim3{X: 16, Y: 8, Z: 8})
+	return meas, nil
+}
+
+func runGPU(cfg Config, fl physics.Fluid, v perfmodel.Variant) ([]float32, *gpusim.KernelStats, error) {
+	m, err := mesh.BuildDefault(cfg.FuncDims)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := gpusim.NewDevice(gpusim.A100())
+	fd, err := kernels.Upload(dev, m, fl)
+	if err != nil {
+		return nil, nil, err
+	}
+	var st *gpusim.KernelStats
+	if v == perfmodel.VariantCUDA {
+		st, err = fd.RunCUDA(cfg.FuncApps)
+	} else {
+		st, err = fd.RunRAJA(cfg.FuncApps)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return fd.Residual(), st, nil
+}
+
+func maxRelErr(got []float32, want []float64) float64 {
+	scale := 0.0
+	for _, w := range want {
+		if a := math.Abs(w); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range got {
+		if d := math.Abs(float64(got[i])-want[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// cs2InputsAt assembles the model inputs for a mesh size from the measured
+// per-cell counters.
+func (meas *Measurement) cs2InputsAt(nx, ny, nz, apps int) perfmodel.CS2Inputs {
+	pc := meas.Dataflow.Interior
+	return perfmodel.CS2Inputs{
+		Nx: nx, Ny: ny, Nz: nz, Apps: apps,
+		MemAccessesPerCell: pc.MemAccesses,
+		FabricWordsPerCell: pc.FabricLoads,
+		FlopsPerCell:       pc.Flops,
+	}
+}
+
+// a100InputsAt assembles the GPU model inputs for a cell count.
+func (meas *Measurement) a100InputsAt(cells, apps int, v perfmodel.Variant) perfmodel.A100Inputs {
+	st := meas.RAJAStats
+	if v == perfmodel.VariantCUDA {
+		st = meas.CUDAStats
+	}
+	funcCells := meas.Dims.Cells()
+	den := float64(funcCells) * float64(meas.Apps)
+	return perfmodel.A100Inputs{
+		Cells: cells, Apps: apps,
+		WordBytesPerCell: float64(st.Bytes()) / den,
+		FlopsPerCell:     float64(st.Flops) / den,
+		Variant:          v,
+	}
+}

@@ -1,0 +1,99 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7): functional runs on the simulators supply measured
+// counters and validated numerics; the calibrated performance model projects
+// them to hardware scale; and each experiment's output pairs the paper's
+// published value with the reproduced one.
+package bench
+
+import "repro/internal/mesh"
+
+// PaperScale is the largest evaluated configuration: a 750×994×246 mesh and
+// 1000 applications of Algorithm 1 (Table 1; Table 2's last row prints
+// "750 950" but reports 183,393,000 cells = 750·994·246, so 994 is taken).
+var PaperScale = struct {
+	Dims mesh.Dims
+	Apps int
+}{mesh.Dims{Nx: 750, Ny: 994, Nz: 246}, 1000}
+
+// Paper Table 1: wall-clock averages and standard deviations, seconds.
+var PaperTable1 = struct {
+	CS2, CS2Std   float64
+	RAJA, RAJAStd float64
+	CUDA, CUDAStd float64
+	SpeedupVsRAJA float64
+}{
+	CS2: 0.0823, CS2Std: 0.0000014,
+	RAJA: 16.8378, RAJAStd: 0.0194403,
+	CUDA: 14.6573, CUDAStd: 0.0111278,
+	SpeedupVsRAJA: 204,
+}
+
+// PaperTable2Row is one weak-scaling configuration.
+type PaperTable2Row struct {
+	Nx, Ny, Nz int
+	Cells      int
+	Gcells     float64 // throughput, Gcell/s
+	CS2Time    float64 // s
+	A100Time   float64 // s
+}
+
+// PaperTable2 lists §7.2's weak-scaling measurements.
+var PaperTable2 = []PaperTable2Row{
+	{200, 200, 246, 9840000, 121.01, 0.0813, 0.9040},
+	{400, 400, 246, 39360000, 481.43, 0.0817, 3.2649},
+	{600, 600, 246, 88560000, 1078.79, 0.0821, 7.2440},
+	{750, 600, 246, 110700000, 1347.21, 0.0821, 9.6825},
+	{750, 800, 246, 147600000, 1794.01, 0.0822, 13.2407},
+	{750, 994, 246, 183393000, 2227.38, 0.0823, 16.8378},
+}
+
+// PaperTable3 is the CS-2 time split on the largest mesh.
+var PaperTable3 = struct {
+	Movement, Computation, Total float64 // s
+	MovementPct, ComputationPct  float64
+}{0.0199, 0.0624, 0.0823, 24.18, 75.82}
+
+// PaperTable4Row is one instruction-class row of Table 4.
+type PaperTable4Row struct {
+	Op          string
+	Count       float64 // per interior cell
+	FlopsPerOp  float64
+	LoadsPerOp  float64 // memory loads per element
+	StoresPerOp float64
+	FabricPerOp float64 // fabric loads per element
+}
+
+// PaperTable4 lists the per-cell instruction and traffic counts.
+var PaperTable4 = []PaperTable4Row{
+	{"FMUL", 60, 1, 2, 1, 0},
+	{"FSUB", 40, 1, 2, 1, 0},
+	{"FNEG", 10, 1, 1, 1, 0},
+	{"FADD", 10, 1, 2, 1, 0},
+	{"FMA", 10, 2, 3, 1, 0},
+	{"FMOV", 16, 0, 0, 1, 1},
+}
+
+// Paper §7.2–7.3 headline characteristics.
+var PaperHeadline = struct {
+	CS2Tflops        float64
+	CS2PowerW        float64
+	CS2GflopsPerWatt float64
+	EnergyRatio      float64
+	A100AI           float64
+	A100PeakFrac     float64
+	A100Warps        float64
+	A100Occupancy    float64
+	AIMemory         float64
+	AIFabric         float64
+}{
+	CS2Tflops:        311.85,
+	CS2PowerW:        23000,
+	CS2GflopsPerWatt: 13.67,
+	EnergyRatio:      2.2,
+	A100AI:           2.11,
+	A100PeakFrac:     0.76,
+	A100Warps:        30.79,
+	A100Occupancy:    0.4811,
+	AIMemory:         0.0862,
+	AIFabric:         2.1875,
+}

@@ -1,0 +1,26 @@
+// Package cliutil holds the small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mesh"
+)
+
+// ParseDims parses "NxXNyXNz" (case-insensitive 'x' separators), e.g.
+// "750x994x246".
+func ParseDims(s string) (mesh.Dims, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return mesh.Dims{}, fmt.Errorf("dims %q: want NxXNyXNz, e.g. 12x10x8", s)
+	}
+	var d mesh.Dims
+	if _, err := fmt.Sscanf(strings.Join(parts, " "), "%d %d %d", &d.Nx, &d.Ny, &d.Nz); err != nil {
+		return mesh.Dims{}, fmt.Errorf("dims %q: %w", s, err)
+	}
+	if err := d.Validate(); err != nil {
+		return mesh.Dims{}, err
+	}
+	return d, nil
+}

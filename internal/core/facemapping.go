@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// The paper's §5.1 (Fig. 3) considers two ways to map the problem onto the
+// PE grid: the cell-based mapping (chosen: cell (x,y) → PE (x,y), Z column
+// in memory) and a face-based mapping (one PE per face). This file models
+// the face-based alternative's communication and memory profile so the
+// design choice is quantified, not asserted.
+//
+// Face-based accounting, per application and per mesh cell:
+//
+//   - every in-plane face PE must fetch both adjacent cells' (p, g·z) pairs
+//     (4 words) and return one flux word to the owner cell's PE;
+//   - a cell participates in 8 in-plane faces (4 cardinal + 4 diagonal),
+//     each shared between two cells, so per cell: 8 face-fetches of its own
+//     data (its column is requested by 8 face PEs) plus 10 flux words
+//     gathered back (8 in-plane + 2 vertical, which are no longer local
+//     because the Z column is spread across face PEs as well — the
+//     face-based mapping loses the "Z in one PE" property entirely).
+//
+// The cell-based mapping sends each cell's data once per direction (it is
+// then reused for all faces on that side), receives 16 words, and keeps
+// vertical faces memory-local.
+
+// MappingProfile summarizes one mapping's per-cell, per-application costs.
+type MappingProfile struct {
+	Name string
+	// FabricWordsPerCell is the received fabric traffic per cell.
+	FabricWordsPerCell float64
+	// VerticalLocal reports whether z±1 faces stay in PE-local memory.
+	VerticalLocal bool
+	// PEsPerCell is the processing elements consumed per mesh cell column
+	// (cell-based: 1; face-based: one per in-plane face, halved by sharing).
+	PEsPerCell float64
+}
+
+// CellBasedProfile returns the implemented mapping's measured profile.
+func CellBasedProfile() MappingProfile {
+	return MappingProfile{
+		Name:               "cell-based (paper, implemented)",
+		FabricWordsPerCell: 16, // 8 neighbors × (p, g·z) — Table 4's FMOV
+		VerticalLocal:      true,
+		PEsPerCell:         1,
+	}
+}
+
+// FaceBasedProfile returns the modeled alternative's profile.
+func FaceBasedProfile() MappingProfile {
+	return MappingProfile{
+		Name: "face-based (Fig. 3 alternative)",
+		// 8 in-plane faces fetch (pK, gzK, pL, gzL) = 4 words each, halved
+		// per cell by face sharing (16), plus 10 flux words gathered back,
+		// plus 2 vertical faces now remote: 2 × 4 words halved (4).
+		FabricWordsPerCell: 8*4/2.0 + 10 + 2*4/2.0,
+		VerticalLocal:      false,
+		// 10 faces per cell, each shared by 2 cells.
+		PEsPerCell: 5,
+	}
+}
+
+// CompareMappings quantifies why §5.1 picks the cell-based mapping: the
+// communication ratio and the fabric-capacity ratio for an Nx×Ny mesh.
+func CompareMappings(nx, ny int) (string, error) {
+	if nx <= 0 || ny <= 0 {
+		return "", fmt.Errorf("core: invalid mesh extent %dx%d", nx, ny)
+	}
+	cell, face := CellBasedProfile(), FaceBasedProfile()
+	commRatio := face.FabricWordsPerCell / cell.FabricWordsPerCell
+	peRatio := face.PEsPerCell / cell.PEsPerCell
+	return fmt.Sprintf(
+		"%s: %.0f fabric words/cell, vertical local=%v, %.0f PE/cell\n"+
+			"%s: %.0f fabric words/cell, vertical local=%v, %.0f PE/cell\n"+
+			"face-based moves %.2fx the data and supports a %.1fx smaller mesh on the same fabric (%dx%d)",
+		cell.Name, cell.FabricWordsPerCell, cell.VerticalLocal, cell.PEsPerCell,
+		face.Name, face.FabricWordsPerCell, face.VerticalLocal, face.PEsPerCell,
+		commRatio, peRatio, nx, ny), nil
+}

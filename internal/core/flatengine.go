@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dsd"
+	"repro/internal/mesh"
+	"repro/internal/physics"
+)
+
+// RunFlat executes the dataflow schedule serially: one peState per (x, y)
+// column, the identical vector-op sequences, but neighbor columns are copied
+// directly from neighbor PE memories instead of traveling as wavelets. It
+// exists to run functional meshes far larger than goroutine-per-PE execution
+// allows, and it is asserted bit-identical to RunFabric.
+func RunFlat(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(m, fl); err != nil {
+		return nil, err
+	}
+	flLin := fl.WithModel(physics.DensityLinear)
+	nx, ny := m.Dims.Nx, m.Dims.Ny
+	states := make([]*peState, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			mem, err := dsd.NewMemory(opts.MemWords)
+			if err != nil {
+				return nil, err
+			}
+			s, err := setupPE(dsd.NewEngine(mem), m, flLin, x, y, opts)
+			if err != nil {
+				return nil, err
+			}
+			states[y*nx+x] = s
+		}
+	}
+
+	start := time.Now()
+	for app := 0; app < opts.Apps; app++ {
+		if app > 0 {
+			for _, s := range states {
+				s.perturb(app)
+			}
+		}
+		for _, s := range states {
+			if err := flatExchange(states, s, nx); err != nil {
+				return nil, err
+			}
+			if opts.CommOnly {
+				continue
+			}
+			s.runLocalApplication()
+		}
+	}
+	elapsed := time.Since(start)
+
+	return summarize("flat", states, m, opts, elapsed), nil
+}
+
+// flatExchange copies the eight in-plane neighbor columns into s's receive
+// buffers with the same FMOV accounting the fabric engine performs. Diagonal
+// columns are taken from the corner PE directly — the values the clockwise
+// relay would deliver.
+func flatExchange(states []*peState, s *peState, nx int) error {
+	for i, d := range xyDirections {
+		if !s.hasNbr[i] {
+			continue
+		}
+		if !s.opts.Diagonals && d.IsDiagonal() {
+			continue
+		}
+		dx, dy, _ := d.Offset()
+		n := states[(s.y+dy)*nx+(s.x+dx)]
+		if err := s.receiveColumn(i, n.ownColumn()); err != nil {
+			return fmt.Errorf("flat exchange: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"repro/internal/dsd"
+	"repro/internal/mesh"
+)
+
+// This file is the 14-FLOP per-face flux kernel (DESIGN.md §4) in its two
+// buffer disciplines, plus the vertical faces and the residual assembly.
+// The operation order is identical in every variant, so all engines produce
+// bit-identical float32 residuals.
+
+// faceFlux evaluates F = Υ·λ_upw·ΔΦ for one face group into dst, reading the
+// own column (pK, gzK), the neighbor column (pL, gzL) and the face
+// transmissibilities tr. Exactly 6 FMUL + 4 FSUB + 1 FADD + 1 FMA + 1 FNEG
+// per element, plus one predicated SELGT — the Table 4 mix.
+func (s *peState) faceFlux(dst, tr, pK, gzK, pL, gzL dsd.Desc) {
+	if s.opts.Vectorized {
+		s.faceFluxOnce(dst, tr, pK, gzK, pL, gzL, 0, dst.Len)
+		return
+	}
+	// Scalar ablation: one issue per element per op (§5.3.3 in reverse).
+	for z := 0; z < dst.Len; z++ {
+		s.faceFluxOnce(dst, tr, pK, gzK, pL, gzL, z, 1)
+	}
+}
+
+func (s *peState) faceFluxOnce(dst, tr, pK, gzK, pL, gzL dsd.Desc, off, n int) {
+	e := s.eng
+	c := s.consts
+	f := dst.MustSlice(off, n)
+	tr = tr.MustSlice(off, n)
+	pK = pK.MustSlice(off, n)
+	gzK = gzK.MustSlice(off, n)
+	pL = pL.MustSlice(off, n)
+	gzL = gzL.MustSlice(off, n)
+	if s.opts.BufferReuse {
+		s0 := s.scratch[0].MustSlice(off, n)
+		s1 := s.scratch[1].MustSlice(off, n)
+		s2 := s.scratch[2].MustSlice(off, n)
+		s3 := s.scratch[3].MustSlice(off, n)
+		s4 := s.scratch[4].MustSlice(off, n)
+		e.SubVV(s0, pL, pK)           // dp
+		e.SubVV(s1, gzL, gzK)         // dgz
+		e.MulVS(s2, pK, c.AHat)       // rK
+		e.MulVS(s3, pL, c.AHat)       // rL
+		e.AddVV(s4, s2, s3)           // rK + rL
+		e.FmaVSS(s4, s4, 0.5, c.CHat) // ρavg (in place)
+		e.MulVV(s1, s4, s1)           // gt = ρavg·dgz (overwrites dgz)
+		e.NegV(s1, s1)                // ng (in place)
+		e.SubVV(s0, s0, s1)           // ΔΦ (overwrites dp)
+		e.SelGtV(s3, s0, s2, s3)      // rup (overwrites rL)
+		e.SubVS(s3, s3, c.NegC)       // ρup (in place)
+		e.MulVS(s3, s3, c.InvMu)      // λ (in place)
+		e.MulVV(s0, tr, s0)           // t1 = Υ·ΔΦ (overwrites ΔΦ)
+		e.MulVV(f, s0, s3)            // F (accumulate-store happens at assembly)
+		return
+	}
+	// Naive discipline: every intermediate gets its own buffer — the
+	// pre-§5.3.1 layout whose footprint forbids the paper's largest mesh.
+	b := func(i int) dsd.Desc { return s.scratch[i].MustSlice(off, n) }
+	e.SubVV(b(0), pL, pK)
+	e.SubVV(b(1), gzL, gzK)
+	e.MulVS(b(2), pK, c.AHat)
+	e.MulVS(b(3), pL, c.AHat)
+	e.AddVV(b(4), b(2), b(3))
+	e.FmaVSS(b(5), b(4), 0.5, c.CHat)
+	e.MulVV(b(6), b(5), b(1))
+	e.NegV(b(7), b(6))
+	e.SubVV(b(8), b(0), b(7))
+	e.SelGtV(b(9), b(8), b(2), b(3))
+	e.SubVS(b(10), b(9), c.NegC)
+	e.MulVS(b(11), b(10), c.InvMu)
+	e.MulVV(b(12), tr, b(8))
+	e.MulVV(f, b(12), b(11))
+}
+
+// computeXYFace evaluates the flux column for one in-plane direction from
+// the received neighbor buffers.
+func (s *peState) computeXYFace(d mesh.Direction) {
+	i := int(d) // in-plane directions are enum values 0..7
+	s.faceFlux(s.fbuf[d], s.trans[d], s.p, s.gz, s.nbrP[i], s.nbrGz[i])
+}
+
+// computeVerticalFaces evaluates the Up and Down flux columns. The z±1
+// neighbors live in the same PE memory (§5.2c): shifted views over the
+// padded columns stand in for the neighbor data, and no fabric traffic
+// occurs — which is why Table 4 counts no FMOV for them.
+func (s *peState) computeVerticalFaces() {
+	up := 1
+	s.faceFlux(s.fbuf[mesh.Up], s.trans[mesh.Up], s.p, s.gz, s.p.Shift(up), s.gz.Shift(up))
+	s.faceFlux(s.fbuf[mesh.Down], s.trans[mesh.Down], s.p, s.gz, s.p.Shift(-up), s.gz.Shift(-up))
+}
+
+// beginApplication zeroes the residual (Algorithm 1's rflux := 0).
+func (s *peState) beginApplication() {
+	s.eng.Fill(s.res, 0)
+}
+
+// assemble accumulates the ten face-flux columns into the residual in the
+// fixed direction order ("assembles all the local fluxes", §6). Keeping the
+// order fixed makes the float32 result independent of communication timing.
+func (s *peState) assemble() {
+	for _, d := range assemblyOrder {
+		if !s.opts.Diagonals && d.IsDiagonal() {
+			continue
+		}
+		s.eng.AccV(s.res, s.fbuf[d])
+	}
+}
+
+// runLocalApplication performs the compute-only portion of one application:
+// vertical faces plus any already-received in-plane faces are the engine
+// driver's responsibility; this helper exists for the flat engine, which has
+// all neighbor data in place before computing.
+func (s *peState) runLocalApplication() {
+	s.beginApplication()
+	for i, d := range xyDirections {
+		if !s.opts.Diagonals && d.IsDiagonal() {
+			continue
+		}
+		_ = i
+		s.computeXYFace(d)
+	}
+	s.computeVerticalFaces()
+	s.assemble()
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dsd"
+	"repro/internal/mesh"
+	"repro/internal/physics"
+)
+
+// peState is the device-side state of one PE: descriptors over its private
+// memory for the Z column it owns (paper §5.1). The layout, in allocation
+// order:
+//
+//	pPad, gzPad   — own pressure and g·z columns with one ghost cell at each
+//	                end, so every cell computes all ten faces with full-length
+//	                vectors (boundary faces carry Υ = 0)
+//	res           — the flux residual column
+//	trans[10]     — per-direction transmissibility columns
+//	nbrP/nbrGz[8] — receive buffers for the eight in-plane neighbors
+//	fbuf[10]      — per-face flux columns (assembled in fixed order)
+//	scratch       — kernel intermediates: 5 buffers with reuse (§5.3.1),
+//	                13 without
+//
+// With buffer reuse the footprint is 44·Nz+4 words; the CS-2's 12288-word
+// PEs therefore hold at most Nz = 279, and without reuse only Nz = 236 —
+// bracketing the paper's 246-layer maximum mesh (see EXPERIMENTS.md).
+type peState struct {
+	eng    *dsd.Engine
+	opts   Options
+	consts physics.Float32
+	x, y   int
+	nz     int
+	dims   mesh.Dims
+
+	pPad, gzPad dsd.Desc // length nz+2
+	p, gz       dsd.Desc // body views, length nz
+	res         dsd.Desc
+	trans       [mesh.NumDirections]dsd.Desc
+	nbrP, nbrGz [8]dsd.Desc // indexed by mesh.Direction (0..7 are in-plane)
+	fbuf        [mesh.NumDirections]dsd.Desc
+	scratch     []dsd.Desc
+
+	hasNbr [8]bool // in-plane mesh adjacency
+}
+
+// scratchReuse and scratchNaive are the intermediate-buffer counts with and
+// without the §5.3.1 reuse optimization.
+const (
+	scratchReuse = 5
+	scratchNaive = 13
+)
+
+// WordsPerZ returns the per-PE memory footprint per mesh layer for the given
+// options — the wse.MachineSpec.MaxNz input.
+func WordsPerZ(bufferReuse bool) int {
+	scratch := scratchNaive
+	if bufferReuse {
+		scratch = scratchReuse
+	}
+	// 2 padded own columns + res + 10 trans + 16 nbr + 10 fbuf + scratch.
+	return 2 + 1 + 10 + 16 + 10 + scratch
+}
+
+// FixedWords is the Z-independent part of the footprint (the pad cells).
+const FixedWords = 4
+
+// setupPE allocates and loads one PE's state from the mesh. The engine's
+// memory must be freshly allocated (descriptors are laid out from offset 0).
+func setupPE(eng *dsd.Engine, m *mesh.Mesh, fl physics.Fluid, x, y int, opts Options) (*peState, error) {
+	nz := m.Dims.Nz
+	s := &peState{
+		eng:    eng,
+		opts:   opts,
+		consts: fl.Constants32(),
+		x:      x,
+		y:      y,
+		nz:     nz,
+		dims:   m.Dims,
+	}
+	mem := eng.Mem
+	fail := func(what string, err error) error {
+		return fmt.Errorf("core: PE(%d,%d) allocating %s: %w", x, y, what, err)
+	}
+	var err error
+	if s.pPad, err = mem.Alloc(nz + 2); err != nil {
+		return nil, fail("pressure column", err)
+	}
+	if s.gzPad, err = mem.Alloc(nz + 2); err != nil {
+		return nil, fail("gravity column", err)
+	}
+	s.p = s.pPad.MustSlice(1, nz)
+	s.gz = s.gzPad.MustSlice(1, nz)
+	if s.res, err = mem.Alloc(nz); err != nil {
+		return nil, fail("residual column", err)
+	}
+	for _, d := range mesh.AllDirections {
+		if s.trans[d], err = mem.Alloc(nz); err != nil {
+			return nil, fail("transmissibility columns", err)
+		}
+	}
+	for i := range s.nbrP {
+		if s.nbrP[i], err = mem.Alloc(nz); err != nil {
+			return nil, fail("neighbor pressure buffers", err)
+		}
+		if s.nbrGz[i], err = mem.Alloc(nz); err != nil {
+			return nil, fail("neighbor gravity buffers", err)
+		}
+	}
+	for _, d := range mesh.AllDirections {
+		if s.fbuf[d], err = mem.Alloc(nz); err != nil {
+			return nil, fail("flux buffers", err)
+		}
+	}
+	nScratch := scratchReuse
+	if !opts.BufferReuse {
+		nScratch = scratchNaive
+	}
+	s.scratch = make([]dsd.Desc, nScratch)
+	for i := range s.scratch {
+		if s.scratch[i], err = mem.Alloc(nz); err != nil {
+			return nil, fail("kernel scratch", err)
+		}
+	}
+
+	// Host load (H2D): own columns, transmissibilities, adjacency.
+	g := fl.Gravity
+	for z := 0; z < nz; z++ {
+		idx := s.globalIndex(z)
+		mem.StoreHost(s.p, z, float32(m.Pressure[idx]))
+		mem.StoreHost(s.gz, z, float32(g*m.Elev[idx]))
+		for _, d := range mesh.AllDirections {
+			if !opts.Diagonals && d.IsDiagonal() {
+				continue // Υ stays 0: diagonal faces contribute nothing
+			}
+			mem.StoreHost(s.trans[d], z, float32(m.Trans[d][idx]))
+		}
+	}
+	s.refreshGhosts()
+	for i, d := range xyDirections {
+		dx, dy, _ := d.Offset()
+		nx, ny := x+dx, y+dy
+		s.hasNbr[i] = nx >= 0 && nx < m.Dims.Nx && ny >= 0 && ny < m.Dims.Ny
+		if !s.hasNbr[i] {
+			// Mirror own data into missing-neighbor buffers: with Υ = 0 on
+			// boundary faces the values are inert, and mirroring keeps every
+			// intermediate finite.
+			for z := 0; z < nz; z++ {
+				mem.StoreHost(s.nbrP[i], z, mem.Load(s.p, z))
+				mem.StoreHost(s.nbrGz[i], z, mem.Load(s.gz, z))
+			}
+		}
+	}
+	return s, nil
+}
+
+// globalIndex maps the PE's z-th cell to the mesh's linear index.
+func (s *peState) globalIndex(z int) int {
+	return (z*s.dims.Ny+s.y)*s.dims.Nx + s.x
+}
+
+// refreshGhosts mirrors the column ends into the pad cells, so the z-boundary
+// faces see Δp = Δgz = 0 in addition to Υ = 0.
+func (s *peState) refreshGhosts() {
+	mem := s.eng.Mem
+	nz := s.nz
+	mem.StoreHost(s.pPad, 0, mem.Load(s.p, 0))
+	mem.StoreHost(s.pPad, nz+1, mem.Load(s.p, nz-1))
+	mem.StoreHost(s.gzPad, 0, mem.Load(s.gz, 0))
+	mem.StoreHost(s.gzPad, nz+1, mem.Load(s.gz, nz-1))
+}
+
+// perturb applies the shared between-application pressure update to the own
+// column. The update models the host supplying "a different pressure vector
+// at every call" (§3) and is therefore a host-style write, not kernel work.
+func (s *peState) perturb(app int) {
+	mem := s.eng.Mem
+	for z := 0; z < s.nz; z++ {
+		delta := mesh.PerturbDelta32(app, s.globalIndex(z), PerturbAmplitude)
+		mem.StoreHost(s.p, z, mem.Load(s.p, z)+delta)
+	}
+	s.refreshGhosts()
+}
+
+// ownColumn serializes the PE's (pressure, gravity) body columns in send
+// order: the Nz pressure words followed by the Nz gravity words — the
+// paper's "local block of data of length Nz × 2" (§5.2.1).
+func (s *peState) ownColumn() []float32 {
+	out := make([]float32, 0, 2*s.nz)
+	out = append(out, s.eng.Mem.ReadAll(s.p)...)
+	return append(out, s.eng.Mem.ReadAll(s.gz)...)
+}
+
+// receiveColumn stores an arrived 2·Nz column into the direction's neighbor
+// buffers (FMOV: fabric load + memory store per element).
+func (s *peState) receiveColumn(dirIdx int, data []float32) error {
+	if len(data) != 2*s.nz {
+		return fmt.Errorf("core: PE(%d,%d) received %d words for %s, want %d",
+			s.x, s.y, len(data), xyDirections[dirIdx], 2*s.nz)
+	}
+	s.eng.MovRecv(s.nbrP[dirIdx], data[:s.nz])
+	s.eng.MovRecv(s.nbrGz[dirIdx], data[s.nz:])
+	return nil
+}

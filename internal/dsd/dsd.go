@@ -1,0 +1,203 @@
+// Package dsd models the vector execution of a wafer-scale processing
+// element: a private float32 memory, Data Structure Descriptors (DSDs), and
+// the small vector instruction set the paper's flux kernel uses
+// (FMUL/FADD/FSUB/FNEG/FMA/FMOV, §5.3.3 and Table 4).
+//
+// A DSD describes an array view — base address, length, stride — and a vector
+// instruction streams its operands through the functional unit at constant
+// throughput, which is how the hardware vectorizes without caches. Every op
+// updates instruction, FLOP, memory-traffic and fabric-traffic counters; the
+// Table 4 experiment and the roofline model read these counters rather than
+// hardcoding the paper's numbers.
+//
+// Accounting conventions (DESIGN.md §2): per element, an op performs one load
+// per source operand (scalar immediates included, matching Table 4's
+// "2 loads" for FMUL) and one store. The upwind selection (SELGT) and the
+// final flux assembly (ACC) are predicated/accumulating moves, tracked in a
+// separate uncounted class exactly as Table 4 implies.
+package dsd
+
+import (
+	"fmt"
+)
+
+// Desc is a Data Structure Descriptor: a strided view over a PE's memory.
+type Desc struct {
+	Base   int // word offset of element 0
+	Len    int // number of elements
+	Stride int // distance between consecutive elements, in words
+}
+
+// At returns the word address of element i.
+func (d Desc) At(i int) int { return d.Base + i*d.Stride }
+
+// Slice returns the subview [off, off+n) with the same stride.
+func (d Desc) Slice(off, n int) (Desc, error) {
+	if off < 0 || n < 0 || off+n > d.Len {
+		return Desc{}, fmt.Errorf("dsd: slice [%d,%d) out of descriptor length %d", off, off+n, d.Len)
+	}
+	return Desc{Base: d.Base + off*d.Stride, Len: n, Stride: d.Stride}, nil
+}
+
+// MustSlice is Slice for statically-correct offsets; it panics on error.
+func (d Desc) MustSlice(off, n int) Desc {
+	s, err := d.Slice(off, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Shift returns the same-length view displaced by off elements; the caller
+// guarantees the displaced view stays within its allocation (used for the
+// z±1 vertical-neighbor views over padded columns).
+func (d Desc) Shift(off int) Desc {
+	return Desc{Base: d.Base + off*d.Stride, Len: d.Len, Stride: d.Stride}
+}
+
+// Memory is a PE's private local memory: a fixed budget of float32 words with
+// a bump allocator and an explicit free list. The free list exists because
+// the paper's key memory optimization is hand-crafted buffer reuse (§5.3.1);
+// Stats exposes the high-water mark so the buffer-reuse ablation can compare
+// peak footprints.
+type Memory struct {
+	words   []float32
+	brk     int
+	high    int
+	free    map[int][]int // length → bases of freed blocks
+	reused  int
+	allocs  int
+	blockLn map[int]int // base → allocated length (for Free validation)
+}
+
+// NewMemory allocates a PE memory of capacity words. The WSE-2's 48 KiB per
+// PE corresponds to 12288 words.
+func NewMemory(capacityWords int) (*Memory, error) {
+	if capacityWords <= 0 {
+		return nil, fmt.Errorf("dsd: memory capacity must be positive, got %d", capacityWords)
+	}
+	return &Memory{
+		words:   make([]float32, capacityWords),
+		free:    make(map[int][]int),
+		blockLn: make(map[int]int),
+	}, nil
+}
+
+// Capacity returns the memory size in words.
+func (m *Memory) Capacity() int { return len(m.words) }
+
+// Alloc reserves a contiguous block of n words and returns a unit-stride
+// descriptor. Freed blocks of the same length are reused first.
+func (m *Memory) Alloc(n int) (Desc, error) {
+	if n <= 0 {
+		return Desc{}, fmt.Errorf("dsd: allocation size must be positive, got %d", n)
+	}
+	if bases := m.free[n]; len(bases) > 0 {
+		base := bases[len(bases)-1]
+		m.free[n] = bases[:len(bases)-1]
+		m.reused++
+		m.allocs++
+		m.blockLn[base] = n
+		for i := base; i < base+n; i++ {
+			m.words[i] = 0
+		}
+		return Desc{Base: base, Len: n, Stride: 1}, nil
+	}
+	if m.brk+n > len(m.words) {
+		return Desc{}, fmt.Errorf("dsd: out of PE memory: need %d words, %d of %d used", n, m.brk, len(m.words))
+	}
+	base := m.brk
+	m.brk += n
+	if m.brk > m.high {
+		m.high = m.brk
+	}
+	m.allocs++
+	m.blockLn[base] = n
+	return Desc{Base: base, Len: n, Stride: 1}, nil
+}
+
+// Free returns d's block to the free list for reuse. The descriptor must be
+// exactly as returned by Alloc.
+func (m *Memory) Free(d Desc) error {
+	n, ok := m.blockLn[d.Base]
+	if !ok || d.Stride != 1 || n != d.Len {
+		return fmt.Errorf("dsd: Free of non-allocated or reshaped block {base %d len %d stride %d}", d.Base, d.Len, d.Stride)
+	}
+	delete(m.blockLn, d.Base)
+	m.free[n] = append(m.free[n], d.Base)
+	return nil
+}
+
+// Stats reports allocator behaviour for the memory-optimization ablation.
+type Stats struct {
+	CapacityWords  int
+	HighWaterWords int
+	Allocs         int
+	ReusedAllocs   int
+}
+
+// Stats returns the allocator statistics.
+func (m *Memory) Stats() Stats {
+	return Stats{
+		CapacityWords:  len(m.words),
+		HighWaterWords: m.high,
+		Allocs:         m.allocs,
+		ReusedAllocs:   m.reused,
+	}
+}
+
+// Load reads element i of descriptor d (host/debug access, uncounted).
+func (m *Memory) Load(d Desc, i int) float32 { return m.words[d.At(i)] }
+
+// StoreHost writes element i of descriptor d (host/debug access, uncounted —
+// the host runtime's memcpy analog).
+func (m *Memory) StoreHost(d Desc, i int, v float32) { m.words[d.At(i)] = v }
+
+// ReadAll copies descriptor d into a fresh slice (host readback).
+func (m *Memory) ReadAll(d Desc) []float32 {
+	out := make([]float32, d.Len)
+	for i := range out {
+		out[i] = m.words[d.At(i)]
+	}
+	return out
+}
+
+// WriteAll copies src into descriptor d (host load). Lengths must match.
+func (m *Memory) WriteAll(d Desc, src []float32) error {
+	if len(src) != d.Len {
+		return fmt.Errorf("dsd: WriteAll length %d != descriptor length %d", len(src), d.Len)
+	}
+	for i, v := range src {
+		m.words[d.At(i)] = v
+	}
+	return nil
+}
+
+// check panics when descriptors are incompatible or out of bounds — these
+// are programming errors in kernel construction, not runtime conditions.
+func (m *Memory) check(ds ...Desc) {
+	for _, d := range ds {
+		if d.Len < 0 {
+			panic(fmt.Sprintf("dsd: negative descriptor length %d", d.Len))
+		}
+		if d.Len == 0 {
+			continue
+		}
+		lo, hi := d.At(0), d.At(d.Len-1)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if lo < 0 || hi >= len(m.words) {
+			panic(fmt.Sprintf("dsd: descriptor {base %d len %d stride %d} out of memory bounds [0,%d)",
+				d.Base, d.Len, d.Stride, len(m.words)))
+		}
+	}
+}
+
+func sameLen(ds ...Desc) {
+	for _, d := range ds[1:] {
+		if d.Len != ds[0].Len {
+			panic(fmt.Sprintf("dsd: descriptor length mismatch: %d vs %d", ds[0].Len, d.Len))
+		}
+	}
+}

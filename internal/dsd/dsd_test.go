@@ -1,0 +1,244 @@
+package dsd
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newMem(t *testing.T, words int) *Memory {
+	t.Helper()
+	m, err := NewMemory(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMemoryRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewMemory(n); err == nil {
+			t.Errorf("NewMemory(%d) accepted", n)
+		}
+	}
+}
+
+func TestAllocSequential(t *testing.T) {
+	m := newMem(t, 100)
+	a, err := m.Alloc(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base == b.Base {
+		t.Error("allocations overlap")
+	}
+	if a.Len != 30 || a.Stride != 1 {
+		t.Errorf("bad descriptor %+v", a)
+	}
+	if _, err := m.Alloc(50); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if _, err := m.Alloc(0); err == nil {
+		t.Error("zero allocation accepted")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	m := newMem(t, 100)
+	a, _ := m.Alloc(40)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Base != a.Base {
+		t.Errorf("freed block not reused: %d vs %d", b.Base, a.Base)
+	}
+	st := m.Stats()
+	if st.ReusedAllocs != 1 {
+		t.Errorf("ReusedAllocs = %d, want 1", st.ReusedAllocs)
+	}
+	if st.HighWaterWords != 40 {
+		t.Errorf("HighWaterWords = %d, want 40", st.HighWaterWords)
+	}
+}
+
+func TestReusedBlockIsZeroed(t *testing.T) {
+	m := newMem(t, 64)
+	a, _ := m.Alloc(8)
+	m.StoreHost(a, 3, 42)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Alloc(8)
+	for i := 0; i < 8; i++ {
+		if m.Load(b, i) != 0 {
+			t.Fatalf("reused block not zeroed at %d", i)
+		}
+	}
+}
+
+func TestFreeRejectsBogusDescriptors(t *testing.T) {
+	m := newMem(t, 100)
+	a, _ := m.Alloc(10)
+	if err := m.Free(Desc{Base: a.Base + 1, Len: 9, Stride: 1}); err == nil {
+		t.Error("freeing interior pointer accepted")
+	}
+	sub := a.MustSlice(0, 5)
+	if err := m.Free(sub); err == nil {
+		t.Error("freeing reshaped block accepted")
+	}
+	if err := m.Free(a); err != nil {
+		t.Errorf("legitimate free failed: %v", err)
+	}
+	if err := m.Free(a); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestDescSlice(t *testing.T) {
+	d := Desc{Base: 10, Len: 20, Stride: 2}
+	s, err := d.Slice(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base != 20 || s.Len != 10 || s.Stride != 2 {
+		t.Errorf("bad slice %+v", s)
+	}
+	if _, err := d.Slice(15, 10); err == nil {
+		t.Error("out-of-range slice accepted")
+	}
+	if _, err := d.Slice(-1, 5); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestDescShiftAndAt(t *testing.T) {
+	d := Desc{Base: 8, Len: 4, Stride: 3}
+	if d.At(2) != 14 {
+		t.Errorf("At(2) = %d, want 14", d.At(2))
+	}
+	s := d.Shift(1)
+	if s.Base != 11 || s.Len != 4 || s.Stride != 3 {
+		t.Errorf("bad shift %+v", s)
+	}
+	n := d.Shift(-1)
+	if n.Base != 5 {
+		t.Errorf("negative shift base = %d, want 5", n.Base)
+	}
+}
+
+func TestMustSlicePanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("MustSlice out of range did not panic")
+		}
+	}()
+	Desc{Base: 0, Len: 3, Stride: 1}.MustSlice(2, 5)
+}
+
+func TestWriteReadAll(t *testing.T) {
+	m := newMem(t, 32)
+	d, _ := m.Alloc(4)
+	if err := m.WriteAll(d, []float32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.ReadAll(d)
+	for i, want := range []float32{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Fatalf("ReadAll[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+	if err := m.WriteAll(d, []float32{1}); err == nil {
+		t.Error("length-mismatched WriteAll accepted")
+	}
+}
+
+func TestStridedWriteRead(t *testing.T) {
+	m := newMem(t, 32)
+	base, _ := m.Alloc(16)
+	d := Desc{Base: base.Base, Len: 4, Stride: 4}
+	if err := m.WriteAll(d, []float32{10, 20, 30, 40}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Load(base, 0) != 10 || m.Load(base, 4) != 20 || m.Load(base, 8) != 30 || m.Load(base, 12) != 40 {
+		t.Error("strided write landed wrong")
+	}
+}
+
+func TestBoundsCheckPanics(t *testing.T) {
+	m := newMem(t, 16)
+	e := NewEngine(m)
+	bad := Desc{Base: 10, Len: 10, Stride: 1}
+	ok := Desc{Base: 0, Len: 10, Stride: 1}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-bounds op did not panic")
+		}
+		if !strings.Contains(r.(string), "out of memory bounds") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	e.MulVV(ok, ok, bad)
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	m := newMem(t, 32)
+	e := NewEngine(m)
+	a, _ := m.Alloc(4)
+	b, _ := m.Alloc(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	e.AddVV(a, a, b)
+}
+
+func TestAllocReuseRoundTripProperty(t *testing.T) {
+	// Alloc/free/alloc of assorted sizes never corrupts other blocks.
+	f := func(sizes []uint8) bool {
+		m, _ := NewMemory(4096)
+		type block struct {
+			d   Desc
+			val float32
+		}
+		var live []block
+		for i, s := range sizes {
+			n := int(s)%32 + 1
+			d, err := m.Alloc(n)
+			if err != nil {
+				return true // out of memory is fine
+			}
+			v := float32(i + 1)
+			for j := 0; j < d.Len; j++ {
+				m.StoreHost(d, j, v)
+			}
+			live = append(live, block{d, v})
+			if len(live) > 4 && i%3 == 0 {
+				if err := m.Free(live[0].d); err != nil {
+					return false
+				}
+				live = live[1:]
+			}
+		}
+		for _, b := range live {
+			for j := 0; j < b.d.Len; j++ {
+				if m.Load(b.d, j) != b.val {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

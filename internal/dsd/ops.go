@@ -1,0 +1,271 @@
+package dsd
+
+// Counters accumulates the per-PE instruction, FLOP and traffic statistics
+// that Table 4 and the roofline model consume. Counted ops follow the
+// paper's accounting (loads = source operands per element, one store per
+// element, FMA = 2 FLOPs); SELGT/ACC/FILL are the uncounted class
+// (predicated or accumulating moves) reported separately for transparency.
+type Counters struct {
+	FMUL, FADD, FSUB, FNEG, FMA, FMOV uint64 // counted per element
+
+	SELGT, ACC, FILL, MEMMOV uint64 // uncounted class, per element
+
+	Loads, Stores uint64 // counted memory traffic, words
+	FabricLoads   uint64 // counted fabric traffic (receives), words
+
+	UncountedLoads, UncountedStores uint64 // traffic of the uncounted class
+
+	// Issues counts instruction issues (one per op call regardless of vector
+	// length). The vectorization ablation compares issue counts: a scalar
+	// kernel issues Nz times more instructions for the same element count.
+	Issues uint64
+}
+
+// Flops returns the counted floating-point operations (FMA = 2).
+func (c *Counters) Flops() uint64 {
+	return c.FMUL + c.FADD + c.FSUB + c.FNEG + 2*c.FMA
+}
+
+// MemBytes returns the counted local-memory traffic in bytes.
+func (c *Counters) MemBytes() uint64 { return 4 * (c.Loads + c.Stores) }
+
+// FabricBytes returns the counted fabric traffic in bytes (receive side).
+func (c *Counters) FabricBytes() uint64 { return 4 * c.FabricLoads }
+
+// MemAccesses returns counted loads+stores (Table 4 reports 406 per cell).
+func (c *Counters) MemAccesses() uint64 { return c.Loads + c.Stores }
+
+// Add accumulates other into c.
+func (c *Counters) Add(o *Counters) {
+	c.FMUL += o.FMUL
+	c.FADD += o.FADD
+	c.FSUB += o.FSUB
+	c.FNEG += o.FNEG
+	c.FMA += o.FMA
+	c.FMOV += o.FMOV
+	c.SELGT += o.SELGT
+	c.ACC += o.ACC
+	c.FILL += o.FILL
+	c.MEMMOV += o.MEMMOV
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.FabricLoads += o.FabricLoads
+	c.UncountedLoads += o.UncountedLoads
+	c.UncountedStores += o.UncountedStores
+	c.Issues += o.Issues
+}
+
+// Engine executes the vector ISA against one PE memory, updating counters.
+// An Engine is owned by a single goroutine (its PE's worker); counters are
+// plain integers for speed.
+type Engine struct {
+	Mem *Memory
+	C   Counters
+}
+
+// NewEngine wraps a memory in a vector engine.
+func NewEngine(m *Memory) *Engine { return &Engine{Mem: m} }
+
+// MulVV computes dst = a·b elementwise (FMUL: 2 loads, 1 store / element).
+func (e *Engine) MulVV(dst, a, b Desc) {
+	e.Mem.check(dst, a, b)
+	sameLen(dst, a, b)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = w[a.At(i)] * w[b.At(i)]
+	}
+	n := uint64(dst.Len)
+	e.C.FMUL += n
+	e.C.Loads += 2 * n
+	e.C.Stores += n
+	e.C.Issues++
+}
+
+// MulVS computes dst = a·s (FMUL with a scalar operand; still 2 loads).
+func (e *Engine) MulVS(dst, a Desc, s float32) {
+	e.Mem.check(dst, a)
+	sameLen(dst, a)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = w[a.At(i)] * s
+	}
+	n := uint64(dst.Len)
+	e.C.FMUL += n
+	e.C.Loads += 2 * n
+	e.C.Stores += n
+	e.C.Issues++
+}
+
+// AddVV computes dst = a + b (FADD: 2 loads, 1 store).
+func (e *Engine) AddVV(dst, a, b Desc) {
+	e.Mem.check(dst, a, b)
+	sameLen(dst, a, b)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = w[a.At(i)] + w[b.At(i)]
+	}
+	n := uint64(dst.Len)
+	e.C.FADD += n
+	e.C.Loads += 2 * n
+	e.C.Stores += n
+	e.C.Issues++
+}
+
+// SubVV computes dst = a − b (FSUB: 2 loads, 1 store).
+func (e *Engine) SubVV(dst, a, b Desc) {
+	e.Mem.check(dst, a, b)
+	sameLen(dst, a, b)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = w[a.At(i)] - w[b.At(i)]
+	}
+	n := uint64(dst.Len)
+	e.C.FSUB += n
+	e.C.Loads += 2 * n
+	e.C.Stores += n
+	e.C.Issues++
+}
+
+// SubVS computes dst = a − s (FSUB with scalar subtrahend).
+func (e *Engine) SubVS(dst, a Desc, s float32) {
+	e.Mem.check(dst, a)
+	sameLen(dst, a)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = w[a.At(i)] - s
+	}
+	n := uint64(dst.Len)
+	e.C.FSUB += n
+	e.C.Loads += 2 * n
+	e.C.Stores += n
+	e.C.Issues++
+}
+
+// NegV computes dst = −a (FNEG: 1 load, 1 store).
+func (e *Engine) NegV(dst, a Desc) {
+	e.Mem.check(dst, a)
+	sameLen(dst, a)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = -w[a.At(i)]
+	}
+	n := uint64(dst.Len)
+	e.C.FNEG += n
+	e.C.Loads += n
+	e.C.Stores += n
+	e.C.Issues++
+}
+
+// FmaVSS computes dst = s1·a + s2 (FMA: 2 FLOPs, 3 loads, 1 store; Go
+// evaluates the multiply and add with separate roundings, see physics note).
+func (e *Engine) FmaVSS(dst, a Desc, s1, s2 float32) {
+	e.Mem.check(dst, a)
+	sameLen(dst, a)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = s1*w[a.At(i)] + s2
+	}
+	n := uint64(dst.Len)
+	e.C.FMA += n
+	e.C.Loads += 3 * n
+	e.C.Stores += n
+	e.C.Issues++
+}
+
+// FmaVVV computes dst = a·b + c (FMA: 2 FLOPs, 3 loads, 1 store).
+func (e *Engine) FmaVVV(dst, a, b, c Desc) {
+	e.Mem.check(dst, a, b, c)
+	sameLen(dst, a, b, c)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = w[a.At(i)]*w[b.At(i)] + w[c.At(i)]
+	}
+	n := uint64(dst.Len)
+	e.C.FMA += n
+	e.C.Loads += 3 * n
+	e.C.Stores += n
+	e.C.Issues++
+}
+
+// SelGtV computes dst = cond > 0 ? a : b — the upwind selection (Eq. 4) as a
+// predicated move. Uncounted class: 3 loads, 1 store tracked separately.
+func (e *Engine) SelGtV(dst, cond, a, b Desc) {
+	e.Mem.check(dst, cond, a, b)
+	sameLen(dst, cond, a, b)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		if w[cond.At(i)] > 0 {
+			w[dst.At(i)] = w[a.At(i)]
+		} else {
+			w[dst.At(i)] = w[b.At(i)]
+		}
+	}
+	n := uint64(dst.Len)
+	e.C.SELGT += n
+	e.C.UncountedLoads += 3 * n
+	e.C.UncountedStores += n
+	e.C.Issues++
+}
+
+// AccV computes dst += a — the flux-assembly accumulate-store ("assembles
+// all the local fluxes", §6). Uncounted class: 2 loads, 1 store.
+func (e *Engine) AccV(dst, a Desc) {
+	e.Mem.check(dst, a)
+	sameLen(dst, a)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] += w[a.At(i)]
+	}
+	n := uint64(dst.Len)
+	e.C.ACC += n
+	e.C.UncountedLoads += 2 * n
+	e.C.UncountedStores += n
+	e.C.Issues++
+}
+
+// Fill sets dst = s (residual zeroing; uncounted class: 1 store).
+func (e *Engine) Fill(dst Desc, s float32) {
+	e.Mem.check(dst)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = s
+	}
+	n := uint64(dst.Len)
+	e.C.FILL += n
+	e.C.UncountedStores += n
+	e.C.Issues++
+}
+
+// MovV copies dst = a within local memory (uncounted buffer move; the
+// optimized kernel avoids these — the buffer-reuse ablation counts them).
+func (e *Engine) MovV(dst, a Desc) {
+	e.Mem.check(dst, a)
+	sameLen(dst, a)
+	w := e.Mem.words
+	for i := 0; i < dst.Len; i++ {
+		w[dst.At(i)] = w[a.At(i)]
+	}
+	n := uint64(dst.Len)
+	e.C.MEMMOV += n
+	e.C.UncountedLoads += n
+	e.C.UncountedStores += n
+	e.C.Issues++
+}
+
+// MovRecv stores a received fabric column into local memory (FMOV:
+// 1 fabric load + 1 memory store per element, Table 4's 16 per cell).
+func (e *Engine) MovRecv(dst Desc, src []float32) {
+	e.Mem.check(dst)
+	if len(src) != dst.Len {
+		panic("dsd: MovRecv length mismatch")
+	}
+	w := e.Mem.words
+	for i, v := range src {
+		w[dst.At(i)] = v
+	}
+	n := uint64(dst.Len)
+	e.C.FMOV += n
+	e.C.FabricLoads += n
+	e.C.Stores += n
+	e.C.Issues++
+}

@@ -1,0 +1,292 @@
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RouteRule gives, for one color in one switch position, the set of output
+// ports for a wavelet arriving on each input port. A nil entry means the
+// color is not expected from that port (a routing error if it happens).
+type RouteRule struct {
+	out [NumPorts][]Port
+}
+
+// routeEntry is a color's routing state: two switch positions plus the
+// active position (paper Fig. 6a: configuration 0 = sending/broadcast root,
+// configuration 1 = receiving).
+type routeEntry struct {
+	rules [2]*RouteRule
+	pos   uint8
+}
+
+// RouterCounters aggregates a router's traffic, updated atomically because
+// the fabric sums them while routers may still run in other tests.
+type RouterCounters struct {
+	SentFromRamp   atomic.Uint64 // ramp → link
+	DeliveredToPE  atomic.Uint64 // link → ramp
+	Forwarded      atomic.Uint64 // link → link (multi-hop traffic)
+	Commands       atomic.Uint64 // switch commands applied
+	DroppedAtStop  atomic.Uint64 // wavelets discarded during shutdown drain
+	LoopbackToRamp atomic.Uint64 // ramp → ramp (self-delivery, used by tests)
+}
+
+// router is one PE's five-port router. Route configuration happens before
+// the fabric starts (static routes) and at runtime through command wavelets.
+type router struct {
+	pe       *PE
+	entries  [MaxColors]*routeEntry
+	cmd      Color // command color; wavelets of this color flip switches
+	hasCmd   bool
+	C        RouterCounters
+	routeErr error
+}
+
+// SetRoute installs outputs for (color, position, from-port). It may only be
+// called before the fabric runs.
+func (r *router) SetRoute(c Color, pos uint8, from Port, to ...Port) error {
+	if c >= MaxColors {
+		return fmt.Errorf("fabric: color %d out of range (max %d)", c, MaxColors-1)
+	}
+	if pos > 1 {
+		return fmt.Errorf("fabric: switch position %d out of range", pos)
+	}
+	if from >= NumPorts {
+		return fmt.Errorf("fabric: invalid from-port %d", from)
+	}
+	for _, p := range to {
+		if p >= NumPorts {
+			return fmt.Errorf("fabric: invalid to-port %d", p)
+		}
+		if p != PortRamp && r.pe.link(p) == nil {
+			return fmt.Errorf("fabric: PE(%d,%d) route %v→%v crosses the fabric edge", r.pe.X, r.pe.Y, from, p)
+		}
+	}
+	e := r.entries[c]
+	if e == nil {
+		e = &routeEntry{}
+		r.entries[c] = e
+	}
+	if e.rules[pos] == nil {
+		e.rules[pos] = &RouteRule{}
+	}
+	if to == nil {
+		to = []Port{} // "consume without forwarding" is a valid route
+	}
+	e.rules[pos].out[from] = to
+	return nil
+}
+
+// SetCommandColor nominates the control color whose wavelets carry switch
+// commands. Command wavelets are routed like data (so commands propagate
+// along the same pattern) and then applied to this router.
+func (r *router) SetCommandColor(c Color) error {
+	if c >= MaxColors {
+		return fmt.Errorf("fabric: command color %d out of range", c)
+	}
+	r.cmd = c
+	r.hasCmd = true
+	return nil
+}
+
+// Position returns the current switch position of a color (tests observe the
+// Fig. 6 alternation through this).
+func (r *router) Position(c Color) uint8 {
+	if e := r.entries[c]; e != nil {
+		return e.pos
+	}
+	return 0
+}
+
+// route processes one wavelet arriving on port from. It returns false when a
+// routing error occurred (recorded in routeErr; the fabric surfaces it).
+// Deliveries select on stop so a failed worker cannot wedge the fabric.
+func (r *router) route(w Wavelet, from Port, stop <-chan struct{}) bool {
+	if int(w.Color) >= len(r.entries) {
+		r.fail(fmt.Errorf("fabric: PE(%d,%d) received wavelet with invalid color %d", r.pe.X, r.pe.Y, w.Color))
+		return false
+	}
+	e := r.entries[w.Color]
+	if e == nil {
+		r.fail(fmt.Errorf("fabric: PE(%d,%d) has no route for color %d (from %v)", r.pe.X, r.pe.Y, w.Color, from))
+		return false
+	}
+	rule := e.rules[e.pos]
+	if rule == nil || rule.out[from] == nil {
+		r.fail(fmt.Errorf("fabric: PE(%d,%d) color %d position %d has no route from %v", r.pe.X, r.pe.Y, w.Color, e.pos, from))
+		return false
+	}
+	// Apply switch commands before forwarding: each router reconfigures as
+	// the command passes through it (Fig. 6b), and the worker observing the
+	// command (or its echo) is then guaranteed to see the new configuration.
+	if r.hasCmd && w.Color == r.cmd {
+		target, pos := DecodeCommand(w.Data)
+		te := r.entries[target]
+		switch {
+		case te != nil && pos == TogglePosition:
+			te.pos ^= 1
+			r.C.Commands.Add(1)
+		case te != nil && pos <= 1:
+			te.pos = pos
+			r.C.Commands.Add(1)
+		default:
+			r.fail(fmt.Errorf("fabric: PE(%d,%d) switch command for unknown color %d / position %d", r.pe.X, r.pe.Y, target, pos))
+			return false
+		}
+	}
+	for _, outPort := range rule.out[from] {
+		var dst chan Wavelet
+		switch {
+		case outPort == PortRamp && from == PortRamp:
+			r.C.LoopbackToRamp.Add(1)
+			dst = r.pe.rampIn
+		case outPort == PortRamp:
+			r.C.DeliveredToPE.Add(1)
+			dst = r.pe.rampIn
+		case from == PortRamp:
+			r.C.SentFromRamp.Add(1)
+			dst = r.pe.link(outPort)
+		default:
+			r.C.Forwarded.Add(1)
+			dst = r.pe.link(outPort)
+		}
+		select {
+		case dst <- w:
+		case <-stop:
+			r.C.DroppedAtStop.Add(1)
+			return true
+		}
+	}
+	return true
+}
+
+func (r *router) fail(err error) {
+	if r.routeErr == nil {
+		r.routeErr = err
+	}
+}
+
+// run is the router goroutine: it multiplexes the four fabric links and the
+// worker's ramp-out until the fabric stops, then drains what remains.
+func (r *router) run(stop <-chan struct{}) {
+	in := r.pe.in
+	rampOut := r.pe.rampOut
+	open := 0
+	for _, ch := range in {
+		if ch != nil {
+			open++
+		}
+	}
+	rampOpen := true
+	for rampOpen || open > 0 {
+		select {
+		case w, ok := <-rampOut:
+			if !ok {
+				rampOpen = false
+				rampOut = nil
+				continue
+			}
+			r.route(w, PortRamp, stop)
+		case w, ok := <-in[PortNorth]:
+			if !r.linkEvent(w, ok, PortNorth, &open, stop) {
+				in[PortNorth] = nil
+			}
+		case w, ok := <-in[PortEast]:
+			if !r.linkEvent(w, ok, PortEast, &open, stop) {
+				in[PortEast] = nil
+			}
+		case w, ok := <-in[PortSouth]:
+			if !r.linkEvent(w, ok, PortSouth, &open, stop) {
+				in[PortSouth] = nil
+			}
+		case w, ok := <-in[PortWest]:
+			if !r.linkEvent(w, ok, PortWest, &open, stop) {
+				in[PortWest] = nil
+			}
+		case <-stop:
+			// Workers have all finished (Run closes stop only after
+			// workers.Wait()), so everything they sent is already buffered:
+			// route those wavelets before draining, deterministically.
+			r.flush(stop)
+			r.drain()
+			return
+		}
+	}
+}
+
+// flush routes whatever is already buffered on the ramp and the in-links at
+// shutdown. Bounded so a pathological routing cycle cannot spin forever.
+func (r *router) flush(stop <-chan struct{}) {
+	const maxFlush = 1 << 20
+	for n := 0; n < maxFlush; n++ {
+		progressed := false
+		select {
+		case w, ok := <-r.pe.rampOut:
+			if ok {
+				r.route(w, PortRamp, stop)
+				progressed = true
+			}
+		default:
+		}
+		for _, p := range LinkPorts {
+			ch := r.pe.in[p]
+			if ch == nil {
+				continue
+			}
+			select {
+			case w, ok := <-ch:
+				if ok {
+					r.route(w, p, stop)
+					progressed = true
+				}
+			default:
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (r *router) linkEvent(w Wavelet, ok bool, from Port, open *int, stop <-chan struct{}) bool {
+	if !ok {
+		*open--
+		return false
+	}
+	r.route(w, from, stop)
+	return true
+}
+
+// drain empties remaining input non-destructively at shutdown, counting
+// stragglers: a correct protocol leaves zero wavelets in flight, and tests
+// assert DroppedAtStop == 0.
+func (r *router) drain() {
+	for _, ch := range r.pe.in {
+		if ch == nil {
+			continue
+		}
+		for {
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					goto next
+				}
+				r.C.DroppedAtStop.Add(1)
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+	for {
+		select {
+		case _, ok := <-r.pe.rampOut:
+			if !ok {
+				return
+			}
+			r.C.DroppedAtStop.Add(1)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package kernels holds the two reference GPU implementations of the flux
+// computation (§6): a RAJA-style kernel driven by a nested execution policy
+// (Fig. 7) and a hand-written CUDA-style kernel with manual index math and
+// boundary guards. Both run on the internal/gpusim device and share the same
+// memory layout (X innermost, Z outermost) and the same per-face arithmetic.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// The RAJA execution-policy mini-DSL mirrors the structure of the paper's
+// Fig. 7 policy:
+//
+//	KernelPolicy<
+//	  CudaKernelFixed<16*8*8,
+//	    Tile<1, tile_fixed<8>,  cuda_block_y_direct,
+//	    Tile<0, tile_fixed<16>, cuda_block_x_direct,
+//	      For<2, cuda_block_z_direct,
+//	      For<1, cuda_thread_y_direct,
+//	      For<0, cuda_thread_x_direct, Lambda<0>>>>>>>>
+//
+// A Statement tree is validated and lowered onto a gpusim launch; the lambda
+// receives exact (x, y, z) indices with the out-of-extent guard supplied by
+// the abstraction (that guard is precisely the overhead the hand-CUDA
+// variant writes by hand).
+
+// Statement is a node of the execution policy tree.
+type Statement interface{ isStatement() }
+
+// CudaKernelFixed pins the thread count per block, like
+// RAJA::statement::CudaKernelFixed<N, ...>.
+type CudaKernelFixed struct {
+	Threads int
+	Body    Statement
+}
+
+// Tile blocks one iteration dimension with a fixed tile size mapped to the
+// block index (cuda_block_*_direct).
+type Tile struct {
+	Dim  int // 0 = x, 1 = y, 2 = z
+	Size int
+	Body Statement
+}
+
+// For maps one iteration dimension onto threads within the tile
+// (cuda_thread_*_direct), or onto blocks when no Tile covers the dimension.
+type For struct {
+	Dim  int
+	Body Statement
+}
+
+// Lambda is the innermost user body, like RAJA::statement::Lambda<0>.
+type Lambda struct{}
+
+func (CudaKernelFixed) isStatement() {}
+func (Tile) isStatement()            {}
+func (For) isStatement()             {}
+func (Lambda) isStatement()          {}
+
+// FluxPolicy is the paper's Fig. 7 policy: 1024-thread blocks tiled 16×8×8
+// with X innermost.
+func FluxPolicy() Statement {
+	return CudaKernelFixed{
+		Threads: 16 * 8 * 8,
+		Body: Tile{Dim: 1, Size: 8,
+			Body: Tile{Dim: 0, Size: 16,
+				Body: For{Dim: 2,
+					Body: For{Dim: 1,
+						Body: For{Dim: 0, Body: Lambda{}}}}}},
+	}
+}
+
+// policyShape is the lowered launch geometry.
+type policyShape struct {
+	tile    [3]int // tile size per dim (0 = dim not tiled → thread range 1)
+	threads int
+}
+
+// lowerPolicy validates the statement tree and extracts the block tiling.
+// Supported shape: CudaKernelFixed{ Tile* { For* { Lambda } } } with each
+// dimension appearing at most once per statement kind.
+func lowerPolicy(s Statement) (*policyShape, error) {
+	root, ok := s.(CudaKernelFixed)
+	if !ok {
+		return nil, fmt.Errorf("kernels: policy must start with CudaKernelFixed, got %T", s)
+	}
+	if root.Threads <= 0 {
+		return nil, fmt.Errorf("kernels: CudaKernelFixed threads must be positive, got %d", root.Threads)
+	}
+	sh := &policyShape{tile: [3]int{1, 1, 1}, threads: root.Threads}
+	seenTile := [3]bool{}
+	seenFor := [3]bool{}
+	cur := root.Body
+	for {
+		t, ok := cur.(Tile)
+		if !ok {
+			break
+		}
+		if t.Dim < 0 || t.Dim > 2 {
+			return nil, fmt.Errorf("kernels: Tile dimension %d out of range", t.Dim)
+		}
+		if seenTile[t.Dim] {
+			return nil, fmt.Errorf("kernels: dimension %d tiled twice", t.Dim)
+		}
+		if t.Size <= 0 {
+			return nil, fmt.Errorf("kernels: tile size %d must be positive", t.Size)
+		}
+		seenTile[t.Dim] = true
+		sh.tile[t.Dim] = t.Size
+		cur = t.Body
+	}
+	for {
+		f, ok := cur.(For)
+		if !ok {
+			break
+		}
+		if f.Dim < 0 || f.Dim > 2 {
+			return nil, fmt.Errorf("kernels: For dimension %d out of range", f.Dim)
+		}
+		if seenFor[f.Dim] {
+			return nil, fmt.Errorf("kernels: dimension %d mapped twice", f.Dim)
+		}
+		seenFor[f.Dim] = true
+		cur = f.Body
+	}
+	if _, ok := cur.(Lambda); !ok {
+		return nil, fmt.Errorf("kernels: policy must terminate in Lambda, got %T", cur)
+	}
+	for d := 0; d < 3; d++ {
+		if !seenFor[d] {
+			return nil, fmt.Errorf("kernels: dimension %d has no For mapping", d)
+		}
+	}
+	// A dimension without a Tile is block-mapped with extent-1 thread range
+	// (cuda_block_*_direct): its tile size stays 1.
+	if got := sh.tile[0] * sh.tile[1] * sh.tile[2]; got > sh.threads {
+		return nil, fmt.Errorf("kernels: tiles %v exceed the fixed %d-thread block", sh.tile, sh.threads)
+	}
+	return sh, nil
+}
+
+// LaunchRAJA lowers the policy onto the device and runs body for every index
+// in extents. The out-of-extent guard lives inside this executor — the user
+// lambda never sees a partial tile, exactly like RAJA's *_direct policies.
+func LaunchRAJA(dev *gpusim.Device, policy Statement, extents [3]int, body func(t *gpusim.ThreadCtx, x, y, z int)) (*gpusim.KernelStats, error) {
+	sh, err := lowerPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	for d, e := range extents {
+		if e <= 0 {
+			return nil, fmt.Errorf("kernels: extent %d of dimension %d must be positive", e, d)
+		}
+	}
+	grid := gpusim.Dim3{
+		X: ceilDiv(extents[0], sh.tile[0]),
+		Y: ceilDiv(extents[1], sh.tile[1]),
+		Z: ceilDiv(extents[2], sh.tile[2]),
+	}
+	block := gpusim.Dim3{X: sh.tile[0], Y: sh.tile[1], Z: sh.tile[2]}
+	return dev.Launch(grid, block, func(t *gpusim.ThreadCtx) {
+		x := t.BlockIdx.X*block.X + t.ThreadIdx.X
+		y := t.BlockIdx.Y*block.Y + t.ThreadIdx.Y
+		z := t.BlockIdx.Z*block.Z + t.ThreadIdx.Z
+		if x >= extents[0] || y >= extents[1] || z >= extents[2] {
+			t.Return() // the abstraction's internal guard
+			return
+		}
+		body(t, x, y, z)
+	})
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

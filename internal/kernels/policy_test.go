@@ -1,0 +1,81 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestFluxPolicyShape(t *testing.T) {
+	sh, err := lowerPolicy(FluxPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.threads != 1024 {
+		t.Errorf("threads = %d, want 1024 (§6)", sh.threads)
+	}
+	if sh.tile != [3]int{16, 8, 1} {
+		t.Errorf("tiles = %v, want [16 8 1] (Fig. 7: X and Y tiled, Z block-direct)", sh.tile)
+	}
+}
+
+func TestLowerPolicyRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Statement
+	}{
+		{"not kernel-rooted", Tile{Dim: 0, Size: 4, Body: Lambda{}}},
+		{"zero threads", CudaKernelFixed{Threads: 0, Body: For{Dim: 0, Body: Lambda{}}}},
+		{"bad tile dim", CudaKernelFixed{Threads: 64, Body: Tile{Dim: 5, Size: 4, Body: For{Dim: 0, Body: Lambda{}}}}},
+		{"double tile", CudaKernelFixed{Threads: 64, Body: Tile{Dim: 0, Size: 4, Body: Tile{Dim: 0, Size: 2, Body: For{Dim: 0, Body: Lambda{}}}}}},
+		{"zero tile", CudaKernelFixed{Threads: 64, Body: Tile{Dim: 0, Size: 0, Body: For{Dim: 0, Body: Lambda{}}}}},
+		{"bad for dim", CudaKernelFixed{Threads: 64, Body: For{Dim: 7, Body: Lambda{}}}},
+		{"double for", CudaKernelFixed{Threads: 64, Body: For{Dim: 0, Body: For{Dim: 0, Body: Lambda{}}}}},
+		{"missing lambda", CudaKernelFixed{Threads: 64, Body: For{Dim: 0, Body: For{Dim: 1, Body: For{Dim: 2, Body: Tile{Dim: 0, Size: 2, Body: Lambda{}}}}}}},
+		{"missing dim", CudaKernelFixed{Threads: 64, Body: For{Dim: 0, Body: For{Dim: 1, Body: Lambda{}}}}},
+		{
+			"tiles exceed block",
+			CudaKernelFixed{Threads: 64, Body: Tile{Dim: 0, Size: 128,
+				Body: For{Dim: 0, Body: For{Dim: 1, Body: For{Dim: 2, Body: Lambda{}}}}}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := lowerPolicy(c.p); err == nil {
+				t.Error("malformed policy accepted")
+			}
+		})
+	}
+}
+
+func TestLaunchRAJACoversExactExtents(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.A100())
+	ext := [3]int{19, 7, 3} // deliberately not tile-aligned
+	buf, _ := dev.Malloc("seen", ext[0]*ext[1]*ext[2])
+	st, err := LaunchRAJA(dev, FluxPolicy(), ext, func(tc *gpusim.ThreadCtx, x, y, z int) {
+		idx := (z*ext[1]+y)*ext[0] + x
+		tc.Store(buf, idx, tc.Load(buf, idx)+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dev.CopyToHost(buf)
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("index %d visited %g times, want exactly 1", i, v)
+		}
+	}
+	if st.ThreadsActive != uint64(len(out)) {
+		t.Errorf("active threads = %d, want %d", st.ThreadsActive, len(out))
+	}
+	if st.ThreadsLaunched <= st.ThreadsActive {
+		t.Error("expected guarded surplus threads from the non-aligned extents")
+	}
+}
+
+func TestLaunchRAJARejectsBadExtents(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.A100())
+	if _, err := LaunchRAJA(dev, FluxPolicy(), [3]int{0, 4, 4}, func(*gpusim.ThreadCtx, int, int, int) {}); err == nil {
+		t.Error("zero extent accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Snapshot I/O: a small self-describing binary container for meshes so that
+// cmd/meshgen can produce inputs and experiments can reload them. Format:
+//
+//	magic   [8]byte  "FVMESH01"
+//	dims    3×int64  Nx, Ny, Nz
+//	spacing 3×f64    Dx, Dy, Dz
+//	fields  4×n×f64  pressure, perm, elev, porosity
+//	trans   10×n×f64
+//	crc32   uint32   of everything above (IEEE)
+//
+// All values little-endian.
+
+var snapshotMagic = [8]byte{'F', 'V', 'M', 'E', 'S', 'H', '0', '1'}
+
+// WriteSnapshot serializes the mesh to w.
+func (m *Mesh) WriteSnapshot(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("mesh: write magic: %w", err)
+	}
+	hdr := []int64{int64(m.Dims.Nx), int64(m.Dims.Ny), int64(m.Dims.Nz)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("mesh: write dims: %w", err)
+	}
+	sp := []float64{m.Spacing.Dx, m.Spacing.Dy, m.Spacing.Dz}
+	if err := binary.Write(bw, binary.LittleEndian, sp); err != nil {
+		return fmt.Errorf("mesh: write spacing: %w", err)
+	}
+	for _, f := range [][]float64{m.Pressure, m.Perm, m.Elev, m.Porosity} {
+		if err := writeF64s(bw, f); err != nil {
+			return err
+		}
+	}
+	for dir := range m.Trans {
+		if err := writeF64s(bw, m.Trans[dir]); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("mesh: flush snapshot: %w", err)
+	}
+	// CRC is written to w only (it is not part of its own coverage).
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("mesh: write checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot deserializes a mesh written by WriteSnapshot, verifying the
+// checksum.
+func ReadSnapshot(r io.Reader) (*Mesh, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	br := bufio.NewReader(tr)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("mesh: read magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("mesh: bad snapshot magic %q", magic[:])
+	}
+	hdr := make([]int64, 3)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("mesh: read dims: %w", err)
+	}
+	d := Dims{Nx: int(hdr[0]), Ny: int(hdr[1]), Nz: int(hdr[2])}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if c := d.Cells(); c > 1<<30 {
+		return nil, fmt.Errorf("mesh: snapshot declares %d cells, refusing", c)
+	}
+	sp := make([]float64, 3)
+	if err := binary.Read(br, binary.LittleEndian, sp); err != nil {
+		return nil, fmt.Errorf("mesh: read spacing: %w", err)
+	}
+	m, err := New(d, Spacing{Dx: sp[0], Dy: sp[1], Dz: sp[2]})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range [][]float64{m.Pressure, m.Perm, m.Elev, m.Porosity} {
+		if err := binary.Read(br, binary.LittleEndian, f); err != nil {
+			return nil, fmt.Errorf("mesh: read field: %w", err)
+		}
+	}
+	for dir := range m.Trans {
+		if err := binary.Read(br, binary.LittleEndian, m.Trans[dir]); err != nil {
+			return nil, fmt.Errorf("mesh: read transmissibilities: %w", err)
+		}
+	}
+	// Drain the buffered reader's lookahead: everything consumed so far went
+	// through the tee, but bufio may have read ahead into the checksum bytes.
+	// Reconstruct the checksum by re-reading the remaining 4 bytes directly.
+	want := crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("mesh: read checksum: %w", err)
+	}
+	// The tee also hashed the checksum bytes bufio pre-read; recompute from
+	// scratch is not possible streaming, so hash coverage is handled by
+	// construction: bufio.Reader only reads what we request plus buffered
+	// lookahead, which the tee hashed. To keep verification exact we instead
+	// validate dims/fields for finiteness and compare the stored CRC against
+	// the writer-side CRC recomputed over the parsed content.
+	got := binary.LittleEndian.Uint32(sum[:])
+	if recomputed := m.snapshotCRC(); recomputed != got {
+		_ = want
+		return nil, fmt.Errorf("mesh: snapshot checksum mismatch: stored %08x, recomputed %08x", got, recomputed)
+	}
+	for _, p := range m.Pressure {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("mesh: snapshot contains non-finite pressure")
+		}
+	}
+	return m, nil
+}
+
+// snapshotCRC recomputes the writer-side CRC from in-memory content.
+func (m *Mesh) snapshotCRC() uint32 {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(crc)
+	bw.Write(snapshotMagic[:])
+	binary.Write(bw, binary.LittleEndian, []int64{int64(m.Dims.Nx), int64(m.Dims.Ny), int64(m.Dims.Nz)})
+	binary.Write(bw, binary.LittleEndian, []float64{m.Spacing.Dx, m.Spacing.Dy, m.Spacing.Dz})
+	for _, f := range [][]float64{m.Pressure, m.Perm, m.Elev, m.Porosity} {
+		binary.Write(bw, binary.LittleEndian, f)
+	}
+	for dir := range m.Trans {
+		binary.Write(bw, binary.LittleEndian, m.Trans[dir])
+	}
+	bw.Flush()
+	return crc.Sum32()
+}
+
+func writeF64s(w io.Writer, f []float64) error {
+	if err := binary.Write(w, binary.LittleEndian, f); err != nil {
+		return fmt.Errorf("mesh: write field: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package mesh
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestTransmissibilitySymmetry(t *testing.T) {
+	m := mustBuild(t, Dims{6, 5, 4}, DefaultGeoOptions())
+	if err := m.CheckTransSymmetry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransmissibilityBoundariesZero(t *testing.T) {
+	m := mustBuild(t, Dims{4, 4, 4}, DefaultGeoOptions())
+	// West faces of x=0 column must be zero, etc.
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			if m.Trans[West][m.Index(0, y, z)] != 0 {
+				t.Fatal("boundary west face nonzero")
+			}
+			if m.Trans[East][m.Index(3, y, z)] != 0 {
+				t.Fatal("boundary east face nonzero")
+			}
+		}
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if m.Trans[Down][m.Index(x, y, 0)] != 0 || m.Trans[Up][m.Index(x, y, 3)] != 0 {
+				t.Fatal("boundary vertical face nonzero")
+			}
+		}
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{2, 2, 2},
+		{1, 3, 1.5},
+		{0, 5, 0},
+		{5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := harmonicMean(c.a, c.b); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("harmonicMean(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUniformTransmissibilityValues(t *testing.T) {
+	opts := DefaultGeoOptions()
+	opts.Model = GeoUniform
+	s := Spacing{Dx: 50, Dy: 40, Dz: 5}
+	m, err := Build(Dims{4, 4, 4}, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.Perm[0]
+	i := m.Index(1, 1, 1)
+	wantX := (s.Dy * s.Dz / s.Dx) * k
+	if got := m.Trans[East][i]; math.Abs(got-wantX)/wantX > 1e-12 {
+		t.Errorf("east trans = %g, want %g", got, wantX)
+	}
+	wantY := (s.Dx * s.Dz / s.Dy) * k
+	if got := m.Trans[South][i]; math.Abs(got-wantY)/wantY > 1e-12 {
+		t.Errorf("south trans = %g, want %g", got, wantY)
+	}
+	wantZ := (s.Dx * s.Dy / s.Dz) * k
+	if got := m.Trans[Up][i]; math.Abs(got-wantZ)/wantZ > 1e-12 {
+		t.Errorf("up trans = %g, want %g", got, wantZ)
+	}
+	diagDist := math.Hypot(s.Dx, s.Dy)
+	wantD := opts.Trans.DiagonalWeight * (math.Min(s.Dx, s.Dy) * s.Dz / diagDist) * k
+	if got := m.Trans[NorthEast][i]; math.Abs(got-wantD)/wantD > 1e-12 {
+		t.Errorf("diagonal trans = %g, want %g", got, wantD)
+	}
+}
+
+func TestZeroDiagonalWeightDisablesDiagonals(t *testing.T) {
+	opts := DefaultGeoOptions()
+	opts.Trans.DiagonalWeight = 0
+	m := mustBuild(t, Dims{5, 5, 3}, opts)
+	for _, d := range DiagonalDirections {
+		for _, v := range m.Trans[d] {
+			if v != 0 {
+				t.Fatalf("diagonal %v transmissibility nonzero with zero weight", d)
+			}
+		}
+	}
+}
+
+func TestNegativeDiagonalWeightRejected(t *testing.T) {
+	m, _ := New(smallDims(), DefaultSpacing())
+	if err := m.ComputeTransmissibilities(TransOptions{DiagonalWeight: -1}); err == nil {
+		t.Error("negative diagonal weight accepted")
+	}
+}
+
+func TestNegativePermeabilityRejected(t *testing.T) {
+	m, _ := New(smallDims(), DefaultSpacing())
+	m.Perm[3] = -1
+	if err := m.ComputeTransmissibilities(DefaultTransOptions()); err == nil {
+		t.Error("negative permeability accepted")
+	}
+	m.Perm[3] = math.NaN()
+	if err := m.ComputeTransmissibilities(DefaultTransOptions()); err == nil {
+		t.Error("NaN permeability accepted")
+	}
+}
+
+func TestSealingCellZeroesItsFaces(t *testing.T) {
+	opts := DefaultGeoOptions()
+	opts.Model = GeoUniform
+	m := mustBuild(t, Dims{3, 3, 3}, opts)
+	m.Perm[m.Index(1, 1, 1)] = 0
+	if err := m.ComputeTransmissibilities(DefaultTransOptions()); err != nil {
+		t.Fatal(err)
+	}
+	i := m.Index(1, 1, 1)
+	for _, d := range AllDirections {
+		if m.Trans[d][i] != 0 {
+			t.Errorf("face %v of sealing cell nonzero", d)
+		}
+	}
+	// And the neighbor's opposite face too.
+	j := m.Index(0, 1, 1)
+	if m.Trans[East][j] != 0 {
+		t.Error("neighbor face into sealing cell nonzero")
+	}
+}
+
+func TestTransmissibilityStats(t *testing.T) {
+	m := mustBuild(t, Dims{6, 6, 4}, DefaultGeoOptions())
+	st := m.TransmissibilityStats()
+	if st.NonZeroFaces == 0 {
+		t.Fatal("no faces counted")
+	}
+	if !(st.Min > 0) || st.Max < st.Min || st.Mean < st.Min || st.Mean > st.Max {
+		t.Errorf("inconsistent stats %+v", st)
+	}
+	// Face count: cardinal X faces (Nx-1)NyNz + Y + Z + diagonals 2(Nx-1)(Ny-1)Nz.
+	nx, ny, nz := 6, 6, 4
+	want := (nx-1)*ny*nz + nx*(ny-1)*nz + nx*ny*(nz-1) + 2*(nx-1)*(ny-1)*nz
+	if st.NonZeroFaces != want {
+		t.Errorf("NonZeroFaces = %d, want %d", st.NonZeroFaces, want)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := mustBuild(t, Dims{5, 4, 3}, DefaultGeoOptions())
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dims != m.Dims || got.Spacing != m.Spacing {
+		t.Fatal("header mismatch")
+	}
+	for i := range m.Pressure {
+		if got.Pressure[i] != m.Pressure[i] || got.Perm[i] != m.Perm[i] ||
+			got.Elev[i] != m.Elev[i] || got.Porosity[i] != m.Porosity[i] {
+			t.Fatalf("field mismatch at %d", i)
+		}
+	}
+	for d := range m.Trans {
+		for i := range m.Trans[d] {
+			if got.Trans[d][i] != m.Trans[d][i] {
+				t.Fatalf("trans mismatch dir %d cell %d", d, i)
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	m := mustBuild(t, Dims{4, 3, 2}, DefaultGeoOptions())
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte in the middle of the payload.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupted snapshot accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated.
+	if _, err := ReadSnapshot(bytes.NewReader(raw[:len(raw)/3])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFaceFluxAntisymmetry(t *testing.T) {
+	f := testFluid()
+	cfg := quick.Config{MaxCount: 500}
+	err := quick.Check(func(rawPK, rawPL, rawZK, rawZL float64) bool {
+		pK := 1.4e7 + 2e6*frac(rawPK)
+		pL := 1.4e7 + 2e6*frac(rawPL)
+		zK := 1500 + 100*frac(rawZK)
+		zL := 1500 + 100*frac(rawZL)
+		const trans = 1e-12
+		fKL := f.FaceFlux(trans, pK, pL, zK, zL)
+		fLK := f.FaceFlux(trans, pL, pK, zL, zK)
+		return math.Abs(fKL+fLK) <= 1e-12*(math.Abs(fKL)+1)
+	}, &cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// frac maps an arbitrary float into [0,1) deterministically.
+func frac(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	v := math.Mod(math.Abs(x), 1)
+	return v
+}
+
+func TestFaceFluxZeroForUniformPressureNoGravity(t *testing.T) {
+	f := testFluid()
+	f.Gravity = 0
+	if got := f.FaceFlux(1e-12, 2e7, 2e7, 1500, 1520); got != 0 {
+		t.Errorf("uniform pressure, no gravity: flux = %g, want 0", got)
+	}
+}
+
+func TestFaceFluxZeroForSameElevationSamePressure(t *testing.T) {
+	f := testFluid()
+	if got := f.FaceFlux(1e-12, 2e7, 2e7, 1500, 1500); got != 0 {
+		t.Errorf("same state: flux = %g, want 0", got)
+	}
+}
+
+func TestFaceFluxSignFollowsPressureGradient(t *testing.T) {
+	f := testFluid()
+	f.Gravity = 0
+	// pL > pK → ΔΦ > 0 → F = Υ·λ·ΔΦ > 0.
+	if got := f.FaceFlux(1e-12, 1.9e7, 2.0e7, 1500, 1500); got <= 0 {
+		t.Errorf("inflow flux should be positive, got %g", got)
+	}
+	if got := f.FaceFlux(1e-12, 2.0e7, 1.9e7, 1500, 1500); got >= 0 {
+		t.Errorf("outflow flux should be negative, got %g", got)
+	}
+}
+
+func TestFaceFluxLinearInTransmissibility(t *testing.T) {
+	f := testFluid()
+	cfg := quick.Config{MaxCount: 300}
+	err := quick.Check(func(rawT float64) bool {
+		tr := 1e-13 * (1 + 9*frac(rawT))
+		f1 := f.FaceFlux(tr, 1.9e7, 2.0e7, 1500, 1510)
+		f2 := f.FaceFlux(2*tr, 1.9e7, 2.0e7, 1500, 1510)
+		return math.Abs(f2-2*f1) <= 1e-12*math.Abs(f2)
+	}, &cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaceFluxZeroTransmissibility(t *testing.T) {
+	f := testFluid()
+	if got := f.FaceFlux(0, 1e7, 3e7, 1000, 2000); got != 0 {
+		t.Errorf("zero transmissibility must give zero flux, got %g", got)
+	}
+}
+
+func TestUpwindSelection(t *testing.T) {
+	f := testFluid()
+	f.Gravity = 0
+	pK, pL := 1.9e7, 2.0e7 // ΔΦ = pL − pK > 0 → upwind is K
+	dPhi := f.PotentialDifference(pK, pL, 0, 0)
+	if dPhi <= 0 {
+		t.Fatalf("setup wrong: dPhi = %g", dPhi)
+	}
+	if got, want := f.UpwindMobility(dPhi, pK, pL), f.Density(pK)/f.Viscosity; got != want {
+		t.Errorf("upwind mobility = %g, want K-side %g", got, want)
+	}
+	if got, want := f.UpwindMobility(-dPhi, pK, pL), f.Density(pL)/f.Viscosity; got != want {
+		t.Errorf("downwind mobility = %g, want L-side %g", got, want)
+	}
+}
+
+func TestGravitySegregation(t *testing.T) {
+	// Equal pressures, L higher than K (z is elevation): ΔΦ = ρg(zL−zK) > 0,
+	// so the potential drives flow and the flux is positive.
+	f := testFluid()
+	got := f.FaceFlux(1e-12, 2e7, 2e7, -1510, -1500)
+	if got <= 0 {
+		t.Errorf("gravity-driven flux should be positive, got %g", got)
+	}
+}
+
+func TestPotentialDifferenceHydrostaticBalance(t *testing.T) {
+	// With an incompressible fluid, the hydrostatic profile
+	// p(z) = p0 − ρ·g·z (z is elevation) makes ΔΦ exactly zero (Eq. 3b).
+	f := testFluid()
+	f.Compressibility = 0
+	zK, zL := -1500.0, -1525.0
+	p0 := 1e5
+	pK := p0 - f.RhoRef*f.Gravity*zK
+	pL := p0 - f.RhoRef*f.Gravity*zL
+	dPhi := f.PotentialDifference(pK, pL, zK, zL)
+	if math.Abs(dPhi) > 1e-6 {
+		t.Errorf("hydrostatic ΔΦ = %g, want ~0", dPhi)
+	}
+}
+
+func TestFaceFlux32MatchesScalarSequence(t *testing.T) {
+	// FaceFlux32 must equal the float64 evaluation of the same linearized
+	// algebra to float32 precision (it *is* the kernel's op order).
+	f := testFluid().WithModel(DensityLinear)
+	c := f.Constants32()
+	cases := []struct{ pK, pL, gzK, gzL, tr float32 }{
+		{1.9e7, 2.0e7, 14700, 14800, 1e-12},
+		{2.0e7, 1.9e7, 14800, 14700, 1e-12},
+		{1.5e7, 1.5e7, 14700, 14800, 2e-12},
+		{1.5e7, 1.5e7, 14800, 14800, 2e-12},
+	}
+	for _, cs := range cases {
+		got := float64(FaceFlux32(c, cs.tr, cs.pK, cs.pL, cs.gzK, cs.gzL))
+		want := f.FaceFlux(float64(cs.tr), float64(cs.pK), float64(cs.pL),
+			float64(cs.gzK)/f.Gravity, float64(cs.gzL)/f.Gravity)
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("case %+v: got %g, want exactly 0", cs, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / math.Abs(want); rel > 2e-5 {
+			t.Errorf("case %+v: float32 kernel %g vs float64 %g (rel %g)", cs, got, want, rel)
+		}
+	}
+}
+
+func TestFaceFlux32Antisymmetry(t *testing.T) {
+	f := testFluid().WithModel(DensityLinear)
+	c := f.Constants32()
+	cfg := quick.Config{MaxCount: 500}
+	err := quick.Check(func(rawPK, rawPL float64) bool {
+		pK := float32(1.4e7 + 2e6*frac(rawPK))
+		pL := float32(1.4e7 + 2e6*frac(rawPL))
+		gzK, gzL := float32(14700), float32(14950)
+		fKL := FaceFlux32(c, 1e-12, pK, pL, gzK, gzL)
+		fLK := FaceFlux32(c, 1e-12, pL, pK, gzL, gzK)
+		// Bitwise antisymmetry holds when ΔΦ ≠ 0: every intermediate of the
+		// reversed evaluation is the negation/swap of the forward one.
+		return fKL == -fLK || (fKL == 0 && fLK == 0)
+	}, &cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaceFlux32ExpMatchesFloat64(t *testing.T) {
+	f := testFluid() // exponential model
+	rho, pref := float32(f.RhoRef), float32(f.PRef)
+	cf, g := float32(f.Compressibility), float32(f.Gravity)
+	invMu := float32(1 / f.Viscosity)
+	got := float64(FaceFlux32Exp(rho, pref, cf, g, invMu, 1e-12, 1.9e7, 2.0e7, 1500, 1510))
+	want := f.FaceFlux(1e-12, 1.9e7, 2.0e7, 1500, 1510)
+	if rel := math.Abs(got-want) / math.Abs(want); rel > 2e-5 {
+		t.Errorf("exp kernel fp32 %g vs fp64 %g (rel %g)", got, want, rel)
+	}
+}
+
+func TestFlopConstants(t *testing.T) {
+	if FlopsPerFaceLinear != 14 {
+		t.Errorf("FlopsPerFaceLinear = %d, want 14 (Table 4)", FlopsPerFaceLinear)
+	}
+	if FlopsPerFaceExp != 16+2*ExpFlopCost {
+		t.Errorf("FlopsPerFaceExp inconsistent: %d", FlopsPerFaceExp)
+	}
+	if FlopsPerFaceExp != 28 {
+		t.Errorf("FlopsPerFaceExp = %d, want 28 (280/cell → AI 2.12, §7.3)", FlopsPerFaceExp)
+	}
+}

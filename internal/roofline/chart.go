@@ -1,0 +1,88 @@
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ChartConfig sizes the ASCII log-log plot.
+type ChartConfig struct {
+	Width, Height int     // plot area in characters
+	AIMin, AIMax  float64 // x range, FLOPs/Byte
+	GFMin, GFMax  float64 // y range, GFLOP/s
+}
+
+// DefaultChartConfig spans the ranges of both Fig. 8 panels.
+func DefaultChartConfig() ChartConfig {
+	return ChartConfig{Width: 68, Height: 24, AIMin: 0.01, AIMax: 100, GFMin: 1, GFMax: 1e7}
+}
+
+// Chart renders the platform's ceilings and the dots as an ASCII log-log
+// roofline — the textual analog of Fig. 8.
+func Chart(p Platform, dots []Dot, cfg ChartConfig) (string, error) {
+	if cfg.Width < 16 || cfg.Height < 8 {
+		return "", fmt.Errorf("roofline: chart %dx%d too small", cfg.Width, cfg.Height)
+	}
+	if cfg.AIMin <= 0 || cfg.AIMax <= cfg.AIMin || cfg.GFMin <= 0 || cfg.GFMax <= cfg.GFMin {
+		return "", fmt.Errorf("roofline: invalid chart ranges %+v", cfg)
+	}
+	lx0, lx1 := math.Log10(cfg.AIMin), math.Log10(cfg.AIMax)
+	ly0, ly1 := math.Log10(cfg.GFMin), math.Log10(cfg.GFMax)
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	toCol := func(ai float64) int {
+		return int(math.Round((math.Log10(ai) - lx0) / (lx1 - lx0) * float64(cfg.Width-1)))
+	}
+	toRow := func(gf float64) int {
+		r := int(math.Round((math.Log10(gf) - ly0) / (ly1 - ly0) * float64(cfg.Height-1)))
+		return cfg.Height - 1 - r
+	}
+	plot := func(col, row int, ch byte) {
+		if col >= 0 && col < cfg.Width && row >= 0 && row < cfg.Height {
+			grid[row][col] = ch
+		}
+	}
+
+	// Ceilings: each column's attainable GFLOPS for every ceiling.
+	marks := []byte{'-', '=', '~'}
+	for ci, c := range p.SortedCeilings() {
+		for col := 0; col < cfg.Width; col++ {
+			ai := math.Pow(10, lx0+(lx1-lx0)*float64(col)/float64(cfg.Width-1))
+			gf := p.Attainable(c, ai) / 1e9
+			if gf < cfg.GFMin {
+				continue
+			}
+			plot(col, toRow(math.Min(gf, cfg.GFMax)), marks[ci%len(marks)])
+		}
+	}
+	// Dots, labeled 1..9.
+	for i, d := range dots {
+		plot(toCol(d.AI), toRow(d.Flops/1e9), byte('1'+i%9))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — peak %.1f GFLOP/s (log-log; x: %g..%g FLOPs/B, y: %g..%g GFLOP/s)\n",
+		p.Name, p.PeakFlops/1e9, cfg.AIMin, cfg.AIMax, cfg.GFMin, cfg.GFMax)
+	for r := range grid {
+		b.WriteString("|")
+		b.Write(grid[r])
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", cfg.Width) + "\n")
+	for i, c := range p.SortedCeilings() {
+		fmt.Fprintf(&b, "  %c ceiling %-8s %8.1f GB/s (ridge at %.4f FLOPs/B)\n",
+			marks[i%len(marks)], c.Name, c.Bandwidth/1e9, p.RidgePoint(c))
+	}
+	for i, d := range dots {
+		bound, frac, err := p.Classify(d)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %d %-22s AI=%.4f FLOPs/B  %10.1f GFLOP/s  %s, %.0f%% of roofline\n",
+			1+i%9, d.Name+" ("+d.Ceiling+")", d.AI, d.Flops/1e9, bound, 100*frac)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,107 @@
+package roofline
+
+import (
+	"fmt"
+
+	"repro/internal/dsd"
+	"repro/internal/gpusim"
+)
+
+// ERT-style sweeps, after the Empirical Roofline Toolkit the paper uses for
+// the A100 ceilings (§7.3 [21]): run an actual triad kernel over a range of
+// working-set sizes on the simulated device, verify the measured traffic
+// matches the analytic expectation, and report the device's streaming
+// bandwidth. The byte counts are measurements; the bandwidth value is the
+// calibrated hardware constant (a functional simulator has no wall-clock of
+// its own — see perfmodel's package comment).
+
+// ERTPoint is one working-set measurement of the sweep.
+type ERTPoint struct {
+	WorkingSetWords int
+	BytesMoved      uint64
+	Flops           uint64
+}
+
+// ERTResult is the sweep outcome.
+type ERTResult struct {
+	Points    []ERTPoint
+	Bandwidth float64 // B/s, the device's calibrated streaming bandwidth
+}
+
+// SweepGPU runs triad (a[i] = b[i]·s + c[i]) over doubling working sets.
+func SweepGPU(dev *gpusim.Device, maxWords int) (*ERTResult, error) {
+	if maxWords < 1024 {
+		return nil, fmt.Errorf("roofline: ERT sweep needs at least 1024 words, got %d", maxWords)
+	}
+	res := &ERTResult{Bandwidth: dev.Spec.ERTBandwidth}
+	for n := 1024; n <= maxWords; n *= 4 {
+		a, err := dev.Malloc(fmt.Sprintf("ert-a-%d", n), n)
+		if err != nil {
+			return nil, err
+		}
+		b, err := dev.Malloc(fmt.Sprintf("ert-b-%d", n), n)
+		if err != nil {
+			return nil, err
+		}
+		c, err := dev.Malloc(fmt.Sprintf("ert-c-%d", n), n)
+		if err != nil {
+			return nil, err
+		}
+		block := gpusim.Dim3{X: 256, Y: 1, Z: 1}
+		grid := gpusim.Dim3{X: (n + 255) / 256, Y: 1, Z: 1}
+		st, err := dev.Launch(grid, block, func(t *gpusim.ThreadCtx) {
+			i := t.BlockIdx.X*t.BlockDim.X + t.ThreadIdx.X
+			if i >= n {
+				t.Return()
+				return
+			}
+			t.Store(a, i, t.Add(t.Mul(t.Load(b, i), 1.5), t.Load(c, i)))
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Triad moves 3 words and performs 2 FLOPs per element.
+		if want := uint64(3 * n * 4); st.Bytes() != want {
+			return nil, fmt.Errorf("roofline: triad traffic %d B, want %d — counter model broken", st.Bytes(), want)
+		}
+		if want := uint64(2 * n); st.Flops != want {
+			return nil, fmt.Errorf("roofline: triad flops %d, want %d", st.Flops, want)
+		}
+		res.Points = append(res.Points, ERTPoint{WorkingSetWords: n, BytesMoved: st.Bytes(), Flops: st.Flops})
+	}
+	return res, nil
+}
+
+// SweepPE runs the same triad on one wafer PE's vector engine, validating
+// the dsd counter model; bandwidth is the calibrated per-PE value.
+func SweepPE(memWords int, perPEBandwidth float64) (*ERTResult, error) {
+	if memWords < 64 {
+		return nil, fmt.Errorf("roofline: PE sweep needs at least 64 words, got %d", memWords)
+	}
+	mem, err := dsd.NewMemory(memWords)
+	if err != nil {
+		return nil, err
+	}
+	eng := dsd.NewEngine(mem)
+	n := memWords / 4
+	a, err := mem.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mem.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	c, err := mem.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	eng.FmaVVV(a, b, c, a) // a = b·c + a: 3 loads + 1 store per element
+	if want := uint64(4 * n * 4); eng.C.MemBytes() != want {
+		return nil, fmt.Errorf("roofline: PE triad traffic %d B, want %d", eng.C.MemBytes(), want)
+	}
+	return &ERTResult{
+		Points:    []ERTPoint{{WorkingSetWords: 3 * n, BytesMoved: eng.C.MemBytes(), Flops: eng.C.Flops()}},
+		Bandwidth: perPEBandwidth,
+	}, nil
+}

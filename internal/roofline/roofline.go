@@ -1,0 +1,131 @@
+// Package roofline implements the Roofline model of Fig. 8: bandwidth
+// ceilings and compute peaks per platform, arithmetic-intensity dots from
+// measured counters, boundedness classification, and an ASCII log-log chart.
+// The CS-2 plot has two resources (local memory and fabric, Fig. 8 top); the
+// A100 plot uses the ERT-style streaming ceiling (Fig. 8 bottom).
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gpusim"
+	"repro/internal/perfmodel"
+	"repro/internal/wse"
+)
+
+// Ceiling is one bandwidth diagonal of the roofline.
+type Ceiling struct {
+	Name      string
+	Bandwidth float64 // B/s
+}
+
+// Platform is a machine's roofline: a horizontal compute peak plus one
+// diagonal per memory resource.
+type Platform struct {
+	Name      string
+	PeakFlops float64
+	Ceilings  []Ceiling
+}
+
+// Dot is a measured kernel: its arithmetic intensity w.r.t. one resource and
+// its achieved performance.
+type Dot struct {
+	Name    string
+	Ceiling string  // which resource the AI was computed against
+	AI      float64 // FLOPs/Byte
+	Flops   float64 // achieved FLOP/s
+}
+
+// Attainable returns the roofline value at intensity ai for one ceiling:
+// min(peak, ai·bandwidth).
+func (p Platform) Attainable(c Ceiling, ai float64) float64 {
+	return math.Min(p.PeakFlops, ai*c.Bandwidth)
+}
+
+// CeilingByName finds a ceiling.
+func (p Platform) CeilingByName(name string) (Ceiling, error) {
+	for _, c := range p.Ceilings {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Ceiling{}, fmt.Errorf("roofline: platform %q has no ceiling %q", p.Name, name)
+}
+
+// Boundedness classifies a dot: bandwidth-bound when its resource diagonal
+// lies below the compute peak at its intensity, compute-bound otherwise
+// (the paper's "bandwidth-bound for memory accesses, compute-bound for
+// fabric access").
+type Boundedness string
+
+const (
+	BandwidthBound Boundedness = "bandwidth-bound"
+	ComputeBound   Boundedness = "compute-bound"
+)
+
+// Classify returns the dot's boundedness and its fraction of the attainable
+// roofline.
+func (p Platform) Classify(d Dot) (Boundedness, float64, error) {
+	c, err := p.CeilingByName(d.Ceiling)
+	if err != nil {
+		return "", 0, err
+	}
+	att := p.Attainable(c, d.AI)
+	b := ComputeBound
+	if d.AI*c.Bandwidth < p.PeakFlops {
+		b = BandwidthBound
+	}
+	if att <= 0 {
+		return b, 0, nil
+	}
+	return b, d.Flops / att, nil
+}
+
+// CS2Platform builds the wafer-scale roofline for an nx×ny PE mapping: the
+// fp32 peak is SIMD·clock per PE, the memory diagonal aggregates the
+// calibrated per-PE local-memory bandwidth, and the fabric diagonal
+// aggregates the raw per-PE link bandwidth (4 links × 4 B/cycle).
+func CS2Platform(spec wse.MachineSpec, params perfmodel.CS2Params, nx, ny int) (Platform, error) {
+	if err := spec.CheckFabricFit(nx, ny); err != nil {
+		return Platform{}, err
+	}
+	pes := float64(nx * ny)
+	return Platform{
+		Name:      fmt.Sprintf("%s (%dx%d PEs)", spec.Name, nx, ny),
+		PeakFlops: pes * float64(spec.SIMDWidth) * spec.ClockHz,
+		Ceilings: []Ceiling{
+			{Name: "memory", Bandwidth: pes * params.MemBandwidth},
+			{Name: "fabric", Bandwidth: pes * 4 * 4 * spec.ClockHz},
+		},
+	}, nil
+}
+
+// A100Platform builds the GPU roofline with the ERT-measured streaming
+// ceiling (word-level traffic, as Nsight reports the kernel's intensity).
+func A100Platform(spec gpusim.DeviceSpec) Platform {
+	return Platform{
+		Name:      spec.Name,
+		PeakFlops: spec.PeakFP32,
+		Ceilings: []Ceiling{
+			{Name: "stream", Bandwidth: spec.ERTBandwidth},
+		},
+	}
+}
+
+// RidgePoint returns the intensity where a ceiling meets the compute peak.
+func (p Platform) RidgePoint(c Ceiling) float64 {
+	if c.Bandwidth <= 0 {
+		return math.Inf(1)
+	}
+	return p.PeakFlops / c.Bandwidth
+}
+
+// SortedCeilings returns the ceilings ordered by decreasing bandwidth
+// (render order for the chart).
+func (p Platform) SortedCeilings() []Ceiling {
+	out := append([]Ceiling(nil), p.Ceilings...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Bandwidth > out[j].Bandwidth })
+	return out
+}

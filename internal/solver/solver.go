@@ -1,0 +1,270 @@
+// Package solver implements the paper's §8 extension: the flux computation
+// "is naturally extendable to a matrix-free operator ... for use in an
+// iterative Krylov method which would solve equation (2)". It provides
+// matrix-free Krylov solvers (CG and BiCGStab) with Jacobi preconditioning
+// over an Operator interface, plus two operators for the implicit pressure
+// equation:
+//
+//   - HostOperator: the TPFA flux Jacobian with frozen face mobilities,
+//     assembled from the mesh on the host (float64);
+//   - DataflowOperator: matrix-free application through the paper's own
+//     dataflow kernel — with compressibility and gravity zeroed, the flux
+//     residual is exactly linear in pressure, so one engine run per Apply
+//     evaluates A·x on the (simulated) wafer.
+//
+// The solved system is one backward-Euler step of Eq. (2):
+//
+//	(V·φ·ρref·cf/Δt)·δp − ∂F/∂p·δp = b
+//
+// whose matrix is symmetric positive definite for frozen mobilities, making
+// CG applicable; BiCGStab is provided for the general case.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Operator applies a linear operator y = A·x on float64 vectors.
+type Operator interface {
+	// Apply computes dst = A·x. len(dst) == len(x) == Size().
+	Apply(dst, x []float64) error
+	// Size returns the vector length.
+	Size() int
+}
+
+// Options controls the Krylov iteration.
+type Options struct {
+	// MaxIter bounds the iteration count (default 500).
+	MaxIter int
+	// Tol is the relative residual tolerance ‖r‖/‖b‖ (default 1e-8).
+	Tol float64
+	// Precond optionally supplies a preconditioner application z = M⁻¹r.
+	Precond func(z, r []float64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 500
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	return o
+}
+
+// Stats reports a solve's convergence history.
+type Stats struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+	// History holds ‖r‖/‖b‖ after each iteration (capped at MaxIter).
+	History []float64
+}
+
+// ErrBreakdown is returned when the Krylov recurrence degenerates
+// (division by a vanishing inner product).
+var ErrBreakdown = errors.New("solver: Krylov breakdown")
+
+// ErrNotConverged is returned when MaxIter is reached above tolerance; the
+// best iterate is still written to x.
+var ErrNotConverged = errors.New("solver: not converged")
+
+// CG solves A·x = b for symmetric positive definite A. x carries the
+// initial guess and receives the solution.
+func CG(a Operator, x, b []float64, opts Options) (*Stats, error) {
+	opts = opts.withDefaults()
+	n := a.Size()
+	if len(x) != n || len(b) != n {
+		return nil, fmt.Errorf("solver: size mismatch: operator %d, x %d, b %d", n, len(x), len(b))
+	}
+	normB := norm2(b)
+	if normB == 0 {
+		zero(x)
+		return &Stats{Converged: true}, nil
+	}
+	r := make([]float64, n)
+	if err := a.Apply(r, x); err != nil {
+		return nil, err
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	z := make([]float64, n)
+	applyPrecond(opts, z, r)
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+	rz := dot(r, z)
+	st := &Stats{}
+	for k := 0; k < opts.MaxIter; k++ {
+		if err := a.Apply(ap, p); err != nil {
+			return nil, err
+		}
+		pap := dot(p, ap)
+		if pap == 0 || math.IsNaN(pap) {
+			return st, fmt.Errorf("%w: pᵀAp = %v at iteration %d", ErrBreakdown, pap, k)
+		}
+		alpha := rz / pap
+		axpy(x, alpha, p)
+		axpy(r, -alpha, ap)
+		st.Iterations = k + 1
+		st.Residual = norm2(r) / normB
+		st.History = append(st.History, st.Residual)
+		if st.Residual <= opts.Tol {
+			st.Converged = true
+			return st, nil
+		}
+		applyPrecond(opts, z, r)
+		rzNew := dot(r, z)
+		if rz == 0 {
+			return st, fmt.Errorf("%w: rᵀz vanished at iteration %d", ErrBreakdown, k)
+		}
+		beta := rzNew / rz
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		rz = rzNew
+	}
+	return st, fmt.Errorf("%w after %d iterations (rel residual %.3e)", ErrNotConverged, st.Iterations, st.Residual)
+}
+
+// BiCGStab solves A·x = b for general (nonsymmetric) A.
+func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
+	opts = opts.withDefaults()
+	n := a.Size()
+	if len(x) != n || len(b) != n {
+		return nil, fmt.Errorf("solver: size mismatch: operator %d, x %d, b %d", n, len(x), len(b))
+	}
+	normB := norm2(b)
+	if normB == 0 {
+		zero(x)
+		return &Stats{Converged: true}, nil
+	}
+	r := make([]float64, n)
+	if err := a.Apply(r, x); err != nil {
+		return nil, err
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	rHat := append([]float64(nil), r...)
+	var rho, alpha, omega float64 = 1, 1, 1
+	v := make([]float64, n)
+	p := make([]float64, n)
+	ph := make([]float64, n)
+	s := make([]float64, n)
+	sh := make([]float64, n)
+	t := make([]float64, n)
+	st := &Stats{}
+	for k := 0; k < opts.MaxIter; k++ {
+		rhoNew := dot(rHat, r)
+		if rhoNew == 0 {
+			return st, fmt.Errorf("%w: ρ = 0 at iteration %d", ErrBreakdown, k)
+		}
+		if k == 0 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		applyPrecond(opts, ph, p)
+		if err := a.Apply(v, ph); err != nil {
+			return nil, err
+		}
+		den := dot(rHat, v)
+		if den == 0 {
+			return st, fmt.Errorf("%w: r̂ᵀv = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		st.Iterations = k + 1
+		if res := norm2(s) / normB; res <= opts.Tol {
+			axpy(x, alpha, ph)
+			st.Residual = res
+			st.History = append(st.History, res)
+			st.Converged = true
+			return st, nil
+		}
+		applyPrecond(opts, sh, s)
+		if err := a.Apply(t, sh); err != nil {
+			return nil, err
+		}
+		tt := dot(t, t)
+		if tt == 0 {
+			return st, fmt.Errorf("%w: tᵀt = 0 at iteration %d", ErrBreakdown, k)
+		}
+		omega = dot(t, s) / tt
+		if omega == 0 {
+			return st, fmt.Errorf("%w: ω = 0 at iteration %d", ErrBreakdown, k)
+		}
+		for i := range x {
+			x[i] += alpha*ph[i] + omega*sh[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		st.Residual = norm2(r) / normB
+		st.History = append(st.History, st.Residual)
+		if st.Residual <= opts.Tol {
+			st.Converged = true
+			return st, nil
+		}
+	}
+	return st, fmt.Errorf("%w after %d iterations (rel residual %.3e)", ErrNotConverged, st.Iterations, st.Residual)
+}
+
+// JacobiPrecond builds a Jacobi (diagonal) preconditioner from the
+// operator's diagonal, estimated matrix-free with unit probes when diag is
+// nil, or using the given diagonal directly.
+func JacobiPrecond(diag []float64) (func(z, r []float64), error) {
+	for i, d := range diag {
+		if d == 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("solver: zero/NaN diagonal entry at %d", i)
+		}
+	}
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		inv[i] = 1 / d
+	}
+	return func(z, r []float64) {
+		for i := range z {
+			z[i] = inv[i] * r[i]
+		}
+	}, nil
+}
+
+func applyPrecond(opts Options, z, r []float64) {
+	if opts.Precond != nil {
+		opts.Precond(z, r)
+		return
+	}
+	copy(z, r)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func axpy(y []float64, alpha float64, x []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

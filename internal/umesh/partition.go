@@ -1,0 +1,235 @@
+package umesh
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/physics"
+)
+
+// Partition assigns cells to parts and precomputes the halo-exchange plan:
+// for every (owner, neighbor-part) pair, the exact cell lists to ship. This
+// is the top-level distribution concern that "would be usually implemented
+// with MPI" (§4), realized with goroutines and channels.
+type Partition struct {
+	NumParts int
+	// Part maps cell → owning part.
+	Part []int
+	// Owned lists each part's cells.
+	Owned [][]int
+	// sendPlan[p] lists, per destination part, the owned cells whose values
+	// the destination needs (because a face crosses the boundary).
+	sendPlan []map[int][]int
+	// recvPlan[p] lists, per source part, the remote cells p will receive
+	// (in the sender's order, so one message slots straight in).
+	recvPlan []map[int][]int
+}
+
+// RCB partitions the mesh into 2^levels parts with recursive coordinate
+// bisection: split the widest centroid axis at its median, recurse.
+func RCB(u *Mesh, levels int) (*Partition, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if levels < 0 || levels > 16 {
+		return nil, fmt.Errorf("umesh: RCB levels %d out of range [0,16]", levels)
+	}
+	numParts := 1 << levels
+	if numParts > u.NumCells {
+		return nil, fmt.Errorf("umesh: %d parts exceed %d cells", numParts, u.NumCells)
+	}
+	part := make([]int, u.NumCells)
+	cells := make([]int, u.NumCells)
+	for i := range cells {
+		cells[i] = i
+	}
+	var split func(ids []int, base, lvl int)
+	split = func(ids []int, base, lvl int) {
+		if lvl == 0 {
+			for _, c := range ids {
+				part[c] = base
+			}
+			return
+		}
+		// Widest axis of this subset's bounding box.
+		var lo, hi [3]float64
+		for k := 0; k < 3; k++ {
+			lo[k], hi[k] = u.Centroid[ids[0]][k], u.Centroid[ids[0]][k]
+		}
+		for _, c := range ids {
+			for k := 0; k < 3; k++ {
+				if v := u.Centroid[c][k]; v < lo[k] {
+					lo[k] = v
+				} else if v > hi[k] {
+					hi[k] = v
+				}
+			}
+		}
+		axis := 0
+		for k := 1; k < 3; k++ {
+			if hi[k]-lo[k] > hi[axis]-lo[axis] {
+				axis = k
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := u.Centroid[ids[i]][axis], u.Centroid[ids[j]][axis]
+			if a != b {
+				return a < b
+			}
+			return ids[i] < ids[j] // deterministic tie-break
+		})
+		mid := len(ids) / 2
+		split(ids[:mid], base, lvl-1)
+		split(ids[mid:], base+(1<<(lvl-1)), lvl-1)
+	}
+	split(cells, 0, levels)
+	return buildPartition(u, part, numParts)
+}
+
+// buildPartition derives ownership lists and the halo plan from a part map.
+func buildPartition(u *Mesh, part []int, numParts int) (*Partition, error) {
+	p := &Partition{NumParts: numParts, Part: part}
+	p.Owned = make([][]int, numParts)
+	for c, pp := range part {
+		if pp < 0 || pp >= numParts {
+			return nil, fmt.Errorf("umesh: cell %d assigned to invalid part %d", c, pp)
+		}
+		p.Owned[pp] = append(p.Owned[pp], c)
+	}
+	// Halo plan: a face (A,B) crossing parts means each side needs the
+	// other's cell value. Collect unique cells per (src,dst) pair in
+	// deterministic (cell-id) order.
+	needed := make([]map[int]map[int]bool, numParts) // dst → src → set of src cells
+	for i := range needed {
+		needed[i] = make(map[int]map[int]bool)
+	}
+	addNeed := func(dst, src, cell int) {
+		if needed[dst][src] == nil {
+			needed[dst][src] = make(map[int]bool)
+		}
+		needed[dst][src][cell] = true
+	}
+	for _, f := range u.Faces {
+		pa, pb := part[f.A], part[f.B]
+		if pa == pb {
+			continue
+		}
+		addNeed(pa, pb, f.B)
+		addNeed(pb, pa, f.A)
+	}
+	p.sendPlan = make([]map[int][]int, numParts)
+	p.recvPlan = make([]map[int][]int, numParts)
+	for i := range p.sendPlan {
+		p.sendPlan[i] = make(map[int][]int)
+		p.recvPlan[i] = make(map[int][]int)
+	}
+	for dst := 0; dst < numParts; dst++ {
+		for src, set := range needed[dst] {
+			cells := make([]int, 0, len(set))
+			for c := range set {
+				cells = append(cells, c)
+			}
+			sort.Ints(cells)
+			p.recvPlan[dst][src] = cells
+			p.sendPlan[src][dst] = cells
+		}
+	}
+	return p, nil
+}
+
+// HaloCells returns how many remote cell values part p receives per step —
+// the communication volume the §9 "arbitrary topology" mapping must move.
+func (p *Partition) HaloCells(part int) int {
+	n := 0
+	for _, cells := range p.recvPlan[part] {
+		n += len(cells)
+	}
+	return n
+}
+
+// haloMsg is one halo message: the values of the sender's listed cells.
+type haloMsg struct {
+	src  int
+	vals []float32
+}
+
+// ComputeResidualPartitioned evaluates the cell-based Algorithm 1 with one
+// goroutine per part: each part exchanges halo pressures with its
+// neighboring parts over channels, then computes its owned cells. The
+// result must match the serial sweeps bit-for-bit in float64 accumulation
+// order per cell (cell-based order is preserved).
+func ComputeResidualPartitioned(u *Mesh, p *Partition, fl physics.Fluid, pres []float32) ([]float64, error) {
+	if err := check(u, fl, pres); err != nil {
+		return nil, err
+	}
+	if len(p.Part) != u.NumCells {
+		return nil, fmt.Errorf("umesh: partition covers %d cells, mesh has %d", len(p.Part), u.NumCells)
+	}
+	// Per-part mailboxes, buffered to the number of expected messages.
+	mail := make([]chan haloMsg, p.NumParts)
+	for i := range mail {
+		mail[i] = make(chan haloMsg, p.NumParts)
+	}
+	res := make([]float64, u.NumCells)
+	errs := make([]error, p.NumParts)
+	var wg sync.WaitGroup
+	for me := 0; me < p.NumParts; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			// The distributed pressure view: every part sees only its owned
+			// values plus received halo values. Seed the local copy with
+			// owned data only; halo slots arrive by message.
+			local := make([]float32, u.NumCells)
+			seen := make([]bool, u.NumCells)
+			for _, c := range p.Owned[me] {
+				local[c] = pres[c]
+				seen[c] = true
+			}
+			// Send halos.
+			for dst, cells := range p.sendPlan[me] {
+				vals := make([]float32, len(cells))
+				for i, c := range cells {
+					vals[i] = pres[c]
+				}
+				mail[dst] <- haloMsg{src: me, vals: vals}
+			}
+			// Receive halos.
+			for range p.recvPlan[me] {
+				msg := <-mail[me]
+				cells, ok := p.recvPlan[me][msg.src]
+				if !ok || len(cells) != len(msg.vals) {
+					errs[me] = fmt.Errorf("umesh: part %d got unexpected halo from %d (%d values)", me, msg.src, len(msg.vals))
+					return
+				}
+				for i, c := range cells {
+					local[c] = msg.vals[i]
+					seen[c] = true
+				}
+			}
+			// Compute owned cells from the distributed view only.
+			for _, c := range p.Owned[me] {
+				nbrs, trans := u.halfFaces(c)
+				pc := float64(local[c])
+				zc := u.Elev[c]
+				sum := 0.0
+				for i, nb := range nbrs {
+					if !seen[nb] {
+						errs[me] = fmt.Errorf("umesh: part %d missing halo value for cell %d (neighbor of %d)", me, nb, c)
+						return
+					}
+					sum += fl.FaceFlux(trans[i], pc, float64(local[nb]), zc, u.Elev[nb])
+				}
+				res[c] = sum
+			}
+		}(me)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDarcyConversionRoundTrip(t *testing.T) {
+	f := func(md float64) bool {
+		md = math.Abs(md)
+		if math.IsInf(md, 0) || math.IsNaN(md) {
+			return true
+		}
+		back := ToMilliDarcy(FromMilliDarcy(md))
+		return ApproxEqual(back, md, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarConversionRoundTrip(t *testing.T) {
+	cases := []float64{0, 1, 150, 1013.25, 1e6}
+	for _, bar := range cases {
+		if got := ToBar(FromBar(bar)); !ApproxEqual(got, bar, 1e-14) && bar != 0 {
+			t.Errorf("ToBar(FromBar(%g)) = %g", bar, got)
+		}
+	}
+	if FromBar(1) != 1e5 {
+		t.Errorf("FromBar(1) = %g, want 1e5", FromBar(1))
+	}
+}
+
+func TestCentiPoise(t *testing.T) {
+	if got := FromCentiPoise(1); got != 1e-3 {
+		t.Errorf("FromCentiPoise(1) = %g, want 1e-3", got)
+	}
+}
+
+func TestMilliDarcyMagnitude(t *testing.T) {
+	// 1 mD ≈ 1e-15 m²; a sanity anchor for geomodel values.
+	if MilliDarcy < 9e-16 || MilliDarcy > 1e-15 {
+		t.Errorf("MilliDarcy = %g out of expected magnitude", MilliDarcy)
+	}
+}
+
+func TestHydrostaticPressure(t *testing.T) {
+	// 1500 m of water on top of 1 atm ≈ 148.1 bar + 1 atm.
+	p := HydrostaticPressure(1.013e5, 1000, 1500)
+	want := 1.013e5 + 1000*Gravity*1500
+	if p != want {
+		t.Errorf("HydrostaticPressure = %g, want %g", p, want)
+	}
+	if p < 1.4e7 || p > 1.6e7 {
+		t.Errorf("1500 m column pressure %g Pa outside plausible range", p)
+	}
+}
+
+func TestHydrostaticPressureZeroDepth(t *testing.T) {
+	if got := HydrostaticPressure(5, 1000, 0); got != 5 {
+		t.Errorf("zero depth should return surface pressure, got %g", got)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1.1, 1e-3, false},
+		{0, 0, 1e-12, true},
+		{0, 1e-301, 1e-12, true}, // below absolute floor scale
+		{-5, -5.0000001, 1e-6, true},
+		{-5, 5, 1e-6, false},
+		{1e300, 1.0000001e300, 1e-6, true},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		return ApproxEqual(a, b, 1e-9) == ApproxEqual(b, a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxEqual32(t *testing.T) {
+	if !ApproxEqual32(1.0, 1.0+5e-8, 1e-6) {
+		t.Error("float32 values within tolerance reported unequal")
+	}
+	if ApproxEqual32(1.0, 1.01, 1e-6) {
+		t.Error("float32 values outside tolerance reported equal")
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	cases := []struct{ v, lo, hi, want int }{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := ClampInt(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("ClampInt(%d, %d, %d) = %d, want %d", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestByteSizes(t *testing.T) {
+	if KiB != 1024 || MiB != 1024*1024 || GiB != 1024*1024*1024 {
+		t.Error("byte size constants wrong")
+	}
+}

@@ -1,0 +1,270 @@
+package wave
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// The fabric engine: one grid cell per PE, the same cardinal +
+// clockwise-relayed diagonal exchange the flux kernel uses (§5.2), one
+// wavelet per direction per time step. Boundary PEs hold the Dirichlet
+// zero and still broadcast, so interior stencils always see eight values.
+
+// Wave colors mirror the flux engine's static scheme: one per arrival
+// direction and hop kind.
+const (
+	wColorCardFromW fabric.Color = 2 + iota
+	wColorCardFromE
+	wColorCardFromN
+	wColorCardFromS
+	wColorDiagFromN
+	wColorDiagFromE
+	wColorDiagFromS
+	wColorDiagFromW
+)
+
+func wCardColor(p fabric.Port) fabric.Color {
+	switch p {
+	case fabric.PortWest:
+		return wColorCardFromW
+	case fabric.PortEast:
+		return wColorCardFromE
+	case fabric.PortNorth:
+		return wColorCardFromN
+	case fabric.PortSouth:
+		return wColorCardFromS
+	default:
+		panic(fmt.Sprintf("wave: no cardinal color for %v", p))
+	}
+}
+
+func wDiagColor(p fabric.Port) fabric.Color {
+	switch p {
+	case fabric.PortNorth:
+		return wColorDiagFromN
+	case fabric.PortEast:
+		return wColorDiagFromE
+	case fabric.PortSouth:
+		return wColorDiagFromS
+	case fabric.PortWest:
+		return wColorDiagFromW
+	default:
+		panic(fmt.Sprintf("wave: no diagonal color for %v", p))
+	}
+}
+
+// neighborSlot maps arrival information to the stencil slot order
+// E, W, N, S, NE, NW, SE, SW used by stencilUpdate's caller.
+const (
+	slotE = iota
+	slotW
+	slotN
+	slotS
+	slotNE
+	slotNW
+	slotSE
+	slotSW
+	numSlots
+)
+
+// cardSlot returns the slot of a cardinal value arriving from port p.
+func cardSlot(p fabric.Port) int {
+	switch p {
+	case fabric.PortEast:
+		return slotE
+	case fabric.PortWest:
+		return slotW
+	case fabric.PortNorth:
+		return slotN
+	case fabric.PortSouth:
+		return slotS
+	default:
+		panic("wave: bad cardinal port")
+	}
+}
+
+// diagSlot returns the slot of a relayed diagonal value arriving from port
+// p (same rotation as the flux engine: from N → NW corner, etc.).
+func diagSlot(p fabric.Port) int {
+	switch p {
+	case fabric.PortNorth:
+		return slotNW
+	case fabric.PortEast:
+		return slotNE
+	case fabric.PortSouth:
+		return slotSE
+	case fabric.PortWest:
+		return slotSW
+	default:
+		panic("wave: bad diagonal port")
+	}
+}
+
+type waveStream struct {
+	slot   int
+	isCard bool
+	port   fabric.Port
+	buf    []float32
+	done   bool
+}
+
+// simulateFabric runs the leapfrog on the wavelet fabric.
+func simulateFabric(m *Medium, opts Options) (*Result, error) {
+	fab, err := fabric.New(fabric.Config{
+		Width:      m.Nx,
+		Height:     m.Ny,
+		MemWords:   64, // wave state lives in worker locals; PE memory unused
+		LinkBuffer: 64,
+		RampBuffer: 128,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := fab.ForEachPE(func(pe *fabric.PE) error { return installWaveRoutes(pe) }); err != nil {
+		return nil, err
+	}
+
+	a, b, c := m.coefficients(opts.Dt)
+	n := m.Nx * m.Ny
+	final := make([]float32, n)
+	hist := make([][]float32, n) // per-PE |u| history, reduced afterwards
+	srcIdx := m.Index(opts.Source.X, opts.Source.Y)
+
+	err = fab.Run(func(pe *fabric.PE) error {
+		i := m.Index(pe.X, pe.Y)
+		interior := pe.X > 0 && pe.X < m.Nx-1 && pe.Y > 0 && pe.Y < m.Ny-1
+		var u, uPrev float32
+		localHist := make([]float32, opts.Steps)
+
+		streams := make(map[fabric.Color]*waveStream)
+		for _, p := range fabric.LinkPorts {
+			if pe.HasNeighbor(p) {
+				streams[wCardColor(p)] = &waveStream{slot: cardSlot(p), isCard: true, port: p}
+			}
+		}
+		for _, p := range fabric.LinkPorts {
+			// The corner behind arrival port p exists iff both p and its
+			// clockwise sibling exist (N→NW needs N and W, E→NE needs E
+			// and N, ...).
+			if pe.HasNeighbor(p) && pe.HasNeighbor(p.ClockwiseTurn()) {
+				streams[wDiagColor(p)] = &waveStream{slot: diagSlot(p), port: p}
+			}
+		}
+
+		var nbr [numSlots]float32
+		process := func(st *waveStream) {
+			v := st.buf[0]
+			st.buf = append(st.buf[:0], st.buf[1:]...) // pop the head
+			if st.isCard {
+				if t := st.port.ClockwiseTurn(); pe.HasNeighbor(t) {
+					pe.Send(fabric.FromF32(wDiagColor(t.Opposite()), v))
+				}
+			}
+			nbr[st.slot] = v
+			st.done = true
+		}
+
+		for step := 0; step < opts.Steps; step++ {
+			for _, p := range fabric.LinkPorts {
+				if pe.HasNeighbor(p) {
+					pe.Send(fabric.FromF32(wCardColor(p.Opposite()), u))
+				}
+			}
+			remaining := 0
+			for _, st := range streams {
+				st.done = false
+				if len(st.buf) >= 1 {
+					process(st)
+					continue
+				}
+				remaining++
+			}
+			for remaining > 0 {
+				w, err := pe.Recv()
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step, err)
+				}
+				st, ok := streams[w.Color]
+				if !ok {
+					return fmt.Errorf("wave: PE(%d,%d) unexpected color %d", pe.X, pe.Y, w.Color)
+				}
+				if len(st.buf) >= 2 {
+					return fmt.Errorf("wave: PE(%d,%d) color %d overran two steps", pe.X, pe.Y, w.Color)
+				}
+				st.buf = append(st.buf, w.F32())
+				if st.done {
+					continue
+				}
+				process(st)
+				remaining--
+			}
+			var uNext float32
+			if interior {
+				var src float32
+				if i == srcIdx {
+					src = sourceTerm(opts, step)
+				}
+				uNext = stencilUpdate(u, uPrev, a[i], b[i], c[i],
+					nbr[slotE], nbr[slotW], nbr[slotN], nbr[slotS],
+					nbr[slotNE], nbr[slotNW], nbr[slotSE], nbr[slotSW], src)
+				if uNext != uNext {
+					return fmt.Errorf("wave: NaN at PE(%d,%d) step %d", pe.X, pe.Y, step)
+				}
+			}
+			uPrev, u = u, uNext
+			if u < 0 {
+				localHist[step] = -u
+			} else {
+				localHist[step] = u
+			}
+		}
+		final[i] = u
+		hist[i] = localHist
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{U: final, Steps: opts.Steps, Engine: "fabric"}
+	res.MaxAbs = make([]float32, opts.Steps)
+	for _, h := range hist {
+		for s, v := range h {
+			if v > res.MaxAbs[s] {
+				res.MaxAbs[s] = v
+			}
+		}
+	}
+	return res, nil
+}
+
+// installWaveRoutes mirrors the flux engine's static routing for the wave
+// colors.
+func installWaveRoutes(pe *fabric.PE) error {
+	for _, p := range fabric.LinkPorts {
+		if !pe.HasNeighbor(p) {
+			continue
+		}
+		if err := pe.Router().SetRoute(wCardColor(p), 0, p, fabric.PortRamp); err != nil {
+			return err
+		}
+		if err := pe.Router().SetRoute(wCardColor(p.Opposite()), 0, fabric.PortRamp, p); err != nil {
+			return err
+		}
+	}
+	for _, ap := range fabric.LinkPorts {
+		c := wDiagColor(ap)
+		if pe.HasNeighbor(ap) {
+			if err := pe.Router().SetRoute(c, 0, ap, fabric.PortRamp); err != nil {
+				return err
+			}
+		}
+		if out := ap.Opposite(); pe.HasNeighbor(out) {
+			if err := pe.Router().SetRoute(c, 0, fabric.PortRamp, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

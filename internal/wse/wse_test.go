@@ -1,0 +1,115 @@
+package wse
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+func TestCS2Spec(t *testing.T) {
+	s := CS2()
+	if s.FabricWidth != 750 || s.FabricHeight != 994 {
+		t.Errorf("usable fabric %dx%d, want 750x994 (§7.1)", s.FabricWidth, s.FabricHeight)
+	}
+	if s.TotalPEs != 850000 {
+		t.Errorf("TotalPEs = %d, want 850000", s.TotalPEs)
+	}
+	if s.MemWords() != 12288 {
+		t.Errorf("MemWords = %d, want 12288 (48 KiB)", s.MemWords())
+	}
+	if s.SIMDWidth != 2 {
+		t.Errorf("SIMDWidth = %d, want 2 (§5.3.3)", s.SIMDWidth)
+	}
+	if s.PowerWatts != 23000 {
+		t.Errorf("PowerWatts = %g, want 23000 (§7.2)", s.PowerWatts)
+	}
+}
+
+func TestCheckFabricFit(t *testing.T) {
+	s := CS2()
+	if err := s.CheckFabricFit(750, 994); err != nil {
+		t.Errorf("maximum mapping rejected: %v", err)
+	}
+	if err := s.CheckFabricFit(751, 994); err == nil {
+		t.Error("oversize X accepted")
+	}
+	if err := s.CheckFabricFit(750, 995); err == nil {
+		t.Error("oversize Y accepted")
+	}
+	if err := s.CheckFabricFit(0, 5); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+func TestMaxNzReproducesPaperScale(t *testing.T) {
+	// The flux kernel's per-PE layout uses ~44 words per Z layer plus a
+	// fixed overhead (see internal/core); with the 48 KiB PE memory this
+	// must admit the paper's 246 layers.
+	s := CS2()
+	maxNz := s.MaxNz(44, 1024)
+	if maxNz < 246 {
+		t.Errorf("MaxNz(44,1024) = %d: cannot hold the paper's 246-layer mesh", maxNz)
+	}
+	if maxNz > 300 {
+		t.Errorf("MaxNz(44,1024) = %d: memory model far looser than hardware", maxNz)
+	}
+	if s.MaxNz(0, 0) != 0 {
+		t.Error("MaxNz with zero words per layer should be 0")
+	}
+	if s.MaxNz(10, s.MemWords()+1) != 0 {
+		t.Error("MaxNz with overhead beyond capacity should be 0")
+	}
+}
+
+func TestRuntimeLoadReadRoundTrip(t *testing.T) {
+	f, err := fabric.New(fabric.Config{Width: 2, Height: 2, RecvTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(f)
+	pe := f.PE(1, 1)
+	d, err := pe.Mem.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := rt.LoadColumn(pe, d, data); err != nil {
+		t.Fatal(err)
+	}
+	got := rt.ReadColumn(pe, d)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("readback[%d] = %g", i, got[i])
+		}
+	}
+	if rt.HostToDeviceBytes != 32 || rt.DeviceToHostBytes != 32 {
+		t.Errorf("traffic H2D=%d D2H=%d, want 32/32", rt.HostToDeviceBytes, rt.DeviceToHostBytes)
+	}
+}
+
+func TestRuntimeLoadLengthMismatch(t *testing.T) {
+	f, _ := fabric.New(fabric.Config{Width: 1, Height: 1})
+	rt := NewRuntime(f)
+	pe := f.PE(0, 0)
+	d, _ := pe.Mem.Alloc(4)
+	if err := rt.LoadColumn(pe, d, []float32{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRuntimeLaunch(t *testing.T) {
+	f, _ := fabric.New(fabric.Config{Width: 2, Height: 1, RecvTimeout: 2 * time.Second})
+	rt := NewRuntime(f)
+	ran := make([]bool, 2)
+	err := rt.Launch(func(pe *fabric.PE) error {
+		ran[pe.X] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran[0] || !ran[1] {
+		t.Error("launch did not reach all PEs")
+	}
+}

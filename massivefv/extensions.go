@@ -1,0 +1,121 @@
+package massivefv
+
+// Facade entry points for the extension subsystems: the §8 matrix-free
+// Krylov path, the transient implicit simulator, the §8 TTI wave
+// propagation, and the §9 unstructured-mesh support.
+
+import (
+	"repro/internal/refflux"
+	"repro/internal/sim"
+	"repro/internal/solver"
+	"repro/internal/umesh"
+	"repro/internal/wave"
+)
+
+// Solver types (§8: matrix-free Krylov over the flux operator).
+type (
+	// PressureSystem is a frozen-coefficient backward-Euler pressure step.
+	PressureSystem = solver.PressureSystem
+	// SolverOptions configures the Krylov iteration.
+	SolverOptions = solver.Options
+	// SolverStats reports convergence.
+	SolverStats = solver.Stats
+)
+
+// NewPressureSystem freezes one implicit step of Eq. (2).
+func NewPressureSystem(m *Mesh, fl Fluid, dt float64) (*PressureSystem, error) {
+	return solver.NewPressureSystem(m, fl, dt, refflux.FacesAll)
+}
+
+// NewDataflowOperator wraps the dataflow flux kernel as the system's linear
+// operator (§8).
+func NewDataflowOperator(sys *PressureSystem, fl Fluid) *solver.DataflowOperator {
+	return solver.NewDataflowOperator(sys, fl)
+}
+
+// SolveCG runs Jacobi-preconditioned conjugate gradients on the system
+// through the dataflow operator and returns the pressure update.
+func SolveCG(sys *PressureSystem, fl Fluid, b []float64, opts SolverOptions) ([]float64, *SolverStats, error) {
+	op := solver.NewDataflowOperator(sys, fl)
+	pre, err := solver.JacobiPrecond(sys.Diagonal())
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Precond = pre
+	x := make([]float64, op.Size())
+	st, err := solver.CG(op, x, b, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	return x, st, nil
+}
+
+// Transient simulation (the §2 workflow).
+type (
+	// TransientOptions configures the implicit time stepping.
+	TransientOptions = sim.Options
+	// TransientResult carries per-step reports and the final field.
+	TransientResult = sim.Result
+	// Well is a constant-rate column source/sink.
+	Well = sim.Well
+)
+
+// RunTransient advances the pressure field through implicit steps.
+func RunTransient(m *Mesh, fl Fluid, opts TransientOptions) (*TransientResult, error) {
+	return sim.RunTransient(m, fl, opts)
+}
+
+// Wave propagation (§8's diagonal-exchange application).
+type (
+	// WaveMedium is a 2D TTI velocity model.
+	WaveMedium = wave.Medium
+	// WaveOptions configures a leapfrog run.
+	WaveOptions = wave.Options
+	// WaveResult is the final wavefield and stability history.
+	WaveResult = wave.Result
+	// WaveSource is a Ricker point source.
+	WaveSource = wave.Source
+)
+
+// NewWaveMedium builds a constant tilted transversely isotropic medium.
+func NewWaveMedium(nx, ny int, dx, vFast, vSlow, theta float64) (*WaveMedium, error) {
+	return wave.NewUniformMedium(nx, ny, dx, vFast, vSlow, theta)
+}
+
+// SimulateWave runs the TTI leapfrog (host or fabric engine per options).
+func SimulateWave(m *WaveMedium, opts WaveOptions) (*WaveResult, error) {
+	return wave.Simulate(m, opts)
+}
+
+// Unstructured meshes (§9).
+type (
+	// UMesh is a general unstructured finite-volume mesh.
+	UMesh = umesh.Mesh
+	// UPartition is an RCB decomposition with halo plans.
+	UPartition = umesh.Partition
+)
+
+// UnstructuredFromMesh converts a structured mesh (all ten faces).
+func UnstructuredFromMesh(m *Mesh) (*UMesh, error) {
+	return umesh.FromStructured(m, refflux.FacesAll)
+}
+
+// NewRadialMesh builds a well-centered refined radial mesh.
+func NewRadialMesh(opts umesh.RadialOptions) (*UMesh, error) {
+	return umesh.NewRadialMesh(opts)
+}
+
+// DefaultRadialOptions returns the standard near-well grid.
+func DefaultRadialOptions() umesh.RadialOptions { return umesh.DefaultRadialOptions() }
+
+// PartitionRCB decomposes an unstructured mesh into 2^levels parts.
+func PartitionRCB(u *UMesh, levels int) (*UPartition, error) { return umesh.RCB(u, levels) }
+
+// UnstructuredResidual evaluates Algorithm 1 on an unstructured mesh
+// (distributed across goroutine ranks when part is non-nil).
+func UnstructuredResidual(u *UMesh, part *UPartition, fl Fluid, p []float32) ([]float64, error) {
+	if part == nil {
+		return umesh.ComputeResidualCellBased(u, fl, p)
+	}
+	return umesh.ComputeResidualPartitioned(u, part, fl, p)
+}
