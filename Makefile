@@ -1,0 +1,33 @@
+GO ?= go
+
+# The engine packages the race gate covers: the goroutine-per-PE fabric, the
+# serial flat engine, the sharded parallel flat engine, and the vector ISA
+# they all execute.
+RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/
+
+.PHONY: build test race bench-smoke vet fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Exercise every benchmark once at reduced size — validates the harness
+# without paying full measurement cost (what CI runs). -run '^$$' skips the
+# unit tests, which the test target already covers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Everything the CI workflow gates on.
+ci: build vet fmt-check test race bench-smoke

@@ -7,12 +7,15 @@
 //	fvflux -experiment all
 //	fvflux -experiment table1 -dims 16x12x10 -apps 3
 //	fvflux -experiment ablations -engine flat
+//	fvflux -experiment scaling -dims 128x128x4
+//	fvflux -experiment table2 -engine parallel -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/cliutil"
@@ -20,10 +23,11 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig8|ablations|all")
+		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig8|scaling|ablations|all")
 		dims       = flag.String("dims", "12x10x8", "functional mesh NxXNyXNz (Nx,Ny ≥ 3)")
 		apps       = flag.Int("apps", 2, "functional applications of Algorithm 1")
-		engine     = flag.String("engine", "fabric", "functional engine: fabric|flat")
+		engine     = flag.String("engine", "fabric", "functional engine: fabric|flat|parallel")
+		workers    = flag.Int("workers", 0, "worker count for engine=parallel (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -37,8 +41,17 @@ func main() {
 		cfg.UseFabric = true
 	case "flat":
 		cfg.UseFabric = false
+	case "parallel":
+		if *workers < 0 {
+			fatal(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+		}
+		cfg.UseFabric = false
+		cfg.Workers = *workers
+		if cfg.Workers == 0 {
+			cfg.Workers = runtime.NumCPU()
+		}
 	default:
-		fatal(fmt.Errorf("unknown engine %q (want fabric or flat)", *engine))
+		fatal(fmt.Errorf("unknown engine %q (want fabric, flat or parallel)", *engine))
 	}
 
 	run := func(name string, fn func(bench.Config) error) {
@@ -79,6 +92,19 @@ func main() {
 			return err
 		}
 		return t.Render(os.Stdout)
+	})
+	run("scaling", func(c bench.Config) error {
+		scfg := bench.ScalingConfig{Dims: c.FuncDims, Apps: c.FuncApps}
+		if *workers > 0 {
+			// -workers caps the sweep instead of selecting one point: the
+			// experiment is the trajectory up to that count.
+			scfg.Workers = bench.WorkerSweepUpTo(*workers)
+		}
+		s, err := bench.RunStrongScaling(scfg)
+		if err != nil {
+			return err
+		}
+		return s.Render(os.Stdout)
 	})
 	run("fig8", func(c bench.Config) error {
 		f, err := bench.RunFig8(c)

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/cliutil"
@@ -28,8 +29,15 @@ func main() {
 		dtStr    = flag.String("dt", "6h", "time step length (Go duration)")
 		rate     = flag.Float64("rate", 4.0, "injection mass rate [kg/s] (balanced producer added)")
 		dataflow = flag.Bool("dataflow", false, "apply the Krylov operator through the dataflow kernel")
+		workers  = flag.Int("workers", 1, "dataflow engine workers: >1 selects the sharded parallel flat engine, 0 all CPUs")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+	}
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	d, err := cliutil.ParseDims(*dimsStr)
 	if err != nil {
@@ -54,6 +62,7 @@ func main() {
 		},
 		Faces:               refflux.FacesAll,
 		UseDataflowOperator: *dataflow,
+		Workers:             *workers,
 	}
 	start := time.Now()
 	res, err := sim.RunTransient(m, fl, opts)
@@ -63,6 +72,9 @@ func main() {
 	operator := "float64 host assembly"
 	if *dataflow {
 		operator = "dataflow flux kernel (float32, §8)"
+		if *workers > 1 {
+			operator = fmt.Sprintf("dataflow flux kernel (float32, §8, %d workers)", *workers)
+		}
 	}
 	fmt.Printf("transient run: %v cells, %d steps of %v, operator: %s\n",
 		d.Cells(), *steps, dt, operator)

@@ -4,8 +4,18 @@
 // storage, mapped onto a wafer-scale dataflow architecture and compared
 // against RAJA- and CUDA-style GPU reference implementations.
 //
-// The public API lives in repro/massivefv. The root package carries the
-// module documentation and the benchmark suite (bench_test.go) that
+// The module path is repro; the public API lives in repro/massivefv. From a
+// clean checkout:
+//
+//	go build ./...
+//	go test ./...
+//
+// Three bit-identical engines execute the dataflow schedule: the
+// goroutine-per-PE fabric simulator (massivefv.RunDataflow), the serial flat
+// engine (massivefv.RunDataflowFlat), and the sharded multi-core flat engine
+// (massivefv.RunFlatParallel — worker count 0 means runtime.NumCPU(); the
+// fvflux and fvsim commands expose it as -workers). The root package carries
+// the module documentation and the benchmark suite (bench_test.go) that
 // regenerates every table and figure of the paper's evaluation; see
-// README.md, DESIGN.md and EXPERIMENTS.md.
+// README.md.
 package repro

@@ -1,0 +1,57 @@
+// Strong scaling: sweep the sharded parallel flat engine over worker counts
+// on one functional mesh and compare against the serial flat baseline. This
+// is a host-simulator measurement (the repo's first multi-core execution
+// path), not a hardware projection: every sweep point is verified
+// bit-identical to the serial engine, and speedup beyond the machine's
+// GOMAXPROCS is impossible by construction.
+//
+// Usage:
+//
+//	strongscaling                     # 128x128x4 mesh, default sweep, table to stdout
+//	strongscaling -dims 256x256x4 -apps 5
+//	strongscaling -json BENCH_scaling.json   # also record the JSON baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/massivefv"
+)
+
+func main() {
+	var (
+		dimsStr = flag.String("dims", "128x128x4", "functional mesh NxXNyXNz")
+		apps    = flag.Int("apps", 3, "applications of Algorithm 1 per run")
+		jsonOut = flag.String("json", "", "also write the sweep as JSON to this path")
+	)
+	flag.Parse()
+
+	d, err := cliutil.ParseDims(*dimsStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := massivefv.RunStrongScaling(massivefv.ScalingConfig{Dims: d, Apps: *apps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline written to %s\n", *jsonOut)
+	}
+}

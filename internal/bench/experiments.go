@@ -150,11 +150,7 @@ func RunTable3(cfg Config) (*Table3, error) {
 	}
 	opts := core.DefaultOptions(cfg.FuncApps)
 	opts.CommOnly = true
-	run := core.RunFlat
-	if cfg.UseFabric {
-		run = core.RunFabric
-	}
-	co, err := run(m, cfg.fluid(), opts)
+	co, err := cfg.engineRun()(m, cfg.fluid(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -312,10 +308,7 @@ func RunAblationDiagonals(cfg Config) (*Ablation, error) {
 		return nil, err
 	}
 	fl := cfg.fluid()
-	run := core.RunFlat
-	if cfg.UseFabric {
-		run = core.RunFabric
-	}
+	run := cfg.engineRun()
 	with, err := run(m, fl, core.DefaultOptions(cfg.FuncApps))
 	if err != nil {
 		return nil, err
@@ -364,7 +357,7 @@ func RunAblationDiagonals(cfg Config) (*Ablation, error) {
 func RunAblationVectorization(cfg Config) (*Ablation, error) {
 	cfg = cfg.withDefaults()
 	fl := cfg.fluid()
-	run := core.RunFlat // scalar mode issues Nz× more ops; flat engine keeps it fast
+	run := cfg.flatRun() // scalar mode issues Nz× more ops; the flat schedule keeps it fast
 	m, err := mesh.BuildDefault(cfg.FuncDims)
 	if err != nil {
 		return nil, err

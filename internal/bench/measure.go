@@ -27,6 +27,12 @@ type Config struct {
 	// UseFabric selects the goroutine-per-PE engine (default); false uses
 	// the flat engine (bit-identical, faster for big functional meshes).
 	UseFabric bool
+	// Workers > 1 selects the sharded parallel flat engine with that worker
+	// count wherever the flat schedule runs: the dataflow measurement when
+	// UseFabric is false, and the always-flat experiments (e.g. the
+	// vectorization ablation) regardless of UseFabric. Results are
+	// bit-identical to the serial flat engine.
+	Workers int
 	// Fluid overrides the default CO2 fluid when non-nil.
 	Fluid *physics.Fluid
 }
@@ -57,6 +63,29 @@ func (c Config) fluid() physics.Fluid {
 		return *c.Fluid
 	}
 	return physics.DefaultFluid()
+}
+
+// engineRun returns the configured functional dataflow engine: fabric,
+// serial flat, or the sharded parallel flat engine. All three are
+// bit-identical, so the choice only affects host wall-clock.
+func (c Config) engineRun() func(*mesh.Mesh, physics.Fluid, core.Options) (*core.Result, error) {
+	if c.UseFabric {
+		return core.RunFabric
+	}
+	return c.flatRun()
+}
+
+// flatRun returns the serial or sharded flat engine per c.Workers,
+// regardless of UseFabric — for experiments that need the flat schedule's
+// host speed (e.g. the scalar-kernel ablation).
+func (c Config) flatRun() func(*mesh.Mesh, physics.Fluid, core.Options) (*core.Result, error) {
+	if c.Workers > 1 {
+		return func(m *mesh.Mesh, fl physics.Fluid, o core.Options) (*core.Result, error) {
+			o.Workers = c.Workers
+			return core.RunFlatParallel(m, fl, o)
+		}
+	}
+	return core.RunFlat
 }
 
 // Measurement is the outcome of the functional runs: counters for the model
@@ -101,11 +130,7 @@ func Measure(cfg Config) (*Measurement, error) {
 
 	// Dataflow functional run.
 	opts := core.DefaultOptions(cfg.FuncApps)
-	run := core.RunFlat
-	if cfg.UseFabric {
-		run = core.RunFabric
-	}
-	meas.Dataflow, err = run(m, fl, opts)
+	meas.Dataflow, err = cfg.engineRun()(m, fl, opts)
 	if err != nil {
 		return nil, fmt.Errorf("bench: dataflow run: %w", err)
 	}

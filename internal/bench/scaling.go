@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/physics"
+)
+
+// This file is the strong-scaling experiment for the sharded parallel flat
+// engine: one functional mesh, a sweep over worker counts, host wall-clock
+// per sweep point, and a bit-identity check of every parallel run against
+// the serial flat engine. Unlike the paper-table experiments, the quantity
+// measured here is the host simulator itself — the repo's first genuinely
+// multi-core execution path — so the report records the machine's CPU budget
+// alongside the timings: speedup beyond GOMAXPROCS cores is impossible by
+// construction, and a baseline captured on a 1-core box is still a valid
+// trajectory anchor (its value is the bit-identity evidence plus the
+// overhead of the sharded engine at workers=1).
+
+// ScalingConfig sizes the strong-scaling sweep.
+type ScalingConfig struct {
+	// Dims is the functional mesh (default 128×128×4 — large enough in X-Y
+	// that each worker owns thousands of PE columns).
+	Dims mesh.Dims
+	// Apps is the application count per run (default 3).
+	Apps int
+	// Workers lists the sweep points (default: powers of two from 1 up to
+	// max(4, NumCPU), plus NumCPU itself).
+	Workers []int
+	// Fluid overrides the default CO2 fluid when non-nil.
+	Fluid *physics.Fluid
+}
+
+func (c ScalingConfig) withDefaults() ScalingConfig {
+	if c.Dims == (mesh.Dims{}) {
+		c.Dims = mesh.Dims{Nx: 128, Ny: 128, Nz: 4}
+	}
+	if c.Apps == 0 {
+		c.Apps = 3
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = DefaultWorkerSweep(runtime.NumCPU())
+	}
+	return c
+}
+
+// DefaultWorkerSweep returns powers of two from 1 up to max(4, numCPU),
+// ending with numCPU when it is not itself a power of two. The sweep always
+// reaches at least 4 workers so the sharding machinery is exercised (and the
+// ≥4-worker speedup point exists) even when measured on a small machine.
+func DefaultWorkerSweep(numCPU int) []int {
+	top := numCPU
+	if top < 4 {
+		top = 4
+	}
+	return WorkerSweepUpTo(top)
+}
+
+// WorkerSweepUpTo returns powers of two from 1 up to exactly max, ending
+// with max itself when it is not a power of two — the sweep an explicit
+// worker cap selects.
+func WorkerSweepUpTo(max int) []int {
+	var ws []int
+	for w := 1; w <= max; w *= 2 {
+		ws = append(ws, w)
+	}
+	if last := ws[len(ws)-1]; max > last {
+		ws = append(ws, max)
+	}
+	return ws
+}
+
+// ScalingPoint is one worker count's measurement.
+type ScalingPoint struct {
+	Workers int `json:"workers"`
+	// Seconds is the host wall-clock of the application loop (setup and
+	// reduction excluded, matching Result.Elapsed).
+	Seconds float64 `json:"seconds"`
+	// Speedup is serial-flat seconds / this point's seconds.
+	Speedup float64 `json:"speedup"`
+	// Efficiency is Speedup / min(Workers, GOMAXPROCS) — the fraction of
+	// the usable-core ideal this point achieves.
+	Efficiency float64 `json:"efficiency"`
+	// McellsPerSec is host throughput in million cell updates per second.
+	McellsPerSec float64 `json:"mcells_per_sec"`
+}
+
+// StrongScaling is the sweep outcome. It serializes to the BENCH_scaling.json
+// baseline future PRs compare against.
+type StrongScaling struct {
+	Dims       mesh.Dims `json:"dims"`
+	Apps       int       `json:"apps"`
+	NumCPU     int       `json:"num_cpu"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	GoVersion  string    `json:"go_version"`
+
+	// SerialSeconds is the serial RunFlat wall-clock the speedups are
+	// relative to.
+	SerialSeconds float64        `json:"serial_seconds"`
+	Points        []ScalingPoint `json:"points"`
+
+	// MaxSpeedup is the best sweep point's speedup; BestWorkers its count.
+	MaxSpeedup  float64 `json:"max_speedup"`
+	BestWorkers int     `json:"best_workers"`
+	// BitIdentical records that every parallel run's residual and counters
+	// matched the serial flat engine exactly — the correctness half of the
+	// experiment. A divergence aborts the sweep with an error, so every
+	// returned StrongScaling carries true; the field exists so the recorded
+	// JSON baseline states the guarantee explicitly.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// RunStrongScaling measures the sharded flat engine across worker counts
+// against the serial flat baseline on one functional mesh.
+func RunStrongScaling(cfg ScalingConfig) (*StrongScaling, error) {
+	cfg = cfg.withDefaults()
+	m, err := mesh.BuildDefault(cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	fl := physics.DefaultFluid()
+	if cfg.Fluid != nil {
+		fl = *cfg.Fluid
+	}
+	opts := core.DefaultOptions(cfg.Apps)
+	// Size each PE memory to its exact footprint: at 128×128 PEs the default
+	// CS-2 budget would cost 12288 words × 4 B × 16384 PEs ≈ 800 MB of host
+	// memory for no measurement benefit.
+	opts.MemWords = core.WordsPerZ(opts.BufferReuse)*cfg.Dims.Nz + core.FixedWords
+
+	// Warm-up: one untimed serial run before the measured baseline. The
+	// first run of the sweep pays heap growth and page faults for every run
+	// after it; without this the serial baseline is systematically penalized
+	// for going first and small meshes report phantom speedups.
+	if _, err := core.RunFlat(m, fl, opts); err != nil {
+		return nil, fmt.Errorf("bench: warm-up run: %w", err)
+	}
+	runtime.GC() // start every measured run with the same collection debt
+	serial, err := core.RunFlat(m, fl, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serial baseline: %w", err)
+	}
+
+	out := &StrongScaling{
+		Dims:          cfg.Dims,
+		Apps:          cfg.Apps,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+		SerialSeconds: serial.Elapsed.Seconds(),
+		BitIdentical:  true,
+	}
+	cells := float64(serial.CellsUpdated())
+	for _, w := range cfg.Workers {
+		if w < 1 {
+			return nil, fmt.Errorf("bench: worker sweep point %d < 1", w)
+		}
+		popts := opts
+		popts.Workers = w
+		runtime.GC()
+		res, err := core.RunFlatParallel(m, fl, popts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d workers: %w", w, err)
+		}
+		for i := range serial.Residual {
+			if serial.Residual[i] != res.Residual[i] {
+				return nil, fmt.Errorf("bench: %d workers: residual[%d] diverged from serial flat (%g vs %g)",
+					w, i, res.Residual[i], serial.Residual[i])
+			}
+		}
+		if serial.Counters != res.Counters {
+			return nil, fmt.Errorf("bench: %d workers: counters diverged from serial flat", w)
+		}
+		sec := res.Elapsed.Seconds()
+		usable := w
+		if g := out.GOMAXPROCS; usable > g {
+			usable = g
+		}
+		pt := ScalingPoint{Workers: w, Seconds: sec}
+		if sec > 0 {
+			pt.Speedup = out.SerialSeconds / sec
+			pt.Efficiency = pt.Speedup / float64(usable)
+			pt.McellsPerSec = cells / sec / 1e6
+		}
+		out.Points = append(out.Points, pt)
+		if pt.Speedup > out.MaxSpeedup {
+			out.MaxSpeedup = pt.Speedup
+			out.BestWorkers = w
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON writes the sweep as indented JSON — the BENCH_scaling.json
+// baseline format.
+func (s *StrongScaling) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Render writes the sweep as a table.
+func (s *StrongScaling) Render(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "Strong scaling — sharded flat engine, %dx%dx%d mesh, %d applications\n",
+		s.Dims.Nx, s.Dims.Ny, s.Dims.Nz, s.Apps)
+	fmt.Fprintf(tw, "host: %s, NumCPU %d, GOMAXPROCS %d\n", s.GoVersion, s.NumCPU, s.GOMAXPROCS)
+	fmt.Fprintf(tw, "serial flat baseline: %.4f s\n", s.SerialSeconds)
+	fmt.Fprintln(tw, "workers\ttime [s]\tspeedup\tefficiency\tMcell/s")
+	for _, p := range s.Points {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.2fx\t%.0f%%\t%.2f\n",
+			p.Workers, p.Seconds, p.Speedup, 100*p.Efficiency, p.McellsPerSec)
+	}
+	fmt.Fprintf(tw, "\nbest: %.2fx at %d workers; bit-identical to serial: %v\n",
+		s.MaxSpeedup, s.BestWorkers, s.BitIdentical)
+	if s.GOMAXPROCS == 1 {
+		fmt.Fprintln(tw, "note: single-core host — wall-clock speedup is impossible here; the sweep still verifies the sharded engine end to end")
+	}
+	elapsed := time.Duration(0)
+	for _, p := range s.Points {
+		elapsed += time.Duration(p.Seconds * float64(time.Second))
+	}
+	fmt.Fprintf(tw, "sweep device time: %v\n", elapsed.Round(time.Millisecond))
+	return tw.Flush()
+}

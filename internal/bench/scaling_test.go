@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestDefaultWorkerSweep(t *testing.T) {
+	cases := []struct {
+		numCPU int
+		want   []int
+	}{
+		{1, []int{1, 2, 4}},    // small host still reaches 4 workers
+		{4, []int{1, 2, 4}},    //
+		{6, []int{1, 2, 4, 6}}, // non-power-of-two CPU count appended
+		{8, []int{1, 2, 4, 8}}, //
+		{12, []int{1, 2, 4, 8, 12}},
+	}
+	for _, c := range cases {
+		got := DefaultWorkerSweep(c.numCPU)
+		if len(got) != len(c.want) {
+			t.Errorf("DefaultWorkerSweep(%d) = %v, want %v", c.numCPU, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("DefaultWorkerSweep(%d) = %v, want %v", c.numCPU, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestStrongScalingSweep(t *testing.T) {
+	s, err := RunStrongScaling(ScalingConfig{
+		Dims:    mesh.Dims{Nx: 16, Ny: 12, Nz: 3},
+		Apps:    2,
+		Workers: []int{1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.BitIdentical {
+		t.Error("sweep not bit-identical to serial flat")
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("%d sweep points, want 3", len(s.Points))
+	}
+	if s.SerialSeconds <= 0 {
+		t.Error("serial baseline has no wall-clock")
+	}
+	for _, p := range s.Points {
+		if p.Seconds <= 0 || p.Speedup <= 0 || p.McellsPerSec <= 0 {
+			t.Errorf("degenerate sweep point %+v", p)
+		}
+	}
+	if s.MaxSpeedup <= 0 || s.BestWorkers == 0 {
+		t.Errorf("best point not recorded: %+v", s)
+	}
+
+	var tbl, js strings.Builder
+	if err := s.Render(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Strong scaling", "workers", "speedup", "bit-identical to serial: true"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"serial_seconds"`, `"bit_identical": true`, `"gomaxprocs"`, `"points"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestStrongScalingRejectsBadSweep(t *testing.T) {
+	_, err := RunStrongScaling(ScalingConfig{
+		Dims:    mesh.Dims{Nx: 8, Ny: 6, Nz: 2},
+		Apps:    1,
+		Workers: []int{0},
+	})
+	if err == nil {
+		t.Error("worker count 0 accepted in sweep")
+	}
+}
+
+func TestMeasureWithParallelEngine(t *testing.T) {
+	// The measurement harness must produce identical counters through the
+	// sharded engine (Config.Workers plumbing).
+	cfg := smallCfg()
+	cfg.UseFabric = false
+	serial, err := Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	par, err := Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Dataflow.Counters != par.Dataflow.Counters {
+		t.Error("parallel measurement counters differ from serial flat")
+	}
+	if par.DataflowMaxRelErr > 2e-3 {
+		t.Errorf("parallel measurement rel err %g too large", par.DataflowMaxRelErr)
+	}
+}
+
+func TestWorkerSweepUpTo(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{3, []int{1, 2, 3}},
+		{8, []int{1, 2, 4, 8}},
+		{6, []int{1, 2, 4, 6}},
+	}
+	for _, c := range cases {
+		got := WorkerSweepUpTo(c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("WorkerSweepUpTo(%d) = %v, want %v", c.max, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("WorkerSweepUpTo(%d) = %v, want %v", c.max, got, c.want)
+				break
+			}
+		}
+	}
+}

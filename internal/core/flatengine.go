@@ -24,11 +24,7 @@ func RunFlat(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, error) {
 	states := make([]*peState, nx*ny)
 	for y := 0; y < ny; y++ {
 		for x := 0; x < nx; x++ {
-			mem, err := dsd.NewMemory(opts.MemWords)
-			if err != nil {
-				return nil, err
-			}
-			s, err := setupPE(dsd.NewEngine(mem), m, flLin, x, y, opts)
+			s, err := newFlatState(m, flLin, x, y, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -56,6 +52,17 @@ func RunFlat(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, error) {
 	elapsed := time.Since(start)
 
 	return summarize("flat", states, m, opts, elapsed), nil
+}
+
+// newFlatState allocates one PE's private memory and loads its device state
+// from the mesh — the shared setup step of the flat engines (the fluid must
+// already carry the linearized density model).
+func newFlatState(m *mesh.Mesh, flLin physics.Fluid, x, y int, opts Options) (*peState, error) {
+	mem, err := dsd.NewMemory(opts.MemWords)
+	if err != nil {
+		return nil, err
+	}
+	return setupPE(dsd.NewEngine(mem), m, flLin, x, y, opts)
 }
 
 // flatExchange copies the eight in-plane neighbor columns into s's receive

@@ -8,20 +8,24 @@
 // evaluates ten face fluxes per cell with the 14-FLOP vector kernel of
 // DESIGN.md §4 and assembles them into the residual.
 //
-// Two engines execute the same schedule:
+// Three engines execute the same schedule:
 //
 //   - the fabric engine (RunFabric) runs goroutine-per-PE on the
 //     internal/fabric simulator with real wavelet traffic — the functional
 //     twin of the CSL implementation;
 //   - the flat engine (RunFlat) executes the identical per-PE op sequences
-//     serially without goroutines, for large functional meshes.
+//     serially without goroutines, for large functional meshes;
+//   - the sharded flat engine (RunFlatParallel) decomposes the PE grid into
+//     contiguous row bands and executes the flat schedule on a worker pool,
+//     with a barrier per phase so halo reads never race with writes.
 //
-// Both produce bit-identical residuals and identical counters; tests assert
+// All produce bit-identical residuals and identical counters; tests assert
 // it.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/mesh"
@@ -54,6 +58,11 @@ type Options struct {
 	MemWords int
 	// RecvTimeout bounds fabric receives (default 30 s).
 	RecvTimeout time.Duration
+	// Workers is the worker-goroutine count of the sharded parallel flat
+	// engine (RunFlatParallel): the PE grid is decomposed into that many
+	// contiguous row bands, each executed by one worker. 0 selects
+	// runtime.NumCPU(). The serial engines ignore it.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's configuration: one applications batch
@@ -71,12 +80,18 @@ func (o Options) withDefaults() Options {
 	if o.MemWords == 0 {
 		o.MemWords = 12288
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
 	return o
 }
 
 func (o Options) validate(m *mesh.Mesh, fl physics.Fluid) error {
 	if o.Apps <= 0 {
 		return fmt.Errorf("core: applications must be positive, got %d", o.Apps)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: workers must be non-negative, got %d", o.Workers)
 	}
 	if err := fl.Validate(); err != nil {
 		return err

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/physics"
+)
+
+// This file is the sharded parallel flat engine: the serial RunFlat schedule
+// decomposed into contiguous row bands of the PE grid, each executed by one
+// worker of a fixed pool (Options.Workers). The phase structure makes the
+// data sharing safe without per-PE locks:
+//
+//   - perturbation writes only the owning PE's pressure column;
+//   - halo exchange reads neighbor pressure/gravity columns and writes only
+//     the owning PE's receive buffers and counters;
+//   - the local application reads own and received columns and writes only
+//     own flux/residual/scratch buffers and counters.
+//
+// The only cross-shard conflict is therefore perturb's write against a
+// neighboring shard's halo read, so each application runs as two barriered
+// phases: perturb everywhere, then exchange + compute everywhere. Within a
+// phase every touched word is either owned by the executing worker or only
+// read, which is what `go test -race` verifies.
+//
+// Each PE performs exactly the op sequence of the serial engine on exactly
+// the serial engine's input values, so residuals and counters are
+// bit-identical to RunFlat (and hence to RunFabric) for every worker count.
+
+// band is a contiguous range [y0, y1) of PE-grid rows owned by one shard.
+type band struct {
+	y0, y1 int
+}
+
+// partitionRows splits ny rows into at most parts contiguous bands whose
+// sizes differ by at most one; fewer bands are returned when ny < parts.
+func partitionRows(ny, parts int) []band {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > ny {
+		parts = ny
+	}
+	bands := make([]band, 0, parts)
+	base, extra := ny/parts, ny%parts
+	y := 0
+	for i := 0; i < parts; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		bands = append(bands, band{y0: y, y1: y + n})
+		y += n
+	}
+	return bands
+}
+
+// shardTask is one band's share of a phase, with the channel its completion
+// is reported on.
+type shardTask struct {
+	fn   func(band) error
+	b    band
+	errs chan<- error
+}
+
+// shardPool runs phase functions over the bands on a fixed set of worker
+// goroutines. One dispatch per phase doubles as the barrier that orders a
+// phase's writes before the next phase's reads.
+type shardPool struct {
+	bands []band
+	tasks chan shardTask
+}
+
+// newShardPool starts min(workers, len(bands)) worker goroutines; they live
+// until stop.
+func newShardPool(workers int, bands []band) *shardPool {
+	if workers > len(bands) {
+		workers = len(bands)
+	}
+	p := &shardPool{bands: bands, tasks: make(chan shardTask)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range p.tasks {
+				t.errs <- t.fn(t.b)
+			}
+		}()
+	}
+	return p
+}
+
+// run dispatches fn over every band and blocks until all bands complete —
+// the phase barrier. The first error is returned after every band finishes,
+// so no worker is still touching shared state when the caller proceeds.
+func (p *shardPool) run(fn func(band) error) error {
+	errs := make(chan error, len(p.bands))
+	for _, b := range p.bands {
+		p.tasks <- shardTask{fn: fn, b: b, errs: errs}
+	}
+	var first error
+	for range p.bands {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// stop terminates the worker goroutines.
+func (p *shardPool) stop() { close(p.tasks) }
+
+// RunFlatParallel executes the flat dataflow schedule on a sharded worker
+// pool: the PE grid's rows are decomposed into opts.Workers contiguous bands
+// and each band's setup, exchange and local-application phases run on one
+// worker, with a barrier between the perturbation and exchange phases of
+// every application. The result is bit-identical to RunFlat for every
+// worker count.
+func RunFlatParallel(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(m, fl); err != nil {
+		return nil, err
+	}
+	flLin := fl.WithModel(physics.DensityLinear)
+	nx, ny := m.Dims.Nx, m.Dims.Ny
+	states := make([]*peState, nx*ny)
+	pool := newShardPool(opts.Workers, partitionRows(ny, opts.Workers))
+	defer pool.stop()
+
+	// Sharded setup: each worker allocates and loads its own band's PEs; the
+	// mesh is only read.
+	err := pool.run(func(b band) error {
+		for y := b.y0; y < b.y1; y++ {
+			for x := 0; x < nx; x++ {
+				s, err := newFlatState(m, flLin, x, y, opts)
+				if err != nil {
+					return err
+				}
+				states[y*nx+x] = s
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	for app := 0; app < opts.Apps; app++ {
+		if app > 0 {
+			// Phase 1: perturb every own pressure column. Must fully
+			// complete before any shard reads a neighbor's column.
+			if err := pool.run(func(b band) error {
+				for _, s := range states[b.y0*nx : b.y1*nx] {
+					s.perturb(app)
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		// Phase 2: halo exchange + local application. Exchange only reads
+		// neighbor columns and the application never writes them, so shards
+		// need no further synchronization within the phase.
+		if err := pool.run(func(b band) error {
+			for _, s := range states[b.y0*nx : b.y1*nx] {
+				if err := flatExchange(states, s, nx); err != nil {
+					return err
+				}
+				if opts.CommOnly {
+					continue
+				}
+				s.runLocalApplication()
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	return summarize("flat-parallel", states, m, opts, elapsed), nil
+}

@@ -113,7 +113,11 @@ func gatherResidual(states []*peState, d mesh.Dims) []float32 {
 	return out
 }
 
-// summarize builds the Result pieces shared by both engines.
+// summarize builds the Result pieces shared by all engines. The per-PE
+// reduction walks states in fixed mesh-index order (y-major, x-minor) — not
+// in any engine-dependent completion order — so the accounting a Result
+// reports is identical no matter which goroutine, worker or shard finished
+// first.
 func summarize(engine string, states []*peState, m *mesh.Mesh, opts Options, elapsed time.Duration) *Result {
 	res := &Result{
 		Engine:   engine,
@@ -122,8 +126,10 @@ func summarize(engine string, states []*peState, m *mesh.Mesh, opts Options, ela
 		Residual: gatherResidual(states, m.Dims),
 		Elapsed:  elapsed,
 	}
-	for _, s := range states {
-		res.Counters.Add(&s.eng.C)
+	for y := 0; y < m.Dims.Ny; y++ {
+		for x := 0; x < m.Dims.Nx; x++ {
+			res.Counters.Add(&states[y*m.Dims.Nx+x].eng.C)
+		}
 	}
 	if x, y, ok := interiorPE(m.Dims); ok {
 		s := states[y*m.Dims.Nx+x]

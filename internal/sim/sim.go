@@ -32,6 +32,10 @@ type Options struct {
 	// UseDataflowOperator routes every Krylov operator application through
 	// the dataflow flux kernel (§8); otherwise the float64 host assembly.
 	UseDataflowOperator bool
+	// Workers > 1 executes each dataflow operator application on the
+	// sharded parallel flat engine with that worker count (bit-identical
+	// results, multi-core wall-clock).
+	Workers int
 	// Faces selects the stencil.
 	Faces refflux.FaceSet
 	// Solver overrides the Krylov options (tolerance, iterations).
@@ -93,6 +97,7 @@ func RunTransient(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, error)
 	var dfo *solver.DataflowOperator
 	if opts.UseDataflowOperator {
 		dfo = solver.NewDataflowOperator(sys, fl)
+		dfo.Workers = opts.Workers
 		if err := dfo.Verify(); err != nil {
 			return nil, err
 		}

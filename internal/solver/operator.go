@@ -121,6 +121,9 @@ type DataflowOperator struct {
 	// UseFabric selects the goroutine-per-PE engine; default is the flat
 	// engine (bit-identical, faster per application).
 	UseFabric bool
+	// Workers > 1 runs the flat engine's sharded parallel variant with that
+	// worker count (bit-identical; ignored when UseFabric is set).
+	Workers int
 
 	fluid physics.Fluid
 	// Applications counts engine runs (each one is an operator application
@@ -157,8 +160,12 @@ func (d *DataflowOperator) Apply(dst, x []float64) error {
 	opts := core.DefaultOptions(1)
 	opts.Diagonals = d.Sys.Faces == refflux.FacesAll
 	run := core.RunFlat
-	if d.UseFabric {
+	switch {
+	case d.UseFabric:
 		run = core.RunFabric
+	case d.Workers > 1:
+		opts.Workers = d.Workers
+		run = core.RunFlatParallel
 	}
 	res, err := run(m, d.fluid, opts)
 	if err != nil {

@@ -95,6 +95,23 @@ func RunDataflowFlatOpts(m *Mesh, fl Fluid, opts Options) (*Result, error) {
 	return core.RunFlat(m, fl, opts)
 }
 
+// RunFlatParallel executes the flat schedule on the sharded multi-core
+// engine: the PE grid is decomposed into contiguous row bands and each band
+// runs on one worker of a pool sized by workers (0 selects
+// runtime.NumCPU()). Residuals and counters are bit-identical to
+// RunDataflowFlat for every worker count.
+func RunFlatParallel(m *Mesh, fl Fluid, apps, workers int) (*Result, error) {
+	opts := core.DefaultOptions(apps)
+	opts.Workers = workers
+	return core.RunFlatParallel(m, fl, opts)
+}
+
+// RunFlatParallelOpts is RunFlatParallel with explicit options
+// (Options.Workers sizes the pool).
+func RunFlatParallelOpts(m *Mesh, fl Fluid, opts Options) (*Result, error) {
+	return core.RunFlatParallel(m, fl, opts)
+}
+
 // GPUVariant selects a reference kernel.
 type GPUVariant = perfmodel.Variant
 
@@ -163,6 +180,16 @@ var (
 	RunTable4 = bench.RunTable4
 	// RunFig8 regenerates both roofline panels.
 	RunFig8 = bench.RunFig8
+	// RunStrongScaling sweeps the sharded flat engine over worker counts.
+	RunStrongScaling = bench.RunStrongScaling
+)
+
+// Strong-scaling experiment types (the multi-core host sweep).
+type (
+	// ScalingConfig sizes the strong-scaling sweep.
+	ScalingConfig = bench.ScalingConfig
+	// StrongScaling is the sweep outcome (renders and serializes to JSON).
+	StrongScaling = bench.StrongScaling
 )
 
 type interiorErr struct{}

@@ -98,3 +98,38 @@ func TestExperimentEntryPoints(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParallelFacadeBitIdentical(t *testing.T) {
+	m, err := BuildMesh(Dims{Nx: 6, Ny: 6, Nz: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunDataflowFlat(m, DefaultFluid(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		par, err := RunFlatParallel(m, DefaultFluid(), 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Residual {
+			if serial.Residual[i] != par.Residual[i] {
+				t.Fatalf("workers=%d: facade parallel engine diverged at %d", workers, i)
+			}
+		}
+		if serial.Counters != par.Counters {
+			t.Errorf("workers=%d: facade parallel counters differ", workers)
+		}
+	}
+}
+
+func TestStrongScalingFacade(t *testing.T) {
+	s, err := RunStrongScaling(ScalingConfig{Dims: Dims{Nx: 8, Ny: 8, Nz: 2}, Apps: 1, Workers: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.BitIdentical || len(s.Points) != 2 {
+		t.Errorf("facade sweep wrong: %+v", s)
+	}
+}
