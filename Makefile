@@ -5,7 +5,7 @@ GO ?= go
 # they all execute.
 RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/
 
-.PHONY: build test race bench-smoke vet fmt-check ci
+.PHONY: build test race bench-smoke bench-kernel vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
+# The fast-path kernel microbenchmarks (dsd ops, faceFlux, exchange, whole
+# engine) once each — CI's guarantee that they keep compiling and running.
+# Drop -benchtime/-short for a real measurement.
+bench-kernel:
+	$(GO) test -run '^$$' -bench BenchmarkKernel -benchtime 1x -short ./internal/dsd/ ./internal/core/
+
 vet:
 	$(GO) vet ./...
 
@@ -30,4 +36,4 @@ fmt-check:
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Everything the CI workflow gates on.
-ci: build vet fmt-check test race bench-smoke
+ci: build vet fmt-check test race bench-smoke bench-kernel

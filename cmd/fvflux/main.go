@@ -8,12 +8,14 @@
 //	fvflux -experiment table1 -dims 16x12x10 -apps 3
 //	fvflux -experiment ablations -engine flat
 //	fvflux -experiment scaling -dims 128x128x4
+//	fvflux -experiment kernel -json BENCH_kernel.json
 //	fvflux -experiment table2 -engine parallel -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -23,13 +25,16 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig8|scaling|ablations|all")
+		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig8|scaling|kernel|ablations|all")
 		dims       = flag.String("dims", "12x10x8", "functional mesh NxXNyXNz (Nx,Ny ≥ 3)")
 		apps       = flag.Int("apps", 2, "functional applications of Algorithm 1")
 		engine     = flag.String("engine", "fabric", "functional engine: fabric|flat|parallel")
 		workers    = flag.Int("workers", 0, "worker count for engine=parallel (0 = all CPUs)")
+		jsonOut    = flag.String("json", "", "record the selected scaling or kernel experiment as JSON to this path (ignored with -experiment all)")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	d, err := cliutil.ParseDims(*dims)
 	if err != nil {
@@ -104,7 +109,37 @@ func main() {
 		if err != nil {
 			return err
 		}
-		return s.Render(os.Stdout)
+		if err := s.Render(os.Stdout); err != nil {
+			return err
+		}
+		// Baselines are only recorded for an explicitly selected experiment:
+		// under -experiment all, scaling and kernel would race for the path.
+		if *experiment == "scaling" {
+			return writeJSON(*jsonOut, s.WriteJSON)
+		}
+		return nil
+	})
+	run("kernel", func(c bench.Config) error {
+		// The kernel experiment keeps its own default workload (the scaling
+		// mesh) unless dims were set on the command line.
+		kcfg := bench.KernelConfig{}
+		if explicit["dims"] {
+			kcfg.Dims = c.FuncDims
+		}
+		if explicit["apps"] {
+			kcfg.Apps = c.FuncApps
+		}
+		k, err := bench.RunKernelBench(kcfg)
+		if err != nil {
+			return err
+		}
+		if err := k.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *experiment == "kernel" {
+			return writeJSON(*jsonOut, k.WriteJSON)
+		}
+		return nil
 	})
 	run("fig8", func(c bench.Config) error {
 		f, err := bench.RunFig8(c)
@@ -131,6 +166,26 @@ func main() {
 		}
 		return nil
 	})
+}
+
+// writeJSON records an experiment baseline when -json was given.
+func writeJSON(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("baseline written to %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

@@ -14,8 +14,21 @@
 // goroutine-per-PE fabric simulator (massivefv.RunDataflow), the serial flat
 // engine (massivefv.RunDataflowFlat), and the sharded multi-core flat engine
 // (massivefv.RunFlatParallel — worker count 0 means runtime.NumCPU(); the
-// fvflux and fvsim commands expose it as -workers). The root package carries
-// the module documentation and the benchmark suite (bench_test.go) that
-// regenerates every table and figure of the paper's evaluation; see
-// README.md.
+// fvflux and fvsim commands expose it as -workers).
+//
+// Performance: the engines execute through a fast path that stays
+// bit-identical (residuals and counters) to the legacy code — stride-1
+// specialized vector ops iterating over reslices with the bounds check
+// hoisted out of the loop, deferred per-op counter tallies folded into the
+// full accounting at summarize time, per-PE memories carved from one
+// contiguous arena slab per shard (dsd.NewMemoryFromSlab), and a
+// zero-allocation halo exchange through persistent per-PE send buffers.
+// `make bench-kernel` runs the layer-by-layer microbenchmarks; `fvflux
+// -experiment kernel -json BENCH_kernel.json` and `examples/strongscaling
+// -json BENCH_scaling.json` regenerate the recorded baselines. See the
+// README's Performance section.
+//
+// The root package carries the module documentation and the benchmark suite
+// (bench_test.go) that regenerates every table and figure of the paper's
+// evaluation; see README.md.
 package repro

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestRunKernelBenchSmall(t *testing.T) {
+	k, err := RunKernelBench(KernelConfig{
+		Dims:    mesh.Dims{Nx: 6, Ny: 5, Nz: 3},
+		Apps:    1,
+		VecLen:  16,
+		OpIters: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.BitIdentical {
+		t.Fatal("fast path diverged from strided")
+	}
+	if len(k.Ops) != len(kernelOps) {
+		t.Fatalf("measured %d ops, want %d", len(k.Ops), len(kernelOps))
+	}
+	for _, op := range k.Ops {
+		if op.FastMElemsPerSec <= 0 || op.StridedMElemsPerSec <= 0 {
+			t.Errorf("op %s has non-positive rate: %+v", op.Op, op)
+		}
+	}
+	if k.EngineFastSeconds <= 0 || k.EngineStridedSeconds <= 0 {
+		t.Error("engine timings must be positive")
+	}
+
+	var buf bytes.Buffer
+	if err := k.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back KernelBench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if back.VecLen != 16 || !back.BitIdentical {
+		t.Errorf("round-tripped baseline wrong: %+v", back)
+	}
+
+	var tbl strings.Builder
+	if err := k.Render(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Kernel fast path", "MulVV", "bit-identical: true"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, tbl.String())
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dsd"
+	"repro/internal/mesh"
+	"repro/internal/physics"
+)
+
+// BenchmarkKernel* covers the engine hot path above the dsd ops: the 14-FLOP
+// faceFlux kernel, the zero-allocation halo exchange, a full per-PE local
+// application, and the whole flat engine on the scaling workload's shape.
+// Each reports both op paths so the fast-path win is visible per layer.
+
+// benchStates builds the PE states of a small mesh with the default options.
+func benchStates(b *testing.B, d mesh.Dims, apps int) ([]*peState, *mesh.Mesh, Options) {
+	b.Helper()
+	m, err := mesh.BuildDefault(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions(apps).withDefaults()
+	opts.MemWords = WordsPerZ(opts.BufferReuse)*d.Nz + FixedWords
+	flLin := physics.DefaultFluid().WithModel(physics.DensityLinear)
+	states := make([]*peState, d.Nx*d.Ny)
+	if err := newBandStates(states, m, flLin, 0, d.Ny, opts); err != nil {
+		b.Fatal(err)
+	}
+	return states, m, opts
+}
+
+func benchBothPaths(b *testing.B, fn func(b *testing.B)) {
+	for _, path := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"strided", false}} {
+		b.Run(path.name, func(b *testing.B) {
+			prev := dsd.SetFastPath(path.fast)
+			defer dsd.SetFastPath(prev)
+			fn(b)
+		})
+	}
+}
+
+// BenchmarkKernelFaceFlux measures one face-group evaluation (the §5.3.3
+// vector kernel) on an interior PE at the paper's column depth.
+func BenchmarkKernelFaceFlux(b *testing.B) {
+	benchBothPaths(b, func(b *testing.B) {
+		states, m, _ := benchStates(b, mesh.Dims{Nx: 3, Ny: 3, Nz: 246}, 1)
+		s := states[1*m.Dims.Nx+1] // interior PE
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.faceFlux(s.fbuf[mesh.West], s.trans[mesh.West], s.p, s.gz, s.nbrP[0], s.nbrGz[0])
+		}
+	})
+}
+
+// BenchmarkKernelExchange measures one PE's full halo exchange (eight
+// neighbor columns, FMOV-accounted, no allocation).
+func BenchmarkKernelExchange(b *testing.B) {
+	benchBothPaths(b, func(b *testing.B) {
+		states, m, _ := benchStates(b, mesh.Dims{Nx: 3, Ny: 3, Nz: 246}, 1)
+		s := states[1*m.Dims.Nx+1]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := flatExchange(states, s, m.Dims.Nx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkKernelLocalApplication measures one PE's complete local
+// application: residual zeroing, ten face groups, assembly.
+func BenchmarkKernelLocalApplication(b *testing.B) {
+	benchBothPaths(b, func(b *testing.B) {
+		states, m, _ := benchStates(b, mesh.Dims{Nx: 3, Ny: 3, Nz: 246}, 1)
+		s := states[1*m.Dims.Nx+1]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.runLocalApplication()
+		}
+	})
+}
+
+// BenchmarkKernelFlatEngine measures the whole serial flat engine on the
+// strong-scaling workload shape (shrunk under -short for CI's smoke run).
+func BenchmarkKernelFlatEngine(b *testing.B) {
+	d := mesh.Dims{Nx: 64, Ny: 64, Nz: 4}
+	if testing.Short() {
+		d = mesh.Dims{Nx: 12, Ny: 12, Nz: 4}
+	}
+	m, err := mesh.BuildDefault(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl := physics.DefaultFluid()
+	opts := DefaultOptions(2)
+	opts.MemWords = WordsPerZ(opts.BufferReuse)*d.Nz + FixedWords
+	benchBothPaths(b, func(b *testing.B) {
+		var res *Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = RunFlat(m, fl, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(res.HostThroughput()/1e6, "Mcells/s")
+	})
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dsd"
+	"repro/internal/mesh"
+	"repro/internal/physics"
+)
+
+// The stride-1 fast path must be a pure performance change: forcing the
+// legacy strided loops over the same mesh must reproduce every engine's
+// residual bit for bit and every Counters field exactly. The core package is
+// part of the CI race gate, so these runs are also exercised under -race.
+
+func TestFastPathBitIdenticalAcrossEngines(t *testing.T) {
+	m := testMesh(t, mesh.Dims{Nx: 5, Ny: 4, Nz: 6})
+	fl := physics.DefaultFluid()
+	opts := testOpts(3)
+
+	parallel := func(workers int) func() (*Result, error) {
+		return func() (*Result, error) {
+			o := opts
+			o.Workers = workers
+			return RunFlatParallel(m, fl, o)
+		}
+	}
+	runs := []struct {
+		name string
+		fn   func() (*Result, error)
+	}{
+		{"flat", func() (*Result, error) { return RunFlat(m, fl, opts) }},
+		{"parallel-1", parallel(1)},
+		{"parallel-2", parallel(2)},
+		{"parallel-4", parallel(4)},
+		{"fabric", func() (*Result, error) { return RunFabric(m, fl, opts) }},
+	}
+
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			prev := dsd.SetFastPath(false)
+			legacy, err := r.fn()
+			dsd.SetFastPath(prev)
+			if err != nil {
+				t.Fatalf("legacy strided run: %v", err)
+			}
+			fast, err := r.fn()
+			if err != nil {
+				t.Fatalf("fast-path run: %v", err)
+			}
+			for i := range legacy.Residual {
+				if legacy.Residual[i] != fast.Residual[i] {
+					t.Fatalf("residual[%d] diverged: legacy %g, fast %g",
+						i, legacy.Residual[i], fast.Residual[i])
+				}
+			}
+			if legacy.Counters != fast.Counters {
+				t.Fatalf("counters diverged:\nlegacy %+v\nfast   %+v", legacy.Counters, fast.Counters)
+			}
+		})
+	}
+}
+
+// TestFastPathBitIdenticalAblations repeats the identity check with the
+// ablation options that change the op mix: scalar issue, naive buffers, no
+// diagonals — the fast path must be invisible to all of them.
+func TestFastPathBitIdenticalAblations(t *testing.T) {
+	m := testMesh(t, mesh.Dims{Nx: 4, Ny: 4, Nz: 5})
+	fl := physics.DefaultFluid()
+	variants := []struct {
+		name   string
+		modify func(*Options)
+	}{
+		{"scalar", func(o *Options) { o.Vectorized = false }},
+		{"naive-buffers", func(o *Options) { o.BufferReuse = false }},
+		{"no-diagonals", func(o *Options) { o.Diagonals = false }},
+		{"comm-only", func(o *Options) { o.CommOnly = true }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			opts := testOpts(2)
+			v.modify(&opts)
+			prev := dsd.SetFastPath(false)
+			legacy, err := RunFlat(m, fl, opts)
+			dsd.SetFastPath(prev)
+			if err != nil {
+				t.Fatalf("legacy strided run: %v", err)
+			}
+			fast, err := RunFlat(m, fl, opts)
+			if err != nil {
+				t.Fatalf("fast-path run: %v", err)
+			}
+			for i := range legacy.Residual {
+				if legacy.Residual[i] != fast.Residual[i] {
+					t.Fatalf("residual[%d] diverged: legacy %g, fast %g",
+						i, legacy.Residual[i], fast.Residual[i])
+				}
+			}
+			if legacy.Counters != fast.Counters {
+				t.Fatalf("counters diverged:\nlegacy %+v\nfast   %+v", legacy.Counters, fast.Counters)
+			}
+		})
+	}
+}

@@ -22,14 +22,8 @@ func RunFlat(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, error) {
 	flLin := fl.WithModel(physics.DensityLinear)
 	nx, ny := m.Dims.Nx, m.Dims.Ny
 	states := make([]*peState, nx*ny)
-	for y := 0; y < ny; y++ {
-		for x := 0; x < nx; x++ {
-			s, err := newFlatState(m, flLin, x, y, opts)
-			if err != nil {
-				return nil, err
-			}
-			states[y*nx+x] = s
-		}
+	if err := newBandStates(states, m, flLin, 0, ny, opts); err != nil {
+		return nil, err
 	}
 
 	start := time.Now()
@@ -54,21 +48,38 @@ func RunFlat(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, error) {
 	return summarize("flat", states, m, opts, elapsed), nil
 }
 
-// newFlatState allocates one PE's private memory and loads its device state
-// from the mesh — the shared setup step of the flat engines (the fluid must
-// already carry the linearized density model).
-func newFlatState(m *mesh.Mesh, flLin physics.Fluid, x, y int, opts Options) (*peState, error) {
-	mem, err := dsd.NewMemory(opts.MemWords)
-	if err != nil {
-		return nil, err
+// newBandStates allocates and loads the PE states of grid rows [y0, y1) —
+// the shared setup step of the flat engines (the fluid must already carry
+// the linearized density model). The band's PE memories are carved out of
+// one contiguous arena slab, so a band's working set is cache-contiguous
+// instead of nx·(y1−y0) scattered individual allocations; in the sharded
+// engine each worker allocates its own band's slab.
+func newBandStates(states []*peState, m *mesh.Mesh, flLin physics.Fluid, y0, y1 int, opts Options) error {
+	nx, per := m.Dims.Nx, opts.MemWords
+	slab := make([]float32, (y1-y0)*nx*per)
+	for y := y0; y < y1; y++ {
+		for x := 0; x < nx; x++ {
+			off := ((y-y0)*nx + x) * per
+			mem, err := dsd.NewMemoryFromSlab(slab[off : off+per : off+per])
+			if err != nil {
+				return err
+			}
+			s, err := setupPE(dsd.NewEngine(mem), m, flLin, x, y, opts)
+			if err != nil {
+				return err
+			}
+			states[y*nx+x] = s
+		}
 	}
-	return setupPE(dsd.NewEngine(mem), m, flLin, x, y, opts)
+	return nil
 }
 
 // flatExchange copies the eight in-plane neighbor columns into s's receive
 // buffers with the same FMOV accounting the fabric engine performs. Diagonal
 // columns are taken from the corner PE directly — the values the clockwise
-// relay would deliver.
+// relay would deliver. Each neighbor's persistent send buffer is read in
+// place: the exchange allocates nothing and the only copy is the counted
+// FMOV receive itself.
 func flatExchange(states []*peState, s *peState, nx int) error {
 	for i, d := range xyDirections {
 		if !s.hasNbr[i] {

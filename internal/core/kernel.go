@@ -16,30 +16,30 @@ import (
 // per element, plus one predicated SELGT — the Table 4 mix.
 func (s *peState) faceFlux(dst, tr, pK, gzK, pL, gzL dsd.Desc) {
 	if s.opts.Vectorized {
-		s.faceFluxOnce(dst, tr, pK, gzK, pL, gzL, 0, dst.Len)
+		// Whole-column vector issue: the descriptors already are the face
+		// group's full views, so no subviews need slicing on the hot path.
+		s.fluxSeq(dst, tr, pK, gzK, pL, gzL, s.scratch)
 		return
 	}
-	// Scalar ablation: one issue per element per op (§5.3.3 in reverse).
+	// Scalar ablation: one issue per element per op (§5.3.3 in reverse),
+	// through single-element subviews of the same buffers.
 	for z := 0; z < dst.Len; z++ {
-		s.faceFluxOnce(dst, tr, pK, gzK, pL, gzL, z, 1)
+		for i, sc := range s.scratch {
+			s.scratchSub[i] = sc.MustSlice(z, 1)
+		}
+		s.fluxSeq(dst.MustSlice(z, 1), tr.MustSlice(z, 1), pK.MustSlice(z, 1),
+			gzK.MustSlice(z, 1), pL.MustSlice(z, 1), gzL.MustSlice(z, 1), s.scratchSub)
 	}
 }
 
-func (s *peState) faceFluxOnce(dst, tr, pK, gzK, pL, gzL dsd.Desc, off, n int) {
+// fluxSeq issues the 14-op kernel sequence over pre-sliced views with the
+// given scratch views (whole columns when vectorized, single elements in the
+// scalar ablation). Both buffer disciplines execute the identical op order.
+func (s *peState) fluxSeq(f, tr, pK, gzK, pL, gzL dsd.Desc, sc []dsd.Desc) {
 	e := s.eng
 	c := s.consts
-	f := dst.MustSlice(off, n)
-	tr = tr.MustSlice(off, n)
-	pK = pK.MustSlice(off, n)
-	gzK = gzK.MustSlice(off, n)
-	pL = pL.MustSlice(off, n)
-	gzL = gzL.MustSlice(off, n)
 	if s.opts.BufferReuse {
-		s0 := s.scratch[0].MustSlice(off, n)
-		s1 := s.scratch[1].MustSlice(off, n)
-		s2 := s.scratch[2].MustSlice(off, n)
-		s3 := s.scratch[3].MustSlice(off, n)
-		s4 := s.scratch[4].MustSlice(off, n)
+		s0, s1, s2, s3, s4 := sc[0], sc[1], sc[2], sc[3], sc[4]
 		e.SubVV(s0, pL, pK)           // dp
 		e.SubVV(s1, gzL, gzK)         // dgz
 		e.MulVS(s2, pK, c.AHat)       // rK
@@ -58,21 +58,20 @@ func (s *peState) faceFluxOnce(dst, tr, pK, gzK, pL, gzL dsd.Desc, off, n int) {
 	}
 	// Naive discipline: every intermediate gets its own buffer — the
 	// pre-§5.3.1 layout whose footprint forbids the paper's largest mesh.
-	b := func(i int) dsd.Desc { return s.scratch[i].MustSlice(off, n) }
-	e.SubVV(b(0), pL, pK)
-	e.SubVV(b(1), gzL, gzK)
-	e.MulVS(b(2), pK, c.AHat)
-	e.MulVS(b(3), pL, c.AHat)
-	e.AddVV(b(4), b(2), b(3))
-	e.FmaVSS(b(5), b(4), 0.5, c.CHat)
-	e.MulVV(b(6), b(5), b(1))
-	e.NegV(b(7), b(6))
-	e.SubVV(b(8), b(0), b(7))
-	e.SelGtV(b(9), b(8), b(2), b(3))
-	e.SubVS(b(10), b(9), c.NegC)
-	e.MulVS(b(11), b(10), c.InvMu)
-	e.MulVV(b(12), tr, b(8))
-	e.MulVV(f, b(12), b(11))
+	e.SubVV(sc[0], pL, pK)
+	e.SubVV(sc[1], gzL, gzK)
+	e.MulVS(sc[2], pK, c.AHat)
+	e.MulVS(sc[3], pL, c.AHat)
+	e.AddVV(sc[4], sc[2], sc[3])
+	e.FmaVSS(sc[5], sc[4], 0.5, c.CHat)
+	e.MulVV(sc[6], sc[5], sc[1])
+	e.NegV(sc[7], sc[6])
+	e.SubVV(sc[8], sc[0], sc[7])
+	e.SelGtV(sc[9], sc[8], sc[2], sc[3])
+	e.SubVS(sc[10], sc[9], c.NegC)
+	e.MulVS(sc[11], sc[10], c.InvMu)
+	e.MulVV(sc[12], tr, sc[8])
+	e.MulVV(f, sc[12], sc[11])
 }
 
 // computeXYFace evaluates the flux column for one in-plane direction from
@@ -115,11 +114,10 @@ func (s *peState) assemble() {
 // all neighbor data in place before computing.
 func (s *peState) runLocalApplication() {
 	s.beginApplication()
-	for i, d := range xyDirections {
+	for _, d := range xyDirections {
 		if !s.opts.Diagonals && d.IsDiagonal() {
 			continue
 		}
-		_ = i
 		s.computeXYFace(d)
 	}
 	s.computeVerticalFaces()

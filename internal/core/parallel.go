@@ -126,19 +126,10 @@ func RunFlatParallel(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, err
 	pool := newShardPool(opts.Workers, partitionRows(ny, opts.Workers))
 	defer pool.stop()
 
-	// Sharded setup: each worker allocates and loads its own band's PEs; the
-	// mesh is only read.
+	// Sharded setup: each worker allocates its own band's arena slab and
+	// loads its PEs from it; the mesh is only read.
 	err := pool.run(func(b band) error {
-		for y := b.y0; y < b.y1; y++ {
-			for x := 0; x < nx; x++ {
-				s, err := newFlatState(m, flLin, x, y, opts)
-				if err != nil {
-					return err
-				}
-				states[y*nx+x] = s
-			}
-		}
-		return nil
+		return newBandStates(states, m, flLin, b.y0, b.y1, opts)
 	})
 	if err != nil {
 		return nil, err

@@ -126,14 +126,18 @@ func summarize(engine string, states []*peState, m *mesh.Mesh, opts Options, ela
 		Residual: gatherResidual(states, m.Dims),
 		Elapsed:  elapsed,
 	}
+	// The per-op tallies deferred during the run are folded into the full
+	// Counters accounting here, once per PE, instead of field-by-field in the
+	// op hot loops.
 	for y := 0; y < m.Dims.Ny; y++ {
 		for x := 0; x < m.Dims.Nx; x++ {
-			res.Counters.Add(&states[y*m.Dims.Nx+x].eng.C)
+			states[y*m.Dims.Nx+x].eng.AddCounters(&res.Counters)
 		}
 	}
 	if x, y, ok := interiorPE(m.Dims); ok {
 		s := states[y*m.Dims.Nx+x]
-		res.Interior = perCellFromCounters(&s.eng.C, opts.Apps, m.Dims.Nz)
+		sc := s.eng.Counters()
+		res.Interior = perCellFromCounters(&sc, opts.Apps, m.Dims.Nz)
 		res.MemStats = s.eng.Mem.Stats()
 	} else if len(states) > 0 {
 		res.MemStats = states[0].eng.Mem.Stats()

@@ -40,6 +40,13 @@ type peState struct {
 	nbrP, nbrGz [8]dsd.Desc // indexed by mesh.Direction (0..7 are in-plane)
 	fbuf        [mesh.NumDirections]dsd.Desc
 	scratch     []dsd.Desc
+	scratchSub  []dsd.Desc // reusable single-element scratch views (scalar ablation)
+
+	// sendBuf is the persistent serialized (pressure, gravity) send column:
+	// the Nz pressure words followed by the Nz gravity words. It is refreshed
+	// once per application (at setup and after each perturb) so halo exchange
+	// never allocates; neighbors read it directly.
+	sendBuf []float32
 
 	hasNbr [8]bool // in-plane mesh adjacency
 }
@@ -122,6 +129,7 @@ func setupPE(eng *dsd.Engine, m *mesh.Mesh, fl physics.Fluid, x, y int, opts Opt
 			return nil, fail("kernel scratch", err)
 		}
 	}
+	s.scratchSub = make([]dsd.Desc, nScratch)
 
 	// Host load (H2D): own columns, transmissibilities, adjacency.
 	g := fl.Gravity
@@ -137,6 +145,8 @@ func setupPE(eng *dsd.Engine, m *mesh.Mesh, fl physics.Fluid, x, y int, opts Opt
 		}
 	}
 	s.refreshGhosts()
+	s.sendBuf = make([]float32, 2*nz)
+	s.refreshSendBuf()
 	for i, d := range xyDirections {
 		dx, dy, _ := d.Offset()
 		nx, ny := x+dx, y+dy
@@ -180,16 +190,25 @@ func (s *peState) perturb(app int) {
 		mem.StoreHost(s.p, z, mem.Load(s.p, z)+delta)
 	}
 	s.refreshGhosts()
+	s.refreshSendBuf()
 }
 
-// ownColumn serializes the PE's (pressure, gravity) body columns in send
-// order: the Nz pressure words followed by the Nz gravity words — the
-// paper's "local block of data of length Nz × 2" (§5.2.1).
-func (s *peState) ownColumn() []float32 {
-	out := make([]float32, 0, 2*s.nz)
-	out = append(out, s.eng.Mem.ReadAll(s.p)...)
-	return append(out, s.eng.Mem.ReadAll(s.gz)...)
+// refreshSendBuf re-serializes the own columns into the persistent send
+// buffer (host-side copy, uncounted — the pre-send memcpy analog). Called
+// once per application; between refreshes the kernel never writes p or gz,
+// so the buffer stays valid for every neighbor that reads it.
+func (s *peState) refreshSendBuf() {
+	mem := s.eng.Mem
+	mem.ReadInto(s.sendBuf[:s.nz], s.p)
+	mem.ReadInto(s.sendBuf[s.nz:], s.gz)
 }
+
+// ownColumn returns the PE's serialized (pressure, gravity) body columns in
+// send order: the Nz pressure words followed by the Nz gravity words — the
+// paper's "local block of data of length Nz × 2" (§5.2.1). The returned
+// slice is the persistent send buffer: valid until the next perturb, never
+// reallocated.
+func (s *peState) ownColumn() []float32 { return s.sendBuf }
 
 // receiveColumn stores an arrived 2·Nz column into the direction's neighbor
 // buffers (FMOV: fabric load + memory store per element).

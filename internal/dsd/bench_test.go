@@ -1,0 +1,125 @@
+package dsd
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkKernel* microbenchmarks measure the vector ops at the paper's
+// column depth (Nz = 246) and at the shallow functional depth the scaling
+// workload uses (Nz = 4), on both the stride-1 fast path and the legacy
+// strided loops. CI runs them with -benchtime=1x as a compile-and-run smoke;
+// `make bench-kernel` or `go test -bench BenchmarkKernel ./internal/dsd/`
+// measures for real.
+
+func benchEngine(b *testing.B, n int) (*Engine, Desc, Desc, Desc, Desc) {
+	b.Helper()
+	m, err := NewMemory(8 * n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(m)
+	alloc := func() Desc {
+		d, err := m.Alloc(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	dst, x, y, z := alloc(), alloc(), alloc(), alloc()
+	for i := 0; i < n; i++ {
+		m.StoreHost(x, i, float32(i%17)+0.5)
+		m.StoreHost(y, i, float32(i%13)-6)
+		m.StoreHost(z, i, float32(i%7))
+	}
+	return e, dst, x, y, z
+}
+
+// benchPaths runs fn under both op paths as sub-benchmarks.
+func benchPaths(b *testing.B, n int, fn func(b *testing.B, e *Engine, dst, x, y, z Desc)) {
+	for _, path := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"strided", false}} {
+		b.Run(fmt.Sprintf("n=%d/%s", n, path.name), func(b *testing.B) {
+			e, dst, x, y, z := benchEngine(b, n)
+			prev := SetFastPath(path.fast)
+			defer SetFastPath(prev)
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			fn(b, e, dst, x, y, z)
+		})
+	}
+}
+
+func BenchmarkKernelMulVV(b *testing.B) {
+	for _, n := range []int{4, 246} {
+		benchPaths(b, n, func(b *testing.B, e *Engine, dst, x, y, _ Desc) {
+			for i := 0; i < b.N; i++ {
+				e.MulVV(dst, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelAddVV(b *testing.B) {
+	for _, n := range []int{4, 246} {
+		benchPaths(b, n, func(b *testing.B, e *Engine, dst, x, y, _ Desc) {
+			for i := 0; i < b.N; i++ {
+				e.AddVV(dst, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelSubVV(b *testing.B) {
+	for _, n := range []int{4, 246} {
+		benchPaths(b, n, func(b *testing.B, e *Engine, dst, x, y, _ Desc) {
+			for i := 0; i < b.N; i++ {
+				e.SubVV(dst, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelFmaVVV(b *testing.B) {
+	for _, n := range []int{4, 246} {
+		benchPaths(b, n, func(b *testing.B, e *Engine, dst, x, y, z Desc) {
+			for i := 0; i < b.N; i++ {
+				e.FmaVVV(dst, x, y, z)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelSelGtV(b *testing.B) {
+	for _, n := range []int{4, 246} {
+		benchPaths(b, n, func(b *testing.B, e *Engine, dst, x, y, z Desc) {
+			for i := 0; i < b.N; i++ {
+				e.SelGtV(dst, z, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelAccV(b *testing.B) {
+	for _, n := range []int{4, 246} {
+		benchPaths(b, n, func(b *testing.B, e *Engine, dst, x, _, _ Desc) {
+			for i := 0; i < b.N; i++ {
+				e.AccV(dst, x)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelMovRecv(b *testing.B) {
+	for _, n := range []int{4, 246} {
+		benchPaths(b, n, func(b *testing.B, e *Engine, dst, _, _, _ Desc) {
+			src := make([]float32, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.MovRecv(dst, src)
+			}
+		})
+	}
+}

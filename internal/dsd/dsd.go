@@ -83,6 +83,24 @@ func NewMemory(capacityWords int) (*Memory, error) {
 	}, nil
 }
 
+// NewMemoryFromSlab wraps an externally allocated slab as a PE memory. The
+// engines use it to carve one contiguous arena into per-PE memories, so a
+// shard's working set is cache-contiguous instead of scattered across
+// thousands of individual allocations. The slab is zeroed here (Alloc
+// assumes fresh words are zero) and must not be shared between memories —
+// carve disjoint subslices with a full slice expression.
+func NewMemoryFromSlab(slab []float32) (*Memory, error) {
+	if len(slab) == 0 {
+		return nil, fmt.Errorf("dsd: memory slab must be non-empty")
+	}
+	clear(slab)
+	return &Memory{
+		words:   slab,
+		free:    make(map[int][]int),
+		blockLn: make(map[int]int),
+	}, nil
+}
+
 // Capacity returns the memory size in words.
 func (m *Memory) Capacity() int { return len(m.words) }
 
@@ -98,9 +116,7 @@ func (m *Memory) Alloc(n int) (Desc, error) {
 		m.reused++
 		m.allocs++
 		m.blockLn[base] = n
-		for i := base; i < base+n; i++ {
-			m.words[i] = 0
-		}
+		clear(m.words[base : base+n])
 		return Desc{Base: base, Len: n, Stride: 1}, nil
 	}
 	if m.brk+n > len(m.words) {
@@ -156,10 +172,23 @@ func (m *Memory) StoreHost(d Desc, i int, v float32) { m.words[d.At(i)] = v }
 // ReadAll copies descriptor d into a fresh slice (host readback).
 func (m *Memory) ReadAll(d Desc) []float32 {
 	out := make([]float32, d.Len)
-	for i := range out {
-		out[i] = m.words[d.At(i)]
-	}
+	m.ReadInto(out, d)
 	return out
+}
+
+// ReadInto copies descriptor d into dst without allocating (host readback
+// into a reusable buffer). Lengths must match.
+func (m *Memory) ReadInto(dst []float32, d Desc) {
+	if len(dst) != d.Len {
+		panic(fmt.Sprintf("dsd: ReadInto length %d != descriptor length %d", len(dst), d.Len))
+	}
+	if d.Stride == 1 {
+		copy(dst, m.words[d.Base:d.Base+d.Len])
+		return
+	}
+	for i := range dst {
+		dst[i] = m.words[d.At(i)]
+	}
 }
 
 // WriteAll copies src into descriptor d (host load). Lengths must match.
@@ -194,10 +223,30 @@ func (m *Memory) check(ds ...Desc) {
 	}
 }
 
-func sameLen(ds ...Desc) {
-	for _, d := range ds[1:] {
-		if d.Len != ds[0].Len {
-			panic(fmt.Sprintf("dsd: descriptor length mismatch: %d vs %d", ds[0].Len, d.Len))
-		}
+// sameLen2/3/4 are fixed-arity length checks — the variadic form cost a
+// slice header and a loop on every op call in the hot path.
+func lenMismatch(want, got int) {
+	panic(fmt.Sprintf("dsd: descriptor length mismatch: %d vs %d", want, got))
+}
+
+func sameLen2(a, b Desc) {
+	if b.Len != a.Len {
+		lenMismatch(a.Len, b.Len)
+	}
+}
+
+func sameLen3(a, b, c Desc) {
+	if b.Len != a.Len {
+		lenMismatch(a.Len, b.Len)
+	}
+	if c.Len != a.Len {
+		lenMismatch(a.Len, c.Len)
+	}
+}
+
+func sameLen4(a, b, c, d Desc) {
+	sameLen3(a, b, c)
+	if d.Len != a.Len {
+		lenMismatch(a.Len, d.Len)
 	}
 }

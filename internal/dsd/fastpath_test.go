@@ -1,0 +1,198 @@
+package dsd
+
+import (
+	"testing"
+)
+
+// opSequence drives every vector op once over the given descriptors; the
+// fast-path identity test runs it twice — stride-1 specializations on and
+// off — and asserts bit-identical memories and exactly equal counters.
+func opSequence(e *Engine, dst, a, b, c Desc) {
+	e.MulVV(dst, a, b)
+	e.MulVS(dst, dst, 1.5)
+	e.AddVV(dst, dst, c)
+	e.SubVV(dst, dst, a)
+	e.SubVS(dst, dst, 0.25)
+	e.NegV(dst, dst)
+	e.FmaVSS(dst, dst, 2, -1)
+	e.FmaVVV(dst, a, b, dst)
+	e.SelGtV(dst, c, a, b)
+	e.AccV(dst, a)
+	e.Fill(c, 3)
+	e.MovV(c, dst)
+	e.MovRecv(dst, []float32{9, 8, 7, 6, 5, 4, 3, 2}[:dst.Len])
+}
+
+func fixtureEngine(t *testing.T) (*Engine, Desc, Desc, Desc, Desc) {
+	t.Helper()
+	m := newMem(t, 256)
+	e := NewEngine(m)
+	alloc := func(n int) Desc {
+		d, err := m.Alloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b, c, dst := alloc(8), alloc(8), alloc(8), alloc(8)
+	for i := 0; i < 8; i++ {
+		m.StoreHost(a, i, float32(i)-3.5)
+		m.StoreHost(b, i, float32(i*i)*0.75)
+		m.StoreHost(c, i, float32(5-i))
+	}
+	return e, dst, a, b, c
+}
+
+func TestFastPathMatchesStridedUnitDescriptors(t *testing.T) {
+	eFast, dstF, aF, bF, cF := fixtureEngine(t)
+	eSlow, dstS, aS, bS, cS := fixtureEngine(t)
+
+	prev := SetFastPath(true)
+	opSequence(eFast, dstF, aF, bF, cF)
+	SetFastPath(false)
+	opSequence(eSlow, dstS, aS, bS, cS)
+	SetFastPath(prev)
+
+	for i := 0; i < eFast.Mem.Capacity(); i++ {
+		f := eFast.Mem.words[i]
+		s := eSlow.Mem.words[i]
+		if f != s {
+			t.Fatalf("word %d diverged: fast %g, strided %g", i, f, s)
+		}
+	}
+	if fc, sc := eFast.Counters(), eSlow.Counters(); fc != sc {
+		t.Fatalf("counters diverged:\nfast    %+v\nstrided %+v", fc, sc)
+	}
+}
+
+func TestFastPathStridedDescriptorsFallBack(t *testing.T) {
+	// A non-unit-stride operand must produce the same result with the fast
+	// path enabled (fallback loop) as with it disabled.
+	build := func() (*Engine, Desc, Desc) {
+		m := newMem(t, 64)
+		e := NewEngine(m)
+		blk, err := m.Alloc(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			m.StoreHost(blk, i, float32(i+1))
+		}
+		strided := Desc{Base: blk.Base, Len: 8, Stride: 2}
+		dst, err := m.Alloc(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, dst, strided
+	}
+
+	eFast, dstF, strF := build()
+	eSlow, dstS, strS := build()
+	prev := SetFastPath(true)
+	eFast.MulVS(dstF, strF, 3)
+	eFast.AccV(dstF, strF)
+	SetFastPath(false)
+	eSlow.MulVS(dstS, strS, 3)
+	eSlow.AccV(dstS, strS)
+	SetFastPath(prev)
+
+	for i := 0; i < 8; i++ {
+		if f, s := eFast.Mem.Load(dstF, i), eSlow.Mem.Load(dstS, i); f != s {
+			t.Fatalf("dst[%d] diverged: fast %g, strided %g", i, f, s)
+		}
+		want := float32(2*i+1) * 4 // 3x + x over the odd sequence 1,3,5,...
+		if got := eFast.Mem.Load(dstF, i); got != want {
+			t.Fatalf("dst[%d] = %g, want %g", i, got, want)
+		}
+	}
+	if fc, sc := eFast.Counters(), eSlow.Counters(); fc != sc {
+		t.Fatalf("counters diverged:\nfast    %+v\nstrided %+v", fc, sc)
+	}
+}
+
+func TestCountersFoldMatchesManualAccounting(t *testing.T) {
+	// Spot-check the deferred tally fold against the documented per-op
+	// accounting on a mixed sequence.
+	e, dst, a, b, c := fixtureEngine(t)
+	opSequence(e, dst, a, b, c)
+	got := e.Counters()
+
+	// opSequence: 1 MulVV + 1 MulVS (FMUL), 1 AddVV, 2 FSUB, 1 FNEG, 2 FMA,
+	// 1 SELGT, 1 ACC, 1 FILL, 1 MOV, 1 FMOV — 8 elements each.
+	want := Counters{
+		FMUL: 16, FADD: 8, FSUB: 16, FNEG: 8, FMA: 16, FMOV: 8,
+		SELGT: 8, ACC: 8, FILL: 8, MEMMOV: 8,
+		Loads:           2*16 + 2*8 + 2*16 + 8 + 3*16,
+		Stores:          16 + 8 + 16 + 8 + 16 + 8,
+		FabricLoads:     8,
+		UncountedLoads:  3*8 + 2*8 + 8,
+		UncountedStores: 8 + 8 + 8 + 8,
+		Issues:          13,
+	}
+	if got != want {
+		t.Fatalf("folded counters:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestMemoryFromSlab(t *testing.T) {
+	slab := make([]float32, 64)
+	for i := range slab {
+		slab[i] = 42 // stale content the constructor must clear
+	}
+	m, err := NewMemoryFromSlab(slab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Capacity() != 64 {
+		t.Fatalf("capacity = %d, want 64", m.Capacity())
+	}
+	d, err := m.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if v := m.Load(d, i); v != 0 {
+			t.Fatalf("fresh allocation not zeroed: word %d = %g", i, v)
+		}
+	}
+	// Writes must land in the caller's slab (it is a view, not a copy).
+	m.StoreHost(d, 3, 7)
+	if slab[d.Base+3] != 7 {
+		t.Error("slab-backed memory did not write through to the slab")
+	}
+	if _, err := NewMemoryFromSlab(nil); err == nil {
+		t.Error("empty slab accepted")
+	}
+}
+
+func TestReadInto(t *testing.T) {
+	m := newMem(t, 64)
+	blk, err := m.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		m.StoreHost(blk, i, float32(i))
+	}
+	dst := make([]float32, 16)
+	m.ReadInto(dst, blk)
+	for i, v := range dst {
+		if v != float32(i) {
+			t.Fatalf("unit-stride ReadInto[%d] = %g", i, v)
+		}
+	}
+	strided := Desc{Base: blk.Base, Len: 8, Stride: 2}
+	sdst := make([]float32, 8)
+	m.ReadInto(sdst, strided)
+	for i, v := range sdst {
+		if v != float32(2*i) {
+			t.Fatalf("strided ReadInto[%d] = %g", i, v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReadInto length mismatch did not panic")
+		}
+	}()
+	m.ReadInto(make([]float32, 3), blk)
+}

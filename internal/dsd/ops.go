@@ -55,217 +55,400 @@ func (c *Counters) Add(o *Counters) {
 	c.Issues += o.Issues
 }
 
+// opKind enumerates the vector ops for the deferred counter tally. Each op
+// call bumps exactly one tally slot (elements + one issue); Counters folds
+// the slots into the full per-field accounting on demand, so the hot loop
+// pays two additions instead of four-to-six field updates per call.
+type opKind uint8
+
+const (
+	opMulVV opKind = iota
+	opMulVS
+	opAddVV
+	opSubVV
+	opSubVS
+	opNegV
+	opFmaVSS
+	opFmaVVV
+	opSelGtV
+	opAccV
+	opFill
+	opMovV
+	opMovRecv
+	numOpKinds
+)
+
+// opTally is one op kind's deferred accounting: total elements processed and
+// total instruction issues.
+type opTally struct {
+	elems, issues uint64
+}
+
+// fastPath gates the stride-1 specialized loops. It exists so the
+// bit-identity tests can force the legacy strided loops over the same mesh;
+// production code never clears it.
+var fastPath = true
+
+// SetFastPath enables or disables the stride-1 specializations, returning
+// the previous setting. Both paths compute bit-identical results with
+// identical counters — the toggle only exists so tests can assert that. Not
+// safe to call while engines are running.
+func SetFastPath(on bool) (prev bool) {
+	prev = fastPath
+	fastPath = on
+	return prev
+}
+
 // Engine executes the vector ISA against one PE memory, updating counters.
 // An Engine is owned by a single goroutine (its PE's worker); counters are
 // plain integers for speed.
 type Engine struct {
-	Mem *Memory
-	C   Counters
+	Mem   *Memory
+	tally [numOpKinds]opTally
 }
 
 // NewEngine wraps a memory in a vector engine.
 func NewEngine(m *Memory) *Engine { return &Engine{Mem: m} }
 
+// count records one issue of kind k over n elements.
+func (e *Engine) count(k opKind, n int) {
+	t := &e.tally[k]
+	t.elems += uint64(n)
+	t.issues++
+}
+
+// Counters folds the deferred per-op tallies into the full accounting: the
+// same totals the ops used to accumulate field by field (loads = source
+// operands per element, one store per element, uncounted class separate).
+func (e *Engine) Counters() Counters {
+	t := &e.tally
+	mulVV, mulVS := t[opMulVV].elems, t[opMulVS].elems
+	addVV := t[opAddVV].elems
+	subVV, subVS := t[opSubVV].elems, t[opSubVS].elems
+	negV := t[opNegV].elems
+	fmaVSS, fmaVVV := t[opFmaVSS].elems, t[opFmaVVV].elems
+	selGt, acc, fill, movV, movRecv :=
+		t[opSelGtV].elems, t[opAccV].elems, t[opFill].elems, t[opMovV].elems, t[opMovRecv].elems
+
+	var c Counters
+	c.FMUL = mulVV + mulVS
+	c.FADD = addVV
+	c.FSUB = subVV + subVS
+	c.FNEG = negV
+	c.FMA = fmaVSS + fmaVVV
+	c.FMOV = movRecv
+	c.SELGT = selGt
+	c.ACC = acc
+	c.FILL = fill
+	c.MEMMOV = movV
+	// Counted traffic: 2 loads for the two-operand ops (scalar immediates
+	// included), 1 for FNEG, 3 for FMA; one store per counted element.
+	c.Loads = 2*(mulVV+mulVS+addVV+subVV+subVS) + negV + 3*(fmaVSS+fmaVVV)
+	c.Stores = c.FMUL + c.FADD + c.FSUB + c.FNEG + c.FMA + c.FMOV
+	c.FabricLoads = movRecv
+	// Uncounted class: SELGT 3 loads, ACC 2, MOV 1; one store each, FILL
+	// store-only.
+	c.UncountedLoads = 3*selGt + 2*acc + movV
+	c.UncountedStores = selGt + acc + fill + movV
+	for k := range t {
+		c.Issues += t[k].issues
+	}
+	return c
+}
+
+// AddCounters folds another engine's totals into c (the per-run reduction).
+func (e *Engine) AddCounters(c *Counters) {
+	ec := e.Counters()
+	c.Add(&ec)
+}
+
+// inUnit reports whether d is a unit-stride descriptor fully inside a memory
+// of n words — the precondition of the reslice fast path. Descriptors that
+// fail it (strided, empty, or out of bounds) take the legacy loop, whose
+// explicit check panics with the canonical diagnostics.
+func inUnit(d Desc, n int) bool {
+	return d.Stride == 1 && d.Base >= 0 && d.Base+d.Len <= n
+}
+
+func (e *Engine) unit1(a Desc) bool {
+	return fastPath && a.Len > 0 && inUnit(a, len(e.Mem.words))
+}
+
+func (e *Engine) unit2(a, b Desc) bool {
+	n := len(e.Mem.words)
+	return fastPath && a.Len > 0 && inUnit(a, n) && inUnit(b, n)
+}
+
+func (e *Engine) unit3(a, b, c Desc) bool {
+	return e.unit2(a, b) && inUnit(c, len(e.Mem.words))
+}
+
+func (e *Engine) unit4(a, b, c, d Desc) bool {
+	return e.unit3(a, b, c) && inUnit(d, len(e.Mem.words))
+}
+
+// The stride-1 fast paths below iterate over reslices of the memory words:
+// the unit* predicate hoists the bounds check out of the loop, the reslice
+// replaces the per-element d.At(i) index multiply, and equal-length slices
+// let the compiler eliminate the per-element bounds checks. Operation order
+// matches the strided loops exactly, so results are bit-identical; the
+// strided loops remain as the general fallback (and as the panic path for
+// invalid descriptors, keeping check's diagnostics).
+
 // MulVV computes dst = a·b elementwise (FMUL: 2 loads, 1 store / element).
 func (e *Engine) MulVV(dst, a, b Desc) {
-	e.Mem.check(dst, a, b)
-	sameLen(dst, a, b)
+	sameLen3(dst, a, b)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = w[a.At(i)] * w[b.At(i)]
+	if e.unit3(dst, a, b) {
+		n := dst.Len
+		d, x, y := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n], w[b.Base:b.Base+n]
+		for i := range d {
+			d[i] = x[i] * y[i]
+		}
+	} else {
+		e.Mem.check(dst, a, b)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = w[a.At(i)] * w[b.At(i)]
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FMUL += n
-	e.C.Loads += 2 * n
-	e.C.Stores += n
-	e.C.Issues++
+	e.count(opMulVV, dst.Len)
 }
 
 // MulVS computes dst = a·s (FMUL with a scalar operand; still 2 loads).
 func (e *Engine) MulVS(dst, a Desc, s float32) {
-	e.Mem.check(dst, a)
-	sameLen(dst, a)
+	sameLen2(dst, a)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = w[a.At(i)] * s
+	if e.unit2(dst, a) {
+		n := dst.Len
+		d, x := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n]
+		for i := range d {
+			d[i] = x[i] * s
+		}
+	} else {
+		e.Mem.check(dst, a)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = w[a.At(i)] * s
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FMUL += n
-	e.C.Loads += 2 * n
-	e.C.Stores += n
-	e.C.Issues++
+	e.count(opMulVS, dst.Len)
 }
 
 // AddVV computes dst = a + b (FADD: 2 loads, 1 store).
 func (e *Engine) AddVV(dst, a, b Desc) {
-	e.Mem.check(dst, a, b)
-	sameLen(dst, a, b)
+	sameLen3(dst, a, b)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = w[a.At(i)] + w[b.At(i)]
+	if e.unit3(dst, a, b) {
+		n := dst.Len
+		d, x, y := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n], w[b.Base:b.Base+n]
+		for i := range d {
+			d[i] = x[i] + y[i]
+		}
+	} else {
+		e.Mem.check(dst, a, b)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = w[a.At(i)] + w[b.At(i)]
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FADD += n
-	e.C.Loads += 2 * n
-	e.C.Stores += n
-	e.C.Issues++
+	e.count(opAddVV, dst.Len)
 }
 
 // SubVV computes dst = a − b (FSUB: 2 loads, 1 store).
 func (e *Engine) SubVV(dst, a, b Desc) {
-	e.Mem.check(dst, a, b)
-	sameLen(dst, a, b)
+	sameLen3(dst, a, b)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = w[a.At(i)] - w[b.At(i)]
+	if e.unit3(dst, a, b) {
+		n := dst.Len
+		d, x, y := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n], w[b.Base:b.Base+n]
+		for i := range d {
+			d[i] = x[i] - y[i]
+		}
+	} else {
+		e.Mem.check(dst, a, b)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = w[a.At(i)] - w[b.At(i)]
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FSUB += n
-	e.C.Loads += 2 * n
-	e.C.Stores += n
-	e.C.Issues++
+	e.count(opSubVV, dst.Len)
 }
 
 // SubVS computes dst = a − s (FSUB with scalar subtrahend).
 func (e *Engine) SubVS(dst, a Desc, s float32) {
-	e.Mem.check(dst, a)
-	sameLen(dst, a)
+	sameLen2(dst, a)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = w[a.At(i)] - s
+	if e.unit2(dst, a) {
+		n := dst.Len
+		d, x := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n]
+		for i := range d {
+			d[i] = x[i] - s
+		}
+	} else {
+		e.Mem.check(dst, a)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = w[a.At(i)] - s
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FSUB += n
-	e.C.Loads += 2 * n
-	e.C.Stores += n
-	e.C.Issues++
+	e.count(opSubVS, dst.Len)
 }
 
 // NegV computes dst = −a (FNEG: 1 load, 1 store).
 func (e *Engine) NegV(dst, a Desc) {
-	e.Mem.check(dst, a)
-	sameLen(dst, a)
+	sameLen2(dst, a)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = -w[a.At(i)]
+	if e.unit2(dst, a) {
+		n := dst.Len
+		d, x := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n]
+		for i := range d {
+			d[i] = -x[i]
+		}
+	} else {
+		e.Mem.check(dst, a)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = -w[a.At(i)]
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FNEG += n
-	e.C.Loads += n
-	e.C.Stores += n
-	e.C.Issues++
+	e.count(opNegV, dst.Len)
 }
 
 // FmaVSS computes dst = s1·a + s2 (FMA: 2 FLOPs, 3 loads, 1 store; Go
 // evaluates the multiply and add with separate roundings, see physics note).
 func (e *Engine) FmaVSS(dst, a Desc, s1, s2 float32) {
-	e.Mem.check(dst, a)
-	sameLen(dst, a)
+	sameLen2(dst, a)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = s1*w[a.At(i)] + s2
+	if e.unit2(dst, a) {
+		n := dst.Len
+		d, x := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n]
+		for i := range d {
+			d[i] = s1*x[i] + s2
+		}
+	} else {
+		e.Mem.check(dst, a)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = s1*w[a.At(i)] + s2
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FMA += n
-	e.C.Loads += 3 * n
-	e.C.Stores += n
-	e.C.Issues++
+	e.count(opFmaVSS, dst.Len)
 }
 
 // FmaVVV computes dst = a·b + c (FMA: 2 FLOPs, 3 loads, 1 store).
 func (e *Engine) FmaVVV(dst, a, b, c Desc) {
-	e.Mem.check(dst, a, b, c)
-	sameLen(dst, a, b, c)
+	sameLen4(dst, a, b, c)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = w[a.At(i)]*w[b.At(i)] + w[c.At(i)]
+	if e.unit4(dst, a, b, c) {
+		n := dst.Len
+		d, x, y, z := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n], w[b.Base:b.Base+n], w[c.Base:c.Base+n]
+		for i := range d {
+			d[i] = x[i]*y[i] + z[i]
+		}
+	} else {
+		e.Mem.check(dst, a, b, c)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = w[a.At(i)]*w[b.At(i)] + w[c.At(i)]
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FMA += n
-	e.C.Loads += 3 * n
-	e.C.Stores += n
-	e.C.Issues++
+	e.count(opFmaVVV, dst.Len)
 }
 
 // SelGtV computes dst = cond > 0 ? a : b — the upwind selection (Eq. 4) as a
 // predicated move. Uncounted class: 3 loads, 1 store tracked separately.
 func (e *Engine) SelGtV(dst, cond, a, b Desc) {
-	e.Mem.check(dst, cond, a, b)
-	sameLen(dst, cond, a, b)
+	sameLen4(dst, cond, a, b)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		if w[cond.At(i)] > 0 {
-			w[dst.At(i)] = w[a.At(i)]
-		} else {
-			w[dst.At(i)] = w[b.At(i)]
+	if e.unit4(dst, cond, a, b) {
+		n := dst.Len
+		d, p, x, y := w[dst.Base:dst.Base+n], w[cond.Base:cond.Base+n], w[a.Base:a.Base+n], w[b.Base:b.Base+n]
+		for i := range d {
+			if p[i] > 0 {
+				d[i] = x[i]
+			} else {
+				d[i] = y[i]
+			}
+		}
+	} else {
+		e.Mem.check(dst, cond, a, b)
+		for i := 0; i < dst.Len; i++ {
+			if w[cond.At(i)] > 0 {
+				w[dst.At(i)] = w[a.At(i)]
+			} else {
+				w[dst.At(i)] = w[b.At(i)]
+			}
 		}
 	}
-	n := uint64(dst.Len)
-	e.C.SELGT += n
-	e.C.UncountedLoads += 3 * n
-	e.C.UncountedStores += n
-	e.C.Issues++
+	e.count(opSelGtV, dst.Len)
 }
 
 // AccV computes dst += a — the flux-assembly accumulate-store ("assembles
 // all the local fluxes", §6). Uncounted class: 2 loads, 1 store.
 func (e *Engine) AccV(dst, a Desc) {
-	e.Mem.check(dst, a)
-	sameLen(dst, a)
+	sameLen2(dst, a)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] += w[a.At(i)]
+	if e.unit2(dst, a) {
+		n := dst.Len
+		d, x := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n]
+		for i := range d {
+			d[i] += x[i]
+		}
+	} else {
+		e.Mem.check(dst, a)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] += w[a.At(i)]
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.ACC += n
-	e.C.UncountedLoads += 2 * n
-	e.C.UncountedStores += n
-	e.C.Issues++
+	e.count(opAccV, dst.Len)
 }
 
 // Fill sets dst = s (residual zeroing; uncounted class: 1 store).
 func (e *Engine) Fill(dst Desc, s float32) {
-	e.Mem.check(dst)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = s
+	if e.unit1(dst) {
+		d := w[dst.Base : dst.Base+dst.Len]
+		for i := range d {
+			d[i] = s
+		}
+	} else {
+		e.Mem.check(dst)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = s
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FILL += n
-	e.C.UncountedStores += n
-	e.C.Issues++
+	e.count(opFill, dst.Len)
 }
 
 // MovV copies dst = a within local memory (uncounted buffer move; the
 // optimized kernel avoids these — the buffer-reuse ablation counts them).
+// The fast path keeps the forward element loop rather than copy(): the two
+// views may overlap, and the legacy semantics are the forward-order ones.
 func (e *Engine) MovV(dst, a Desc) {
-	e.Mem.check(dst, a)
-	sameLen(dst, a)
+	sameLen2(dst, a)
 	w := e.Mem.words
-	for i := 0; i < dst.Len; i++ {
-		w[dst.At(i)] = w[a.At(i)]
+	if e.unit2(dst, a) {
+		n := dst.Len
+		d, x := w[dst.Base:dst.Base+n], w[a.Base:a.Base+n]
+		for i := range d {
+			d[i] = x[i]
+		}
+	} else {
+		e.Mem.check(dst, a)
+		for i := 0; i < dst.Len; i++ {
+			w[dst.At(i)] = w[a.At(i)]
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.MEMMOV += n
-	e.C.UncountedLoads += n
-	e.C.UncountedStores += n
-	e.C.Issues++
+	e.count(opMovV, dst.Len)
 }
 
 // MovRecv stores a received fabric column into local memory (FMOV:
 // 1 fabric load + 1 memory store per element, Table 4's 16 per cell).
 func (e *Engine) MovRecv(dst Desc, src []float32) {
-	e.Mem.check(dst)
 	if len(src) != dst.Len {
 		panic("dsd: MovRecv length mismatch")
 	}
 	w := e.Mem.words
-	for i, v := range src {
-		w[dst.At(i)] = v
+	if e.unit1(dst) {
+		copy(w[dst.Base:dst.Base+dst.Len], src)
+	} else {
+		e.Mem.check(dst)
+		for i, v := range src {
+			w[dst.At(i)] = v
+		}
 	}
-	n := uint64(dst.Len)
-	e.C.FMOV += n
-	e.C.FabricLoads += n
-	e.C.Stores += n
-	e.C.Issues++
+	e.count(opMovRecv, dst.Len)
 }

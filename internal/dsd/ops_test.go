@@ -28,8 +28,8 @@ func TestMulVV(t *testing.T) {
 			t.Fatalf("dst[%d] = %g, want %g", i, got, want)
 		}
 	}
-	if e.C.FMUL != 8 || e.C.Loads != 16 || e.C.Stores != 8 {
-		t.Errorf("counters FMUL=%d Loads=%d Stores=%d, want 8/16/8", e.C.FMUL, e.C.Loads, e.C.Stores)
+	if c := e.Counters(); c.FMUL != 8 || c.Loads != 16 || c.Stores != 8 {
+		t.Errorf("counters FMUL=%d Loads=%d Stores=%d, want 8/16/8", c.FMUL, c.Loads, c.Stores)
 	}
 }
 
@@ -42,8 +42,8 @@ func TestMulVS(t *testing.T) {
 		}
 	}
 	// Scalar operand still counts two loads per element (Table 4 convention).
-	if e.C.FMUL != 8 || e.C.Loads != 16 {
-		t.Errorf("FMUL=%d Loads=%d, want 8/16", e.C.FMUL, e.C.Loads)
+	if c := e.Counters(); c.FMUL != 8 || c.Loads != 16 {
+		t.Errorf("FMUL=%d Loads=%d, want 8/16", c.FMUL, c.Loads)
 	}
 }
 
@@ -65,13 +65,14 @@ func TestAddSubNeg(t *testing.T) {
 	if e.Mem.Load(dst, 2) != -3 {
 		t.Errorf("neg wrong: %g", e.Mem.Load(dst, 2))
 	}
-	if e.C.FADD != 8 || e.C.FSUB != 16 || e.C.FNEG != 8 {
-		t.Errorf("counters FADD=%d FSUB=%d FNEG=%d", e.C.FADD, e.C.FSUB, e.C.FNEG)
+	c := e.Counters()
+	if c.FADD != 8 || c.FSUB != 16 || c.FNEG != 8 {
+		t.Errorf("counters FADD=%d FSUB=%d FNEG=%d", c.FADD, c.FSUB, c.FNEG)
 	}
 	// NEG is 1 load + 1 store.
 	wantLoads := uint64(16 + 16 + 16 + 8)
-	if e.C.Loads != wantLoads {
-		t.Errorf("Loads = %d, want %d", e.C.Loads, wantLoads)
+	if c.Loads != wantLoads {
+		t.Errorf("Loads = %d, want %d", c.Loads, wantLoads)
 	}
 }
 
@@ -83,11 +84,12 @@ func TestFmaVSS(t *testing.T) {
 			t.Fatalf("dst[%d] = %g", i, got)
 		}
 	}
-	if e.C.FMA != 8 || e.C.Loads != 24 || e.C.Stores != 8 {
-		t.Errorf("FMA=%d Loads=%d Stores=%d, want 8/24/8", e.C.FMA, e.C.Loads, e.C.Stores)
+	c := e.Counters()
+	if c.FMA != 8 || c.Loads != 24 || c.Stores != 8 {
+		t.Errorf("FMA=%d Loads=%d Stores=%d, want 8/24/8", c.FMA, c.Loads, c.Stores)
 	}
-	if e.C.Flops() != 16 {
-		t.Errorf("Flops = %d, want 16 (FMA counts 2)", e.C.Flops())
+	if c.Flops() != 16 {
+		t.Errorf("Flops = %d, want 16 (FMA counts 2)", c.Flops())
 	}
 }
 
@@ -122,11 +124,12 @@ func TestSelGtV(t *testing.T) {
 		}
 	}
 	// Predicated moves live in the uncounted class.
-	if e.C.SELGT != 8 || e.C.Loads != 0 || e.C.Flops() != 0 {
-		t.Errorf("SELGT=%d Loads=%d Flops=%d", e.C.SELGT, e.C.Loads, e.C.Flops())
+	ec := e.Counters()
+	if ec.SELGT != 8 || ec.Loads != 0 || ec.Flops() != 0 {
+		t.Errorf("SELGT=%d Loads=%d Flops=%d", ec.SELGT, ec.Loads, ec.Flops())
 	}
-	if e.C.UncountedLoads != 24 || e.C.UncountedStores != 8 {
-		t.Errorf("uncounted traffic %d/%d, want 24/8", e.C.UncountedLoads, e.C.UncountedStores)
+	if ec.UncountedLoads != 24 || ec.UncountedStores != 8 {
+		t.Errorf("uncounted traffic %d/%d, want 24/8", ec.UncountedLoads, ec.UncountedStores)
 	}
 }
 
@@ -147,10 +150,11 @@ func TestAccVAndFill(t *testing.T) {
 	if e.Mem.Load(dst, 3) != 104 {
 		t.Errorf("acc wrong: %g", e.Mem.Load(dst, 3))
 	}
-	if e.C.ACC != 8 || e.C.FILL != 8 {
-		t.Errorf("ACC=%d FILL=%d", e.C.ACC, e.C.FILL)
+	c := e.Counters()
+	if c.ACC != 8 || c.FILL != 8 {
+		t.Errorf("ACC=%d FILL=%d", c.ACC, c.FILL)
 	}
-	if e.C.Flops() != 0 || e.C.Loads != 0 {
+	if c.Flops() != 0 || c.Loads != 0 {
 		t.Error("uncounted ops leaked into counted counters")
 	}
 }
@@ -164,11 +168,12 @@ func TestMovRecv(t *testing.T) {
 			t.Fatalf("recv[%d] = %g, want %g", i, got, want)
 		}
 	}
-	if e.C.FMOV != 8 || e.C.FabricLoads != 8 || e.C.Stores != 8 {
-		t.Errorf("FMOV=%d FabricLoads=%d Stores=%d", e.C.FMOV, e.C.FabricLoads, e.C.Stores)
+	c := e.Counters()
+	if c.FMOV != 8 || c.FabricLoads != 8 || c.Stores != 8 {
+		t.Errorf("FMOV=%d FabricLoads=%d Stores=%d", c.FMOV, c.FabricLoads, c.Stores)
 	}
-	if e.C.FabricBytes() != 32 {
-		t.Errorf("FabricBytes = %d, want 32", e.C.FabricBytes())
+	if c.FabricBytes() != 32 {
+		t.Errorf("FabricBytes = %d, want 32", c.FabricBytes())
 	}
 }
 
@@ -188,7 +193,7 @@ func TestMovV(t *testing.T) {
 	if e.Mem.Load(dst, 7) != 8 {
 		t.Error("MovV copy wrong")
 	}
-	if e.C.MEMMOV != 8 || e.C.Loads != 0 {
+	if c := e.Counters(); c.MEMMOV != 8 || c.Loads != 0 {
 		t.Error("MovV should be uncounted")
 	}
 }
@@ -285,17 +290,18 @@ func TestKernelOpSequenceCounters(t *testing.T) {
 	e.MulVV(f, f, lam)
 	e.AccV(res, f)
 
+	ec := e.Counters()
 	perFace := func(c uint64) uint64 { return c / 8 }
-	if perFace(e.C.FMUL) != 6 || perFace(e.C.FSUB) != 4 || perFace(e.C.FADD) != 1 ||
-		perFace(e.C.FMA) != 1 || perFace(e.C.FNEG) != 1 {
+	if perFace(ec.FMUL) != 6 || perFace(ec.FSUB) != 4 || perFace(ec.FADD) != 1 ||
+		perFace(ec.FMA) != 1 || perFace(ec.FNEG) != 1 {
 		t.Errorf("per-face mix FMUL=%d FSUB=%d FADD=%d FMA=%d FNEG=%d, want 6/4/1/1/1",
-			perFace(e.C.FMUL), perFace(e.C.FSUB), perFace(e.C.FADD), perFace(e.C.FMA), perFace(e.C.FNEG))
+			perFace(ec.FMUL), perFace(ec.FSUB), perFace(ec.FADD), perFace(ec.FMA), perFace(ec.FNEG))
 	}
-	if got := e.C.Flops() / 8; got != 14 {
+	if got := ec.Flops() / 8; got != 14 {
 		t.Errorf("FLOPs per face = %d, want 14", got)
 	}
 	// 39 counted memory accesses per face (Table 4: 390/cell + 16 FMOV).
-	if got := e.C.MemAccesses() / 8; got != 39 {
+	if got := ec.MemAccesses() / 8; got != 39 {
 		t.Errorf("memory accesses per face = %d, want 39", got)
 	}
 }

@@ -135,9 +135,13 @@ func New(cfg Config) (*Fabric, error) {
 	}
 	f := &Fabric{cfg: cfg, stop: make(chan struct{})}
 	f.pes = make([]*PE, cfg.Width*cfg.Height)
+	// One contiguous arena for every PE memory: per-PE views are carved out
+	// of it, so the fabric's working set is one allocation instead of W·H.
+	slab := make([]float32, cfg.Width*cfg.Height*cfg.MemWords)
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
-			mem, err := dsd.NewMemory(cfg.MemWords)
+			off := (y*cfg.Width + x) * cfg.MemWords
+			mem, err := dsd.NewMemoryFromSlab(slab[off : off+cfg.MemWords : off+cfg.MemWords])
 			if err != nil {
 				return nil, err
 			}
@@ -282,7 +286,7 @@ func (f *Fabric) Totals() TotalCounters {
 func (f *Fabric) EngineCounters() dsd.Counters {
 	var c dsd.Counters
 	for _, pe := range f.pes {
-		c.Add(&pe.Eng.C)
+		pe.Eng.AddCounters(&c)
 	}
 	return c
 }

@@ -97,11 +97,12 @@ func SweepPE(memWords int, perPEBandwidth float64) (*ERTResult, error) {
 		return nil, err
 	}
 	eng.FmaVVV(a, b, c, a) // a = b·c + a: 3 loads + 1 store per element
-	if want := uint64(4 * n * 4); eng.C.MemBytes() != want {
-		return nil, fmt.Errorf("roofline: PE triad traffic %d B, want %d", eng.C.MemBytes(), want)
+	ec := eng.Counters()
+	if want := uint64(4 * n * 4); ec.MemBytes() != want {
+		return nil, fmt.Errorf("roofline: PE triad traffic %d B, want %d", ec.MemBytes(), want)
 	}
 	return &ERTResult{
-		Points:    []ERTPoint{{WorkingSetWords: 3 * n, BytesMoved: eng.C.MemBytes(), Flops: eng.C.Flops()}},
+		Points:    []ERTPoint{{WorkingSetWords: 3 * n, BytesMoved: ec.MemBytes(), Flops: ec.Flops()}},
 		Bandwidth: perPEBandwidth,
 	}, nil
 }
