@@ -1,11 +1,12 @@
 GO ?= go
 
 # The engine packages the race gate covers: the goroutine-per-PE fabric, the
-# serial flat engine, the sharded parallel flat engine, and the vector ISA
-# they all execute.
-RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/
+# serial flat engine, the sharded parallel flat engine, the vector ISA they
+# all execute, the shared shard-pool execution layer, and the partitioned
+# unstructured engine built on it.
+RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/ ./internal/exec/ ./internal/umesh/
 
-.PHONY: build test race bench-smoke bench-kernel vet fmt-check ci
+.PHONY: build test race bench-smoke bench-kernel bench-umesh vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,11 @@ bench-smoke:
 bench-kernel:
 	$(GO) test -run '^$$' -bench BenchmarkKernel -benchtime 1x -short ./internal/dsd/ ./internal/core/
 
+# The partitioned unstructured engine microbenchmarks (engine step vs serial
+# sweep) once each — CI's guarantee that they keep compiling and running.
+bench-umesh:
+	$(GO) test -run '^$$' -bench BenchmarkUmesh -benchtime 1x -short ./internal/umesh/
+
 vet:
 	$(GO) vet ./...
 
@@ -36,4 +42,4 @@ fmt-check:
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Everything the CI workflow gates on.
-ci: build vet fmt-check test race bench-smoke bench-kernel
+ci: build vet fmt-check test race bench-smoke bench-kernel bench-umesh

@@ -9,6 +9,7 @@
 //	fvflux -experiment ablations -engine flat
 //	fvflux -experiment scaling -dims 128x128x4
 //	fvflux -experiment kernel -json BENCH_kernel.json
+//	fvflux -experiment umesh -json BENCH_umesh.json
 //	fvflux -experiment table2 -engine parallel -workers 8
 package main
 
@@ -18,23 +19,34 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"slices"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cliutil"
 )
 
+// experiments is the single source of truth for -experiment values: it
+// drives the flag help, the unknown-value error, and must match the run()
+// registrations in main (plus the "all" sentinel).
+var experiments = []string{"table1", "table2", "table3", "table4", "scaling", "kernel", "umesh", "fig8", "ablations", "all"}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig8|scaling|kernel|ablations|all")
+		experiment = flag.String("experiment", "all", strings.Join(experiments, "|"))
 		dims       = flag.String("dims", "12x10x8", "functional mesh NxXNyXNz (Nx,Ny ≥ 3)")
 		apps       = flag.Int("apps", 2, "functional applications of Algorithm 1")
 		engine     = flag.String("engine", "fabric", "functional engine: fabric|flat|parallel")
 		workers    = flag.Int("workers", 0, "worker count for engine=parallel (0 = all CPUs)")
-		jsonOut    = flag.String("json", "", "record the selected scaling or kernel experiment as JSON to this path (ignored with -experiment all)")
+		jsonOut    = flag.String("json", "", "record the selected scaling, kernel or umesh experiment as JSON to this path (ignored with -experiment all)")
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if !slices.Contains(experiments, *experiment) {
+		fatal(fmt.Errorf("unknown experiment %q (want one of %s)", *experiment, strings.Join(experiments, ", ")))
+	}
 
 	d, err := cliutil.ParseDims(*dims)
 	if err != nil {
@@ -138,6 +150,26 @@ func main() {
 		}
 		if *experiment == "kernel" {
 			return writeJSON(*jsonOut, k.WriteJSON)
+		}
+		return nil
+	})
+	run("umesh", func(c bench.Config) error {
+		// The unstructured experiment runs the partitioned radial-mesh
+		// workload; -apps selects the applications per run, -workers the
+		// engine pool size.
+		ucfg := bench.UmeshScalingConfig{Workers: *workers}
+		if explicit["apps"] {
+			ucfg.Apps = c.FuncApps
+		}
+		u, err := bench.RunUmeshScaling(ucfg)
+		if err != nil {
+			return err
+		}
+		if err := u.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *experiment == "umesh" {
+			return writeJSON(*jsonOut, u.WriteJSON)
 		}
 		return nil
 	})

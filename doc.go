@@ -16,6 +16,15 @@
 // (massivefv.RunFlatParallel — worker count 0 means runtime.NumCPU(); the
 // fvflux and fvsim commands expose it as -workers).
 //
+// The partitioned runtimes share one execution layer, internal/exec: a pool
+// of persistent workers dispatching barriered phases over integer shards.
+// The structured sharded engine runs row bands on it; the §9 unstructured
+// path runs RCB parts on it through umesh.PartEngine — a persistent
+// partitioned engine with compact O(owned+halo) per-part state, precompiled
+// allocation-free halo exchange, and communication counters, bit-identical
+// to the serial cell-based sweep (massivefv.RunUnstructured; `fvflux
+// -experiment umesh -json BENCH_umesh.json` records the scaling baseline).
+//
 // Performance: the engines execute through a fast path that stays
 // bit-identical (residuals and counters) to the legacy code — stride-1
 // specialized vector ops iterating over reslices with the bounds check

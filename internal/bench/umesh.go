@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/physics"
+	"repro/internal/umesh"
+)
+
+// This file is the unstructured-engine scaling experiment: one irregular
+// radial mesh, a sweep over RCB part counts, host wall-clock per sweep
+// point, halo-communication volume per point, and a bit-identity check of
+// every partitioned run against the serial cell-based sweep — the §9
+// "arbitrary mesh topologies" workload measured with the same discipline as
+// the structured strong-scaling experiment. The JSON report
+// (BENCH_umesh.json) is the trajectory anchor for the partitioned
+// unstructured path.
+
+// UmeshScalingConfig sizes the unstructured scaling sweep.
+type UmeshScalingConfig struct {
+	// Radial sizes the benchmark mesh (default: 64 rings × 64 base sectors
+	// refined every 16 rings ≈ 15k cells with irregular degrees).
+	Radial umesh.RadialOptions
+	// Apps is the application count per run (default 8).
+	Apps int
+	// Levels lists the RCB bisection depths to sweep (default 0–3, i.e.
+	// 1, 2, 4 and 8 parts).
+	Levels []int
+	// Workers sizes the engine worker pool (default 0 = NumCPU; the pool
+	// clamps to the part count).
+	Workers int
+	// Fluid overrides the default CO2 fluid when non-nil.
+	Fluid *physics.Fluid
+}
+
+func (c UmeshScalingConfig) withDefaults() UmeshScalingConfig {
+	if c.Radial == (umesh.RadialOptions{}) {
+		c.Radial = umesh.RadialOptions{
+			Rings: 64, BaseSectors: 64, RefineEvery: 16,
+			R0: 1, DR: 4, Dz: 4, PermMD: 200,
+		}
+	}
+	if c.Apps == 0 {
+		c.Apps = 8
+	}
+	if len(c.Levels) == 0 {
+		c.Levels = []int{0, 1, 2, 3}
+	}
+	return c
+}
+
+// UmeshScalingPoint is one part count's measurement.
+type UmeshScalingPoint struct {
+	Parts   int `json:"parts"`
+	Workers int `json:"workers"`
+	// Seconds is the host wall-clock of the application loop (engine
+	// construction, load and gather excluded).
+	Seconds float64 `json:"seconds"`
+	// Speedup is serial seconds / this point's seconds.
+	Speedup float64 `json:"speedup"`
+	// McellsPerSec is host throughput in million cell updates per second.
+	McellsPerSec float64 `json:"mcells_per_sec"`
+	// HaloWords and Messages are the total communication of the run — the
+	// §4 volume the partition ships per the precompiled plans.
+	HaloWords uint64 `json:"halo_words"`
+	Messages  uint64 `json:"messages"`
+	// HaloFraction is halo cells shipped per application over mesh cells —
+	// the surface-to-volume ratio of the decomposition.
+	HaloFraction float64 `json:"halo_fraction"`
+}
+
+// UmeshScaling is the sweep outcome. It serializes to the BENCH_umesh.json
+// baseline future PRs compare against.
+type UmeshScaling struct {
+	Cells      int    `json:"cells"`
+	Faces      int    `json:"faces"`
+	MaxDegree  int    `json:"max_degree"`
+	Apps       int    `json:"apps"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+
+	// SerialSeconds is the serial cell-based multi-application wall-clock
+	// the speedups are relative to.
+	SerialSeconds float64             `json:"serial_seconds"`
+	Points        []UmeshScalingPoint `json:"points"`
+
+	// BitIdentical records that every partitioned run's residual matched
+	// the serial cell-based sweep exactly; a divergence aborts the sweep.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// RunUmeshScaling measures the persistent partitioned unstructured engine
+// across part counts against the serial cell-based baseline.
+func RunUmeshScaling(cfg UmeshScalingConfig) (*UmeshScaling, error) {
+	cfg = cfg.withDefaults()
+	u, err := umesh.NewRadialMesh(cfg.Radial)
+	if err != nil {
+		return nil, err
+	}
+	fl := physics.DefaultFluid()
+	if cfg.Fluid != nil {
+		fl = *cfg.Fluid
+	}
+	pres := make([]float32, u.NumCells)
+	for i := range pres {
+		pres[i] = 2e7 + 2e5*float32perturbSeed(i)
+	}
+
+	// Warm-up then measured serial baseline (the strong-scaling
+	// methodology: no run pays first-touch costs for the ones after it).
+	if _, err := umesh.RunCellBasedApps(u, fl, pres, cfg.Apps, umesh.PerturbAmplitude); err != nil {
+		return nil, fmt.Errorf("bench: umesh warm-up: %w", err)
+	}
+	runtime.GC()
+	serialStart := time.Now()
+	serial, err := umesh.RunCellBasedApps(u, fl, pres, cfg.Apps, umesh.PerturbAmplitude)
+	if err != nil {
+		return nil, fmt.Errorf("bench: umesh serial baseline: %w", err)
+	}
+	serialSec := time.Since(serialStart).Seconds()
+
+	out := &UmeshScaling{
+		Cells:         u.NumCells,
+		Faces:         len(u.Faces),
+		MaxDegree:     u.MaxDegree(),
+		Apps:          cfg.Apps,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+		SerialSeconds: serialSec,
+		BitIdentical:  true,
+	}
+	for _, levels := range cfg.Levels {
+		part, err := umesh.RCB(u, levels)
+		if err != nil {
+			return nil, fmt.Errorf("bench: RCB levels %d: %w", levels, err)
+		}
+		e, err := umesh.NewPartEngine(u, part, fl, umesh.EngineOptions{
+			Apps: cfg.Apps, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: engine %d parts: %w", part.NumParts, err)
+		}
+		// Warm-up run, GC, measured run — the engine is persistent, so the
+		// measured run is the steady state the engine exists for.
+		if _, err := e.Run(pres); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("bench: %d parts warm-up: %w", part.NumParts, err)
+		}
+		runtime.GC()
+		res, err := e.Run(pres)
+		e.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d parts: %w", part.NumParts, err)
+		}
+		for i := range serial {
+			if res.Residual[i] != serial[i] {
+				return nil, fmt.Errorf("bench: %d parts: residual[%d] diverged from serial (%g vs %g)",
+					part.NumParts, i, res.Residual[i], serial[i])
+			}
+		}
+		sec := res.Elapsed.Seconds()
+		pt := UmeshScalingPoint{
+			Parts:     res.NumParts,
+			Workers:   res.Workers,
+			Seconds:   sec,
+			HaloWords: res.Comm.HaloWords,
+			Messages:  res.Comm.Messages,
+			HaloFraction: float64(res.Comm.HaloWords) /
+				float64(cfg.Apps) / float64(u.NumCells),
+		}
+		if sec > 0 {
+			pt.Speedup = serialSec / sec
+			pt.McellsPerSec = float64(res.CellsUpdated()) / sec / 1e6
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// float32perturbSeed is a cheap deterministic field seed in [-1, 1].
+func float32perturbSeed(i int) float32 {
+	x := uint32(i)*2654435761 + 12345
+	return float32(int32(x)) / float32(1<<31)
+}
+
+// WriteJSON writes the sweep as indented JSON — the BENCH_umesh.json
+// baseline format.
+func (s *UmeshScaling) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Render writes the sweep as a table.
+func (s *UmeshScaling) Render(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "Unstructured partitioned engine — radial mesh, %d cells, %d faces (max degree %d), %d applications\n",
+		s.Cells, s.Faces, s.MaxDegree, s.Apps)
+	fmt.Fprintf(tw, "host: %s, NumCPU %d, GOMAXPROCS %d\n", s.GoVersion, s.NumCPU, s.GOMAXPROCS)
+	fmt.Fprintf(tw, "serial cell-based baseline: %.4f s\n", s.SerialSeconds)
+	fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tMcell/s\thalo words\tmsgs\thalo/cells")
+	for _, p := range s.Points {
+		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%.2f\t%d\t%d\t%.3f\n",
+			p.Parts, p.Workers, p.Seconds, p.Speedup, p.McellsPerSec,
+			p.HaloWords, p.Messages, p.HaloFraction)
+	}
+	fmt.Fprintf(tw, "\nbit-identical to serial: %v\n", s.BitIdentical)
+	if s.GOMAXPROCS == 1 {
+		fmt.Fprintln(tw, "note: single-core host — wall-clock speedup is impossible here; the sweep still verifies the partitioned engine end to end")
+	}
+	return tw.Flush()
+}

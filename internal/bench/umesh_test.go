@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/umesh"
+)
+
+func smallUmeshCfg() UmeshScalingConfig {
+	return UmeshScalingConfig{
+		Radial: umesh.RadialOptions{
+			Rings: 8, BaseSectors: 8, RefineEvery: 3,
+			R0: 1, DR: 4, Dz: 4, PermMD: 200,
+		},
+		Apps:   2,
+		Levels: []int{0, 1, 2},
+	}
+}
+
+func TestUmeshScalingSweep(t *testing.T) {
+	s, err := RunUmeshScaling(smallUmeshCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.BitIdentical {
+		t.Error("sweep not bit-identical to serial cell-based")
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("%d sweep points, want 3", len(s.Points))
+	}
+	if s.SerialSeconds <= 0 {
+		t.Error("serial baseline has no wall-clock")
+	}
+	if s.MaxDegree <= 4 {
+		t.Errorf("benchmark mesh max degree %d — not irregular", s.MaxDegree)
+	}
+	for i, p := range s.Points {
+		if p.Parts != 1<<i {
+			t.Errorf("point %d covers %d parts, want %d", i, p.Parts, 1<<i)
+		}
+		if p.Seconds <= 0 || p.McellsPerSec <= 0 {
+			t.Errorf("degenerate sweep point %+v", p)
+		}
+		if p.Parts == 1 {
+			if p.HaloWords != 0 || p.Messages != 0 {
+				t.Errorf("1-part run reports communication: %+v", p)
+			}
+			continue
+		}
+		if p.HaloWords == 0 || p.Messages == 0 {
+			t.Errorf("%d-part run reports no communication: %+v", p.Parts, p)
+		}
+		if p.HaloFraction <= 0 || p.HaloFraction >= 1 {
+			t.Errorf("%d-part halo fraction %g outside (0, 1)", p.Parts, p.HaloFraction)
+		}
+	}
+	// Halo volume grows with part count (more cut faces).
+	if s.Points[2].HaloWords <= s.Points[1].HaloWords {
+		t.Errorf("halo words did not grow with parts: %d (4 parts) vs %d (2 parts)",
+			s.Points[2].HaloWords, s.Points[1].HaloWords)
+	}
+
+	var tbl, js strings.Builder
+	if err := s.Render(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Unstructured partitioned engine", "halo words", "bit-identical to serial: true"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"serial_seconds"`, `"bit_identical": true`, `"gomaxprocs"`, `"halo_words"`, `"max_degree"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestUmeshScalingRejectsBadLevels(t *testing.T) {
+	cfg := smallUmeshCfg()
+	cfg.Levels = []int{20}
+	if _, err := RunUmeshScaling(cfg); err == nil {
+		t.Error("20 bisection levels accepted")
+	}
+}

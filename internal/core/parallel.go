@@ -3,14 +3,16 @@ package core
 import (
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/mesh"
 	"repro/internal/physics"
 )
 
 // This file is the sharded parallel flat engine: the serial RunFlat schedule
-// decomposed into contiguous row bands of the PE grid, each executed by one
-// worker of a fixed pool (Options.Workers). The phase structure makes the
-// data sharing safe without per-PE locks:
+// decomposed into contiguous row bands of the PE grid, each executed as one
+// shard of an exec.Pool (the shared shard-pool execution layer; the
+// unstructured umesh.PartEngine runs on the same machinery). The phase
+// structure makes the data sharing safe without per-PE locks:
 //
 //   - perturbation writes only the owning PE's pressure column;
 //   - halo exchange reads neighbor pressure/gravity columns and writes only
@@ -56,65 +58,12 @@ func partitionRows(ny, parts int) []band {
 	return bands
 }
 
-// shardTask is one band's share of a phase, with the channel its completion
-// is reported on.
-type shardTask struct {
-	fn   func(band) error
-	b    band
-	errs chan<- error
-}
-
-// shardPool runs phase functions over the bands on a fixed set of worker
-// goroutines. One dispatch per phase doubles as the barrier that orders a
-// phase's writes before the next phase's reads.
-type shardPool struct {
-	bands []band
-	tasks chan shardTask
-}
-
-// newShardPool starts min(workers, len(bands)) worker goroutines; they live
-// until stop.
-func newShardPool(workers int, bands []band) *shardPool {
-	if workers > len(bands) {
-		workers = len(bands)
-	}
-	p := &shardPool{bands: bands, tasks: make(chan shardTask)}
-	for i := 0; i < workers; i++ {
-		go func() {
-			for t := range p.tasks {
-				t.errs <- t.fn(t.b)
-			}
-		}()
-	}
-	return p
-}
-
-// run dispatches fn over every band and blocks until all bands complete —
-// the phase barrier. The first error is returned after every band finishes,
-// so no worker is still touching shared state when the caller proceeds.
-func (p *shardPool) run(fn func(band) error) error {
-	errs := make(chan error, len(p.bands))
-	for _, b := range p.bands {
-		p.tasks <- shardTask{fn: fn, b: b, errs: errs}
-	}
-	var first error
-	for range p.bands {
-		if err := <-errs; err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
-
-// stop terminates the worker goroutines.
-func (p *shardPool) stop() { close(p.tasks) }
-
 // RunFlatParallel executes the flat dataflow schedule on a sharded worker
 // pool: the PE grid's rows are decomposed into opts.Workers contiguous bands
-// and each band's setup, exchange and local-application phases run on one
-// worker, with a barrier between the perturbation and exchange phases of
-// every application. The result is bit-identical to RunFlat for every
-// worker count.
+// and each band's setup, exchange and local-application phases run as one
+// shard of an exec.Pool, with a barrier between the perturbation and
+// exchange phases of every application. The result is bit-identical to
+// RunFlat for every worker count.
 func RunFlatParallel(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(m, fl); err != nil {
@@ -123,12 +72,14 @@ func RunFlatParallel(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, err
 	flLin := fl.WithModel(physics.DensityLinear)
 	nx, ny := m.Dims.Nx, m.Dims.Ny
 	states := make([]*peState, nx*ny)
-	pool := newShardPool(opts.Workers, partitionRows(ny, opts.Workers))
-	defer pool.stop()
+	bands := partitionRows(ny, opts.Workers)
+	pool := exec.NewPool(opts.Workers, len(bands))
+	defer pool.Stop()
 
 	// Sharded setup: each worker allocates its own band's arena slab and
 	// loads its PEs from it; the mesh is only read.
-	err := pool.run(func(b band) error {
+	err := pool.Run(func(shard int) error {
+		b := bands[shard]
 		return newBandStates(states, m, flLin, b.y0, b.y1, opts)
 	})
 	if err != nil {
@@ -140,7 +91,8 @@ func RunFlatParallel(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, err
 		if app > 0 {
 			// Phase 1: perturb every own pressure column. Must fully
 			// complete before any shard reads a neighbor's column.
-			if err := pool.run(func(b band) error {
+			if err := pool.Run(func(shard int) error {
+				b := bands[shard]
 				for _, s := range states[b.y0*nx : b.y1*nx] {
 					s.perturb(app)
 				}
@@ -152,7 +104,8 @@ func RunFlatParallel(m *mesh.Mesh, fl physics.Fluid, opts Options) (*Result, err
 		// Phase 2: halo exchange + local application. Exchange only reads
 		// neighbor columns and the application never writes them, so shards
 		// need no further synchronization within the phase.
-		if err := pool.run(func(b band) error {
+		if err := pool.Run(func(shard int) error {
+			b := bands[shard]
 			for _, s := range states[b.y0*nx : b.y1*nx] {
 				if err := flatExchange(states, s, nx); err != nil {
 					return err

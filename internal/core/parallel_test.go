@@ -63,7 +63,9 @@ func TestParallelMatchesFlatBitExact(t *testing.T) {
 		{Nx: 3, Ny: 9, Nz: 3}, // tall: more rows than typical worker counts
 		{Nx: 9, Ny: 2, Nz: 5}, // fewer rows than workers
 	}
-	workerCounts := []int{1, 2, runtime.NumCPU()}
+	// 1/2/4 are pinned (not NumCPU-derived) so the exec-pool dispatch with
+	// fewer workers than shards is exercised even on small CI hosts.
+	workerCounts := []int{1, 2, 4, runtime.NumCPU()}
 	for _, d := range dims {
 		for _, diagonals := range []bool{true, false} {
 			m := testMesh(t, d)

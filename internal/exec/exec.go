@@ -1,0 +1,98 @@
+// Package exec is the shared shard-pool execution layer of the engines: a
+// fixed set of worker goroutines that run barriered phases over a fixed set
+// of shards. It is the machinery that was private to the sharded structured
+// engine (core.RunFlatParallel) and is now reused by every partitioned
+// runtime — the structured row-band engine and the unstructured part engine
+// (umesh.PartEngine) — so all of them share one scheduling discipline:
+//
+//   - a shard is a stable integer in [0, Shards()); what it denotes (a band
+//     of PE-grid rows, an RCB part) is the caller's business;
+//   - a phase is one function dispatched over every shard; Run returns only
+//     after every shard finished, so one Run call is also the barrier that
+//     orders a phase's writes before the next phase's reads;
+//   - workers persist across phases (and across engine applications), so the
+//     steady state spawns no goroutines and allocates nothing.
+//
+// Determinism note: the pool never reduces results itself. Engines that need
+// deterministic output reduce per-shard state in fixed shard order after the
+// final barrier (see core.summarize and umesh.PartEngine), so the values an
+// engine reports are independent of which worker finished first.
+package exec
+
+// task is one shard's share of a phase.
+type task struct {
+	fn    func(shard int) error
+	shard int
+}
+
+// Pool runs phase functions over a fixed shard set on persistent worker
+// goroutines. A Pool is driven by one orchestrating goroutine: Run and Stop
+// must not be called concurrently with each other.
+type Pool struct {
+	workers int
+	shards  int
+	tasks   chan task
+	// errs is the persistent completion channel, buffered to the shard
+	// count; Run drains it fully before returning, so the steady-state
+	// barrier allocates nothing.
+	errs chan error
+}
+
+// NewPool starts a pool of min(workers, shards) worker goroutines over the
+// given shard count; they live until Stop. Workers and shards are clamped to
+// at least 1.
+func NewPool(workers, shards int) *Pool {
+	if shards < 1 {
+		shards = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	p := &Pool{
+		workers: workers,
+		shards:  shards,
+		tasks:   make(chan task),
+		errs:    make(chan error, shards),
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range p.tasks {
+				p.errs <- t.fn(t.shard)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the running worker-goroutine count (after clamping).
+func (p *Pool) Workers() int { return p.workers }
+
+// Shards returns the shard count every phase is dispatched over.
+func (p *Pool) Shards() int { return p.shards }
+
+// Run dispatches fn over every shard and blocks until all shards complete —
+// the phase barrier. The first error is returned after every shard finishes,
+// so no worker is still touching shared state when the caller proceeds.
+//
+// Phase functions must not block on work produced by another shard of the
+// same phase: with fewer workers than shards that work may not have started
+// yet. Cross-shard data dependencies belong between phases, where the
+// barrier orders them.
+func (p *Pool) Run(fn func(shard int) error) error {
+	for s := 0; s < p.shards; s++ {
+		p.tasks <- task{fn: fn, shard: s}
+	}
+	var first error
+	for s := 0; s < p.shards; s++ {
+		if err := <-p.errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stop terminates the worker goroutines. The pool must not be used after.
+func (p *Pool) Stop() { close(p.tasks) }

@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolClamping(t *testing.T) {
+	cases := []struct {
+		workers, shards         int
+		wantWorkers, wantShards int
+	}{
+		{0, 0, 1, 1},
+		{-3, 5, 1, 5},
+		{8, 3, 3, 3},
+		{2, 7, 2, 7},
+	}
+	for _, c := range cases {
+		p := NewPool(c.workers, c.shards)
+		if p.Workers() != c.wantWorkers || p.Shards() != c.wantShards {
+			t.Errorf("NewPool(%d, %d): workers %d shards %d, want %d/%d",
+				c.workers, c.shards, p.Workers(), p.Shards(), c.wantWorkers, c.wantShards)
+		}
+		p.Stop()
+	}
+}
+
+func TestPoolRunsEveryShardOncePerPhase(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const shards = 9
+		p := NewPool(workers, shards)
+		counts := make([]int, shards)
+		for phase := 0; phase < 5; phase++ {
+			if err := p.Run(func(s int) error {
+				counts[s]++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Stop()
+		for s, n := range counts {
+			if n != 5 {
+				t.Errorf("workers=%d: shard %d ran %d times, want 5", workers, s, n)
+			}
+		}
+	}
+}
+
+func TestPoolBarrierOrdersPhases(t *testing.T) {
+	// Every shard increments in phase 1; phase 2 reads ALL shards' values.
+	// If Run returned before the barrier, phase 2 would observe a partial
+	// phase-1 state (and -race would flag the unsynchronized access).
+	const shards = 8
+	p := NewPool(3, shards)
+	defer p.Stop()
+	vals := make([]int, shards)
+	for round := 1; round <= 10; round++ {
+		if err := p.Run(func(s int) error {
+			vals[s]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(func(s int) error {
+			for _, v := range vals {
+				if v != round {
+					return fmt.Errorf("shard %d saw stale value %d in round %d", s, v, round)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolErrorPropagation(t *testing.T) {
+	p := NewPool(2, 6)
+	defer p.Stop()
+	sentinel := errors.New("shard 3 failed")
+	var ran atomic.Int32
+	err := p.Run(func(s int) error {
+		ran.Add(1)
+		if s == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want %v", err, sentinel)
+	}
+	// The barrier still waits for every shard even when one errors.
+	if got := ran.Load(); got != 6 {
+		t.Errorf("%d shards ran, want 6", got)
+	}
+	// The pool stays usable after an error (the errs channel was drained).
+	if err := p.Run(func(int) error { return nil }); err != nil {
+		t.Fatalf("Run after error: %v", err)
+	}
+}
+
+func TestPoolSteadyStateRunAllocatesNothing(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Stop()
+	sink := make([]int, 4)
+	fn := func(s int) error { // pre-built closure, as the engines hold them
+		sink[s]++
+		return nil
+	}
+	if err := p.Run(fn); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.Run(fn); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Run allocates %.1f objects per phase, want 0", allocs)
+	}
+}

@@ -1,0 +1,458 @@
+package umesh
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/mesh"
+	"repro/internal/physics"
+)
+
+// This file is the persistent partitioned unstructured engine: the one-shot
+// ComputeResidualPartitioned prototype rebuilt on the shared shard-pool
+// execution layer (internal/exec), the same runtime the structured
+// core.RunFlatParallel runs on. The differences from the prototype are the
+// ones that make the path scale:
+//
+//   - compact local renumbering: a part's working set is its owned cells
+//     plus its halo cells only (O(owned+halo)), never the O(NumCells)
+//     global-sized local/seen arrays the prototype allocated per part;
+//   - precompiled exchange plans: the Partition's send/recv plans are
+//     flattened into local index arrays and contiguous halo slots at engine
+//     construction, so the steady-state exchange packs, ships and scatters
+//     through persistent buffers and allocates nothing;
+//   - a persistent worker pool and multi-application loop with the shared
+//     perturbation schedule, instead of goroutines spawned per call;
+//   - communication counters (halo words, messages) mirroring the word-level
+//     accounting the structured engines keep.
+//
+// The residual stays bit-identical to the serial cell-based sweep: every
+// owned cell accumulates its faces in exactly the adjacency order of
+// ComputeResidualCellBased, on exactly the same float32 pressure values.
+
+// PerturbAmplitude is the shared between-application pressure perturbation
+// (Pa) — the same schedule the structured engines apply
+// (core.PerturbAmplitude; a test asserts the two constants stay equal).
+const PerturbAmplitude float32 = 1000.0
+
+// EngineOptions configures a PartEngine.
+type EngineOptions struct {
+	// Apps is the number of applications of Algorithm 1 per Run (default 1).
+	// The pressure field is perturbed between applications with the shared
+	// schedule.
+	Apps int
+	// Workers sizes the exec.Pool worker set; 0 selects runtime.NumCPU().
+	// The pool clamps it to the part count.
+	Workers int
+	// PerturbAmplitude overrides the shared perturbation amplitude
+	// (default PerturbAmplitude).
+	PerturbAmplitude float32
+}
+
+func (o EngineOptions) withDefaults() EngineOptions {
+	if o.Apps == 0 {
+		o.Apps = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.PerturbAmplitude == 0 {
+		o.PerturbAmplitude = PerturbAmplitude
+	}
+	return o
+}
+
+// CommCounters is the engine's communication accounting, the unstructured
+// mirror of the structured engines' fabric-word counting.
+type CommCounters struct {
+	// HaloWords is the float32 words shipped between parts.
+	HaloWords uint64
+	// Messages is the discrete part-to-part messages (one per (src, dst)
+	// neighbor pair per application).
+	Messages uint64
+}
+
+// PartResult is the outcome of one PartEngine.Run.
+type PartResult struct {
+	// Engine names the executing engine: "umesh-part".
+	Engine string
+	// NumCells, NumParts, Apps and Workers echo the run configuration
+	// (Workers after pool clamping).
+	NumCells, NumParts, Apps, Workers int
+	// Residual is the final application's residual in global cell order.
+	Residual []float64
+	// Comm is the total communication over all applications.
+	Comm CommCounters
+	// Elapsed is the host wall-clock of the application loop (setup, load
+	// and gather excluded, matching core.Result.Elapsed).
+	Elapsed time.Duration
+}
+
+// CellsUpdated returns total cell updates performed (cells × applications).
+func (r *PartResult) CellsUpdated() uint64 {
+	return uint64(r.NumCells) * uint64(r.Apps)
+}
+
+// HostThroughput returns host cell updates per second.
+func (r *PartResult) HostThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.CellsUpdated()) / r.Elapsed.Seconds()
+}
+
+// haloMsg is one halo message: the values of the sender's planned cells, in
+// plan order. The payload is the sender's persistent buffer, valid until the
+// sender's next application — the barrier between recv+compute and the next
+// send phase guarantees the receiver is done with it by then.
+type haloMsg struct {
+	src  int
+	vals []float32
+}
+
+// sendPlan is one precompiled outgoing message: the local indices to pack
+// and the persistent payload buffer.
+type sendPlan struct {
+	dst int
+	idx []int32
+	buf []float32
+}
+
+// recvSlot is one precompiled incoming message: halo cells are renumbered so
+// each source part's cells occupy one contiguous local range, making the
+// scatter a single copy.
+type recvSlot struct {
+	src     int
+	base, n int
+}
+
+// partState is the compact per-part working set: owned cells first, then
+// halo cells grouped by source part. Everything is sized O(owned+halo); no
+// field scales with the global cell count.
+type partState struct {
+	me            int
+	nOwned, nHalo int
+	globalOf      []int32 // local → global cell id
+	pres          []float32
+	elev          []float64
+	res           []float64 // owned cells only
+	rowStart      []int32   // CSR adjacency over owned cells, local indices
+	nbrLocal      []int32
+	nbrTrans      []float64
+	sends         []sendPlan
+	recvs         []recvSlot
+	comm          CommCounters
+}
+
+// PartEngine is the persistent partitioned unstructured engine. Construct it
+// once per (mesh, partition, fluid); Run executes a multi-application batch;
+// Close stops the worker pool. An engine is driven by one goroutine.
+type PartEngine struct {
+	u    *Mesh
+	part *Partition
+	fl   physics.Fluid
+	opts EngineOptions
+
+	pool  *exec.Pool
+	parts []*partState
+	mail  []chan haloMsg
+
+	app int // current application, set before each phase dispatch
+
+	// Pre-built phase closures: dispatching them through the pool allocates
+	// nothing in the steady state.
+	fnPerturb, fnSend, fnRecvCompute func(int) error
+}
+
+// NewPartEngine compiles the partition into compact per-part states and
+// starts the worker pool.
+func NewPartEngine(u *Mesh, p *Partition, fl physics.Fluid, opts EngineOptions) (*PartEngine, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fl.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Part) != u.NumCells {
+		return nil, fmt.Errorf("umesh: partition covers %d cells, mesh has %d", len(p.Part), u.NumCells)
+	}
+	opts = opts.withDefaults()
+	if opts.Apps < 1 {
+		return nil, fmt.Errorf("umesh: applications must be positive, got %d", opts.Apps)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("umesh: workers must be non-negative, got %d", opts.Workers)
+	}
+	e := &PartEngine{u: u, part: p, fl: fl, opts: opts}
+	e.parts = make([]*partState, p.NumParts)
+	e.mail = make([]chan haloMsg, p.NumParts)
+	for me := 0; me < p.NumParts; me++ {
+		ps, err := newPartState(u, p, me)
+		if err != nil {
+			return nil, err
+		}
+		e.parts[me] = ps
+		e.mail[me] = make(chan haloMsg, len(ps.recvs))
+	}
+	e.pool = exec.NewPool(opts.Workers, p.NumParts)
+	e.fnPerturb = e.phasePerturb
+	e.fnSend = e.phaseSend
+	e.fnRecvCompute = e.phaseRecvCompute
+	return e, nil
+}
+
+// sortedKeys returns a plan map's part keys in ascending order — the
+// deterministic neighbor ordering every precompiled plan uses.
+func sortedKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// newPartState renumbers one part into its compact local index space and
+// precompiles its exchange plans.
+func newPartState(u *Mesh, p *Partition, me int) (*partState, error) {
+	owned := p.Owned[me]
+	ps := &partState{me: me, nOwned: len(owned)}
+
+	// Local renumbering: owned cells first (in Owned order), then each
+	// source part's halo cells as one contiguous block, sources ascending.
+	localOf := make(map[int]int32, len(owned))
+	ps.globalOf = make([]int32, 0, len(owned))
+	for i, c := range owned {
+		localOf[c] = int32(i)
+		ps.globalOf = append(ps.globalOf, int32(c))
+	}
+	for _, src := range sortedKeys(p.recvPlan[me]) {
+		cells := p.recvPlan[me][src]
+		ps.recvs = append(ps.recvs, recvSlot{src: src, base: len(ps.globalOf), n: len(cells)})
+		for _, c := range cells {
+			if _, dup := localOf[c]; dup {
+				return nil, fmt.Errorf("umesh: part %d receives cell %d twice", me, c)
+			}
+			localOf[c] = int32(len(ps.globalOf))
+			ps.globalOf = append(ps.globalOf, int32(c))
+		}
+		ps.nHalo += len(cells)
+	}
+
+	// Compact fields — O(owned+halo) words, never O(NumCells).
+	n := len(ps.globalOf)
+	ps.pres = make([]float32, n)
+	ps.elev = make([]float64, n)
+	for i, g := range ps.globalOf {
+		ps.elev[i] = u.Elev[g]
+	}
+	ps.res = make([]float64, ps.nOwned)
+
+	// CSR adjacency over local indices, preserving the exact per-cell
+	// neighbor order of the serial cell-based sweep.
+	ps.rowStart = make([]int32, ps.nOwned+1)
+	for i, c := range owned {
+		ps.rowStart[i+1] = ps.rowStart[i] + int32(u.Degree(c))
+	}
+	ps.nbrLocal = make([]int32, ps.rowStart[ps.nOwned])
+	ps.nbrTrans = make([]float64, ps.rowStart[ps.nOwned])
+	k := 0
+	for _, c := range owned {
+		nbrs, trans := u.halfFaces(c)
+		for j, nb := range nbrs {
+			li, ok := localOf[int(nb)]
+			if !ok {
+				return nil, fmt.Errorf("umesh: part %d: neighbor %d of owned cell %d is neither owned nor planned halo", me, nb, c)
+			}
+			ps.nbrLocal[k] = li
+			ps.nbrTrans[k] = trans[j]
+			k++
+		}
+	}
+
+	// Send plans: local owned indices to pack, persistent payload buffers.
+	for _, dst := range sortedKeys(p.sendPlan[me]) {
+		cells := p.sendPlan[me][dst]
+		sp := sendPlan{dst: dst, idx: make([]int32, len(cells)), buf: make([]float32, len(cells))}
+		for i, c := range cells {
+			li, ok := localOf[c]
+			if !ok || li >= int32(ps.nOwned) {
+				return nil, fmt.Errorf("umesh: part %d: planned send cell %d is not owned", me, c)
+			}
+			sp.idx[i] = li
+		}
+		ps.sends = append(ps.sends, sp)
+	}
+	return ps, nil
+}
+
+// WorkingSet reports a part's resident cell count — the O(owned+halo)
+// guarantee tests assert.
+func (e *PartEngine) WorkingSet(part int) (owned, halo int) {
+	ps := e.parts[part]
+	return ps.nOwned, ps.nHalo
+}
+
+// Close stops the worker pool. The engine must not be used after.
+func (e *PartEngine) Close() { e.pool.Stop() }
+
+// Run loads the global pressure field into the parts, executes opts.Apps
+// applications of Algorithm 1 and returns the final application's residual
+// in global cell order. The input slice is not mutated; Run may be called
+// repeatedly (each call restarts from the given field).
+func (e *PartEngine) Run(pres []float32) (*PartResult, error) {
+	if len(pres) != e.u.NumCells {
+		return nil, fmt.Errorf("umesh: pressure length %d != cells %d", len(pres), e.u.NumCells)
+	}
+	if err := e.pool.Run(func(shard int) error {
+		ps := e.parts[shard]
+		for i := 0; i < ps.nOwned; i++ {
+			ps.pres[i] = pres[ps.globalOf[i]]
+		}
+		ps.comm = CommCounters{}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	for app := 0; app < e.opts.Apps; app++ {
+		if err := e.step(app); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	res := &PartResult{
+		Engine:   "umesh-part",
+		NumCells: e.u.NumCells,
+		NumParts: e.part.NumParts,
+		Apps:     e.opts.Apps,
+		Workers:  e.pool.Workers(),
+		Residual: make([]float64, e.u.NumCells),
+		Elapsed:  elapsed,
+	}
+	if err := e.pool.Run(func(shard int) error {
+		ps := e.parts[shard]
+		for i := 0; i < ps.nOwned; i++ {
+			res.Residual[ps.globalOf[i]] = ps.res[i]
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Deterministic reduction: fold per-part counters in part order, the
+	// same discipline core.summarize applies to per-PE counters.
+	for _, ps := range e.parts {
+		res.Comm.HaloWords += ps.comm.HaloWords
+		res.Comm.Messages += ps.comm.Messages
+	}
+	return res, nil
+}
+
+// step executes one application as barriered pool phases: perturb (app > 0),
+// pack+send, then receive+compute. Sends go to mailboxes buffered to the
+// expected message count, so the send phase never blocks; the barrier before
+// recv+compute guarantees every message is already waiting, so the receive
+// never blocks either — the pool stays deadlock-free for any worker count.
+func (e *PartEngine) step(app int) error {
+	e.app = app
+	if app > 0 {
+		if err := e.pool.Run(e.fnPerturb); err != nil {
+			return err
+		}
+	}
+	if err := e.pool.Run(e.fnSend); err != nil {
+		return err
+	}
+	return e.pool.Run(e.fnRecvCompute)
+}
+
+// phasePerturb applies the shared perturbation schedule to the part's owned
+// cells; halo copies are refreshed by the following exchange, so the global
+// field evolves exactly as the serial sweep's does.
+func (e *PartEngine) phasePerturb(shard int) error {
+	ps := e.parts[shard]
+	app, amp := e.app, e.opts.PerturbAmplitude
+	for i := 0; i < ps.nOwned; i++ {
+		ps.pres[i] += mesh.PerturbDelta32(app, int(ps.globalOf[i]), amp)
+	}
+	return nil
+}
+
+// phaseSend packs each outgoing message from the precompiled index list into
+// its persistent buffer and posts it — the steady-state path allocates
+// nothing.
+func (e *PartEngine) phaseSend(shard int) error {
+	ps := e.parts[shard]
+	for si := range ps.sends {
+		sp := &ps.sends[si]
+		for j, li := range sp.idx {
+			sp.buf[j] = ps.pres[li]
+		}
+		e.mail[sp.dst] <- haloMsg{src: ps.me, vals: sp.buf}
+		ps.comm.HaloWords += uint64(len(sp.buf))
+		ps.comm.Messages++
+	}
+	return nil
+}
+
+// phaseRecvCompute drains the part's mailbox (each message scatters as one
+// copy into its contiguous halo block), then computes every owned cell in
+// the serial sweep's accumulation order.
+func (e *PartEngine) phaseRecvCompute(shard int) error {
+	ps := e.parts[shard]
+	for range ps.recvs {
+		msg := <-e.mail[ps.me]
+		slot := -1
+		for ri := range ps.recvs {
+			if ps.recvs[ri].src == msg.src {
+				slot = ri
+				break
+			}
+		}
+		if slot < 0 || ps.recvs[slot].n != len(msg.vals) {
+			return fmt.Errorf("umesh: part %d got unexpected halo from %d (%d values)", ps.me, msg.src, len(msg.vals))
+		}
+		r := ps.recvs[slot]
+		copy(ps.pres[r.base:r.base+r.n], msg.vals)
+	}
+	fl := e.fl
+	for i := 0; i < ps.nOwned; i++ {
+		pc := float64(ps.pres[i])
+		zc := ps.elev[i]
+		sum := 0.0
+		for j := ps.rowStart[i]; j < ps.rowStart[i+1]; j++ {
+			nb := ps.nbrLocal[j]
+			sum += fl.FaceFlux(ps.nbrTrans[j], pc, float64(ps.pres[nb]), zc, ps.elev[nb])
+		}
+		ps.res[i] = sum
+	}
+	return nil
+}
+
+// RunCellBasedApps executes the serial cell-based sweep through the shared
+// multi-application schedule — the reference the partitioned engine must
+// match bit-for-bit. The input slice is not mutated; the returned residual
+// is the final application's.
+func RunCellBasedApps(u *Mesh, fl physics.Fluid, p []float32, apps int, amp float32) ([]float64, error) {
+	if apps < 1 {
+		return nil, fmt.Errorf("umesh: applications must be positive, got %d", apps)
+	}
+	field := append([]float32(nil), p...)
+	var res []float64
+	var err error
+	for app := 0; app < apps; app++ {
+		if app > 0 {
+			mesh.PerturbPressure32(field, app, amp)
+		}
+		res, err = ComputeResidualCellBased(u, fl, field)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

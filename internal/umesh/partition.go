@@ -3,7 +3,6 @@ package umesh
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/physics"
 )
@@ -148,88 +147,25 @@ func (p *Partition) HaloCells(part int) int {
 	return n
 }
 
-// haloMsg is one halo message: the values of the sender's listed cells.
-type haloMsg struct {
-	src  int
-	vals []float32
-}
-
-// ComputeResidualPartitioned evaluates the cell-based Algorithm 1 with one
-// goroutine per part: each part exchanges halo pressures with its
-// neighboring parts over channels, then computes its owned cells. The
-// result must match the serial sweeps bit-for-bit in float64 accumulation
-// order per cell (cell-based order is preserved).
+// ComputeResidualPartitioned evaluates the cell-based Algorithm 1
+// distributed across parts: a one-application convenience over the
+// persistent PartEngine (which earlier versions implemented as a one-shot
+// goroutine-per-part prototype). The result matches the serial sweeps
+// bit-for-bit in float64 accumulation order per cell (cell-based order is
+// preserved). Callers running more than one application should hold a
+// PartEngine instead of paying engine construction per call.
 func ComputeResidualPartitioned(u *Mesh, p *Partition, fl physics.Fluid, pres []float32) ([]float64, error) {
 	if err := check(u, fl, pres); err != nil {
 		return nil, err
 	}
-	if len(p.Part) != u.NumCells {
-		return nil, fmt.Errorf("umesh: partition covers %d cells, mesh has %d", len(p.Part), u.NumCells)
+	e, err := NewPartEngine(u, p, fl, EngineOptions{Apps: 1})
+	if err != nil {
+		return nil, err
 	}
-	// Per-part mailboxes, buffered to the number of expected messages.
-	mail := make([]chan haloMsg, p.NumParts)
-	for i := range mail {
-		mail[i] = make(chan haloMsg, p.NumParts)
+	defer e.Close()
+	res, err := e.Run(pres)
+	if err != nil {
+		return nil, err
 	}
-	res := make([]float64, u.NumCells)
-	errs := make([]error, p.NumParts)
-	var wg sync.WaitGroup
-	for me := 0; me < p.NumParts; me++ {
-		wg.Add(1)
-		go func(me int) {
-			defer wg.Done()
-			// The distributed pressure view: every part sees only its owned
-			// values plus received halo values. Seed the local copy with
-			// owned data only; halo slots arrive by message.
-			local := make([]float32, u.NumCells)
-			seen := make([]bool, u.NumCells)
-			for _, c := range p.Owned[me] {
-				local[c] = pres[c]
-				seen[c] = true
-			}
-			// Send halos.
-			for dst, cells := range p.sendPlan[me] {
-				vals := make([]float32, len(cells))
-				for i, c := range cells {
-					vals[i] = pres[c]
-				}
-				mail[dst] <- haloMsg{src: me, vals: vals}
-			}
-			// Receive halos.
-			for range p.recvPlan[me] {
-				msg := <-mail[me]
-				cells, ok := p.recvPlan[me][msg.src]
-				if !ok || len(cells) != len(msg.vals) {
-					errs[me] = fmt.Errorf("umesh: part %d got unexpected halo from %d (%d values)", me, msg.src, len(msg.vals))
-					return
-				}
-				for i, c := range cells {
-					local[c] = msg.vals[i]
-					seen[c] = true
-				}
-			}
-			// Compute owned cells from the distributed view only.
-			for _, c := range p.Owned[me] {
-				nbrs, trans := u.halfFaces(c)
-				pc := float64(local[c])
-				zc := u.Elev[c]
-				sum := 0.0
-				for i, nb := range nbrs {
-					if !seen[nb] {
-						errs[me] = fmt.Errorf("umesh: part %d missing halo value for cell %d (neighbor of %d)", me, nb, c)
-						return
-					}
-					sum += fl.FaceFlux(trans[i], pc, float64(local[nb]), zc, u.Elev[nb])
-				}
-				res[c] = sum
-			}
-		}(me)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return res.Residual, nil
 }

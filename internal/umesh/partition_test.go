@@ -1,0 +1,150 @@
+package umesh
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// partitionFixtures returns meshes with genuinely different geometry for the
+// RCB property tests.
+func partitionFixtures(t *testing.T) map[string]*Mesh {
+	t.Helper()
+	_, conv := structuredFixture(t, mesh.Dims{Nx: 9, Ny: 7, Nz: 3})
+	_, jit := structuredFixture(t, mesh.Dims{Nx: 9, Ny: 7, Nz: 3})
+	if err := jit.Jitter(0.3, 5); err != nil {
+		t.Fatal(err)
+	}
+	rad, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Mesh{"structured": conv, "jittered": jit, "radial": rad}
+}
+
+func TestRCBBalancedPerBisectionLevel(t *testing.T) {
+	// Property: every median split leaves the two subtrees within one cell
+	// of each other. Verified bottom-up: leaf sizes are the part sizes;
+	// sibling subtree sums must differ by ≤1 at every level.
+	for name, u := range partitionFixtures(t) {
+		for _, levels := range []int{1, 2, 3} {
+			p, err := RCB(u, levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes := make([]int, p.NumParts)
+			for i, owned := range p.Owned {
+				sizes[i] = len(owned)
+			}
+			for lvl := levels; lvl > 0; lvl-- {
+				next := make([]int, len(sizes)/2)
+				for i := 0; i < len(sizes); i += 2 {
+					l, r := sizes[i], sizes[i+1]
+					if d := l - r; d < -1 || d > 1 {
+						t.Errorf("%s levels=%d: sibling subtrees at level %d own %d vs %d cells",
+							name, levels, lvl, l, r)
+					}
+					next[i/2] = l + r
+				}
+				sizes = next
+			}
+			if sizes[0] != u.NumCells {
+				t.Fatalf("%s levels=%d: subtree sums reconstruct %d cells, mesh has %d",
+					name, levels, sizes[0], u.NumCells)
+			}
+		}
+	}
+}
+
+func TestRCBPlansSymmetric(t *testing.T) {
+	// Property: sendPlan[src][dst] and recvPlan[dst][src] are the same cell
+	// list — one message's wire format, agreed by both ends.
+	for name, u := range partitionFixtures(t) {
+		p, err := RCB(u, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < p.NumParts; src++ {
+			for dst, sent := range p.sendPlan[src] {
+				recv, ok := p.recvPlan[dst][src]
+				if !ok {
+					t.Fatalf("%s: part %d sends to %d but %d expects nothing", name, src, dst, dst)
+				}
+				if len(sent) != len(recv) {
+					t.Fatalf("%s: %d→%d plan lengths differ: %d vs %d", name, src, dst, len(sent), len(recv))
+				}
+				for i := range sent {
+					if sent[i] != recv[i] {
+						t.Fatalf("%s: %d→%d plan diverges at %d: %d vs %d", name, src, dst, i, sent[i], recv[i])
+					}
+				}
+			}
+			// No receive without a matching send.
+			for src2, recv := range p.recvPlan[src] {
+				if _, ok := p.sendPlan[src2][src]; !ok {
+					t.Fatalf("%s: part %d expects %d cells from %d, which sends nothing",
+						name, src, len(recv), src2)
+				}
+			}
+		}
+	}
+}
+
+func TestRCBPlannedHaloCellsFaceAdjacent(t *testing.T) {
+	// Property: every planned halo cell is owned by the sender AND shares a
+	// face with at least one cell of the receiving part — the plan ships
+	// exactly the §4 ghost layer, nothing speculative.
+	for name, u := range partitionFixtures(t) {
+		p, err := RCB(u, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dst := 0; dst < p.NumParts; dst++ {
+			for src, cells := range p.recvPlan[dst] {
+				for _, c := range cells {
+					if p.Part[c] != src {
+						t.Fatalf("%s: halo cell %d planned from part %d but owned by %d",
+							name, c, src, p.Part[c])
+					}
+					nbrs, _ := u.halfFaces(c)
+					adjacent := false
+					for _, nb := range nbrs {
+						if p.Part[nb] == dst {
+							adjacent = true
+							break
+						}
+					}
+					if !adjacent {
+						t.Fatalf("%s: planned halo cell %d (part %d→%d) is not face-adjacent to the receiving part",
+							name, c, src, dst)
+					}
+				}
+			}
+		}
+		// Completeness: every cross-part face's two cells appear in each
+		// other's plans (no missing halo).
+		for _, f := range u.Faces {
+			pa, pb := p.Part[f.A], p.Part[f.B]
+			if pa == pb {
+				continue
+			}
+			if !containsCell(p.recvPlan[pa][pb], f.B) {
+				t.Fatalf("%s: face (%d,%d) crosses %d/%d but %d is not in part %d's plan",
+					name, f.A, f.B, pa, pb, f.B, pa)
+			}
+			if !containsCell(p.recvPlan[pb][pa], f.A) {
+				t.Fatalf("%s: face (%d,%d) crosses %d/%d but %d is not in part %d's plan",
+					name, f.A, f.B, pa, pb, f.A, pb)
+			}
+		}
+	}
+}
+
+func containsCell(cells []int, c int) bool {
+	for _, x := range cells {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}

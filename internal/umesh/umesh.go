@@ -5,9 +5,14 @@
 // from the structured mesh, a geometry-jittered grid, and a radial
 // well-centered mesh whose refinement rings give cells irregular neighbor
 // counts), the TPFA flux computation in both face-based and cell-based
-// sweeps, and a partitioned distributed engine: recursive coordinate
-// bisection plus message-passing halo exchange over channels — the layer
-// "usually implemented with MPI" (§4).
+// sweeps, and a persistent partitioned engine (PartEngine): recursive
+// coordinate bisection, compact per-part renumbering (owned + halo cells
+// only), and message-passing halo exchange through plans precompiled into
+// flat index arrays — the layer "usually implemented with MPI" (§4),
+// executed on the shared shard-pool runtime (internal/exec) the structured
+// sharded engine also runs on. The partitioned residual is bit-identical to
+// the serial cell-based sweep for every part and worker count; tests assert
+// it, including under the race detector.
 package umesh
 
 import (

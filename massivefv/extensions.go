@@ -93,7 +93,43 @@ type (
 	UMesh = umesh.Mesh
 	// UPartition is an RCB decomposition with halo plans.
 	UPartition = umesh.Partition
+	// UEngineOptions configures the persistent partitioned engine.
+	UEngineOptions = umesh.EngineOptions
+	// UnstructuredResult summarizes a partitioned multi-application run
+	// (residual, communication counters, wall-clock).
+	UnstructuredResult = umesh.PartResult
 )
+
+// UnstructuredOptions configures RunUnstructured: the engine options plus
+// the initial pressure field.
+type UnstructuredOptions struct {
+	UEngineOptions
+	// Pressure is the initial field (one value per cell); nil selects a
+	// uniform 20 MPa field, which the shared perturbation schedule then
+	// varies between applications.
+	Pressure []float32
+}
+
+// RunUnstructured executes a multi-application batch of Algorithm 1 on the
+// persistent partitioned unstructured engine (umesh.PartEngine on the shared
+// internal/exec shard pool): compact O(owned+halo) per-part state,
+// precompiled allocation-free halo exchange, and communication counters. The
+// residual is bit-identical to the serial cell-based sweep.
+func RunUnstructured(u *UMesh, part *UPartition, fl Fluid, opts UnstructuredOptions) (*UnstructuredResult, error) {
+	p := opts.Pressure
+	if p == nil {
+		p = make([]float32, u.NumCells)
+		for i := range p {
+			p[i] = 2e7
+		}
+	}
+	e, err := umesh.NewPartEngine(u, part, fl, opts.UEngineOptions)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	return e.Run(p)
+}
 
 // UnstructuredFromMesh converts a structured mesh (all ten faces).
 func UnstructuredFromMesh(m *Mesh) (*UMesh, error) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/refflux"
+	"repro/internal/umesh"
 )
 
 func TestFacadePressureSolve(t *testing.T) {
@@ -105,5 +106,48 @@ func TestFacadeUnstructured(t *testing.T) {
 	}
 	if u2.NumCells != 32 {
 		t.Errorf("converted mesh has %d cells", u2.NumCells)
+	}
+}
+
+func TestFacadeRunUnstructured(t *testing.T) {
+	um, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionRCB(um, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := DefaultFluid()
+	p := make([]float32, um.NumCells)
+	for i := range p {
+		p[i] = 2e7 + 1e5*float32(math.Sin(float64(i)))
+	}
+	const apps = 3
+	res, err := RunUnstructured(um, part, fl, UnstructuredOptions{
+		UEngineOptions: UEngineOptions{Apps: apps, Workers: 2},
+		Pressure:       p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumParts != 4 || res.Apps != apps || res.NumCells != um.NumCells {
+		t.Fatalf("result echo wrong: %+v", res)
+	}
+	if res.Comm.HaloWords == 0 || res.Comm.Messages == 0 {
+		t.Error("multi-part run reports no communication")
+	}
+	serial, err := umesh.RunCellBasedApps(um, fl, p, apps, umesh.PerturbAmplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if res.Residual[i] != serial[i] {
+			t.Fatalf("facade engine residual differs at %d: %g vs %g", i, res.Residual[i], serial[i])
+		}
+	}
+	// Nil pressure selects the default uniform field.
+	if _, err := RunUnstructured(um, part, fl, UnstructuredOptions{}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -182,6 +182,9 @@ var (
 	RunFig8 = bench.RunFig8
 	// RunStrongScaling sweeps the sharded flat engine over worker counts.
 	RunStrongScaling = bench.RunStrongScaling
+	// RunUmeshScaling sweeps the partitioned unstructured engine over RCB
+	// part counts against the serial cell-based baseline.
+	RunUmeshScaling = bench.RunUmeshScaling
 )
 
 // Strong-scaling experiment types (the multi-core host sweep).
@@ -190,6 +193,11 @@ type (
 	ScalingConfig = bench.ScalingConfig
 	// StrongScaling is the sweep outcome (renders and serializes to JSON).
 	StrongScaling = bench.StrongScaling
+	// UmeshScalingConfig sizes the unstructured scaling experiment.
+	UmeshScalingConfig = bench.UmeshScalingConfig
+	// UmeshScaling is its outcome (renders and serializes to JSON — the
+	// BENCH_umesh.json baseline).
+	UmeshScaling = bench.UmeshScaling
 )
 
 type interiorErr struct{}
