@@ -10,10 +10,12 @@
 //	fvflux -experiment scaling -dims 128x128x4
 //	fvflux -experiment kernel -json BENCH_kernel.json
 //	fvflux -experiment umesh -json BENCH_umesh.json
+//	fvflux -experiment usolve -json BENCH_usolve.json
 //	fvflux -experiment table2 -engine parallel -workers 8
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,29 +30,45 @@ import (
 
 // experiments is the single source of truth for -experiment values: it
 // drives the flag help, the unknown-value error, and must match the run()
-// registrations in main (plus the "all" sentinel).
-var experiments = []string{"table1", "table2", "table3", "table4", "scaling", "kernel", "umesh", "fig8", "ablations", "all"}
+// registrations below (plus the "all" sentinel).
+var experiments = []string{"table1", "table2", "table3", "table4", "scaling", "kernel", "umesh", "usolve", "fig8", "ablations", "all"}
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, exit clean
+		}
+		fmt.Fprintln(os.Stderr, "fvflux:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool with explicit argv and streams — the testable entry
+// the table-driven CLI tests drive.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fvflux", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "all", strings.Join(experiments, "|"))
-		dims       = flag.String("dims", "12x10x8", "functional mesh NxXNyXNz (Nx,Ny ≥ 3)")
-		apps       = flag.Int("apps", 2, "functional applications of Algorithm 1")
-		engine     = flag.String("engine", "fabric", "functional engine: fabric|flat|parallel")
-		workers    = flag.Int("workers", 0, "worker count for engine=parallel (0 = all CPUs)")
-		jsonOut    = flag.String("json", "", "record the selected scaling, kernel or umesh experiment as JSON to this path (ignored with -experiment all)")
+		experiment = fs.String("experiment", "all", strings.Join(experiments, "|"))
+		dims       = fs.String("dims", "12x10x8", "functional mesh NxXNyXNz (Nx,Ny ≥ 3)")
+		apps       = fs.Int("apps", 2, "functional applications of Algorithm 1")
+		engine     = fs.String("engine", "fabric", "functional engine: fabric|flat|parallel")
+		workers    = fs.Int("workers", 0, "worker count for engine=parallel (0 = all CPUs)")
+		jsonOut    = fs.String("json", "", "record the selected scaling, kernel, umesh or usolve experiment as JSON to this path (ignored with -experiment all)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if !slices.Contains(experiments, *experiment) {
-		fatal(fmt.Errorf("unknown experiment %q (want one of %s)", *experiment, strings.Join(experiments, ", ")))
+		return fmt.Errorf("unknown experiment %q (want one of %s)", *experiment, strings.Join(experiments, ", "))
 	}
 
 	d, err := cliutil.ParseDims(*dims)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := bench.Config{FuncDims: d, FuncApps: *apps}
 	switch *engine {
@@ -60,7 +78,7 @@ func main() {
 		cfg.UseFabric = false
 	case "parallel":
 		if *workers < 0 {
-			fatal(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+			return fmt.Errorf("-workers must be non-negative, got %d", *workers)
 		}
 		cfg.UseFabric = false
 		cfg.Workers = *workers
@@ -68,49 +86,51 @@ func main() {
 			cfg.Workers = runtime.NumCPU()
 		}
 	default:
-		fatal(fmt.Errorf("unknown engine %q (want fabric, flat or parallel)", *engine))
+		return fmt.Errorf("unknown engine %q (want fabric, flat or parallel)", *engine)
 	}
 
-	run := func(name string, fn func(bench.Config) error) {
-		if *experiment != "all" && *experiment != name {
+	var firstErr error
+	runExp := func(name string, fn func(bench.Config) error) {
+		if firstErr != nil || (*experiment != "all" && *experiment != name) {
 			return
 		}
-		fmt.Printf("==== %s ====\n", name)
+		fmt.Fprintf(stdout, "==== %s ====\n", name)
 		if err := fn(cfg); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			firstErr = fmt.Errorf("%s: %w", name, err)
+			return
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	run("table1", func(c bench.Config) error {
+	runExp("table1", func(c bench.Config) error {
 		t, err := bench.RunTable1(c)
 		if err != nil {
 			return err
 		}
-		return t.Render(os.Stdout)
+		return t.Render(stdout)
 	})
-	run("table2", func(c bench.Config) error {
+	runExp("table2", func(c bench.Config) error {
 		t, err := bench.RunTable2(c)
 		if err != nil {
 			return err
 		}
-		return t.Render(os.Stdout)
+		return t.Render(stdout)
 	})
-	run("table3", func(c bench.Config) error {
+	runExp("table3", func(c bench.Config) error {
 		t, err := bench.RunTable3(c)
 		if err != nil {
 			return err
 		}
-		return t.Render(os.Stdout)
+		return t.Render(stdout)
 	})
-	run("table4", func(c bench.Config) error {
+	runExp("table4", func(c bench.Config) error {
 		t, err := bench.RunTable4(c)
 		if err != nil {
 			return err
 		}
-		return t.Render(os.Stdout)
+		return t.Render(stdout)
 	})
-	run("scaling", func(c bench.Config) error {
+	runExp("scaling", func(c bench.Config) error {
 		scfg := bench.ScalingConfig{Dims: c.FuncDims, Apps: c.FuncApps}
 		if *workers > 0 {
 			// -workers caps the sweep instead of selecting one point: the
@@ -121,17 +141,17 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if err := s.Render(os.Stdout); err != nil {
+		if err := s.Render(stdout); err != nil {
 			return err
 		}
 		// Baselines are only recorded for an explicitly selected experiment:
-		// under -experiment all, scaling and kernel would race for the path.
+		// under -experiment all, the JSON experiments would race for the path.
 		if *experiment == "scaling" {
-			return writeJSON(*jsonOut, s.WriteJSON)
+			return writeJSON(stdout, *jsonOut, s.WriteJSON)
 		}
 		return nil
 	})
-	run("kernel", func(c bench.Config) error {
+	runExp("kernel", func(c bench.Config) error {
 		// The kernel experiment keeps its own default workload (the scaling
 		// mesh) unless dims were set on the command line.
 		kcfg := bench.KernelConfig{}
@@ -145,15 +165,15 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if err := k.Render(os.Stdout); err != nil {
+		if err := k.Render(stdout); err != nil {
 			return err
 		}
 		if *experiment == "kernel" {
-			return writeJSON(*jsonOut, k.WriteJSON)
+			return writeJSON(stdout, *jsonOut, k.WriteJSON)
 		}
 		return nil
 	})
-	run("umesh", func(c bench.Config) error {
+	runExp("umesh", func(c bench.Config) error {
 		// The unstructured experiment runs the partitioned radial-mesh
 		// workload; -apps selects the applications per run, -workers the
 		// engine pool size.
@@ -165,22 +185,42 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if err := u.Render(os.Stdout); err != nil {
+		if err := u.Render(stdout); err != nil {
 			return err
 		}
 		if *experiment == "umesh" {
-			return writeJSON(*jsonOut, u.WriteJSON)
+			return writeJSON(stdout, *jsonOut, u.WriteJSON)
 		}
 		return nil
 	})
-	run("fig8", func(c bench.Config) error {
+	runExp("usolve", func(c bench.Config) error {
+		// The partitioned implicit-solve experiment: a transient CG run per
+		// RCB part count, bit-checked against the serial reference; -apps
+		// selects the backward-Euler step count, -workers the pool size.
+		ucfg := bench.UsolveConfig{Workers: *workers}
+		if explicit["apps"] {
+			ucfg.Steps = c.FuncApps
+		}
+		u, err := bench.RunUsolveScaling(ucfg)
+		if err != nil {
+			return err
+		}
+		if err := u.Render(stdout); err != nil {
+			return err
+		}
+		if *experiment == "usolve" {
+			return writeJSON(stdout, *jsonOut, u.WriteJSON)
+		}
+		return nil
+	})
+	runExp("fig8", func(c bench.Config) error {
 		f, err := bench.RunFig8(c)
 		if err != nil {
 			return err
 		}
-		return f.Render(os.Stdout)
+		return f.Render(stdout)
 	})
-	run("ablations", func(c bench.Config) error {
+	runExp("ablations", func(c bench.Config) error {
 		for _, ab := range []func(bench.Config) (*bench.Ablation, error){
 			bench.RunAblationDiagonals,
 			bench.RunAblationVectorization,
@@ -191,17 +231,18 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := a.Render(os.Stdout); err != nil {
+			if err := a.Render(stdout); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		return nil
 	})
+	return firstErr
 }
 
 // writeJSON records an experiment baseline when -json was given.
-func writeJSON(path string, write func(io.Writer) error) error {
+func writeJSON(stdout io.Writer, path string, write func(io.Writer) error) error {
 	if path == "" {
 		return nil
 	}
@@ -216,11 +257,6 @@ func writeJSON(path string, write func(io.Writer) error) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("baseline written to %s\n", path)
+	fmt.Fprintf(stdout, "baseline written to %s\n", path)
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fvflux:", err)
-	os.Exit(1)
 }

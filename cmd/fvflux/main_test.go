@@ -1,0 +1,66 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestHelpReturnsErrHelp pins the -h contract: run surfaces flag.ErrHelp
+// (which main turns into a clean exit 0) after printing usage to stderr.
+func TestHelpReturnsErrHelp(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-experiment") {
+		t.Errorf("usage output missing flag docs:\n%s", stderr.String())
+	}
+}
+
+// TestRunCLIValidation is the table-driven CLI test of the satellite bugfix:
+// unknown -experiment and -engine values produce a usage error instead of
+// silently running a default.
+func TestRunCLIValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error
+	}{
+		{"unknown experiment", []string{"-experiment", "table9"}, "unknown experiment"},
+		{"empty experiment", []string{"-experiment", ""}, "unknown experiment"},
+		{"unknown engine", []string{"-experiment", "table1", "-engine", "tpu"}, "unknown engine"},
+		{"negative workers", []string{"-experiment", "table1", "-engine", "parallel", "-workers", "-2"}, "non-negative"},
+		{"bad dims", []string{"-experiment", "table1", "-dims", "12x10"}, "dims"},
+		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			err := run(c.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) accepted, want error containing %q", c.args, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("run(%v) error %q does not contain %q", c.args, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunTable1Small exercises one cheap valid experiment end to end through
+// the CLI entry, pinning the success path the validation table skips.
+func TestRunTable1Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional experiment in -short mode")
+	}
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-experiment", "table1", "-engine", "flat", "-dims", "4x4x2", "-apps", "1"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "==== table1 ====") {
+		t.Errorf("output missing experiment banner:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestHelpReturnsErrHelp pins the -h contract: run surfaces flag.ErrHelp
+// (which main turns into a clean exit 0) after printing usage to stderr.
+func TestHelpReturnsErrHelp(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-mesh") {
+		t.Errorf("usage output missing flag docs:\n%s", stderr.String())
+	}
+}
+
+// TestRunCLIValidation is the satellite bugfix's table-driven CLI test:
+// unknown -mesh values (and every other invalid flag combination) must
+// produce a usage error instead of silently defaulting.
+func TestRunCLIValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error, "" = success
+	}{
+		{"unknown mesh", []string{"-mesh", "tetrahedral"}, "unknown mesh"},
+		{"empty mesh value", []string{"-mesh", ""}, "unknown mesh"},
+		{"negative workers", []string{"-workers", "-1"}, "non-negative"},
+		{"parts not power of two", []string{"-mesh", "unstructured", "-parts", "3"}, "power of two"},
+		{"zero parts", []string{"-mesh", "unstructured", "-parts", "0"}, "power of two"},
+		{"dataflow on unstructured", []string{"-mesh", "unstructured", "-dataflow"}, "structured mesh only"},
+		{"bad dims", []string{"-dims", "4x4"}, "dims"},
+		{"bad dt", []string{"-dt", "sideways"}, "dt"},
+		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"tiny structured run", []string{"-dims", "4x4x2", "-steps", "1", "-dt", "1h"}, ""},
+		{"tiny unstructured run", []string{"-mesh", "unstructured", "-rings", "4", "-sectors", "6", "-parts", "2", "-steps", "1", "-dt", "1h"}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			err := run(c.args, &stdout, &stderr)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run(%v) failed: %v", c.args, err)
+				}
+				if !strings.Contains(stdout.String(), "CG its") {
+					t.Errorf("run(%v) produced no step table:\n%s", c.args, stdout.String())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("run(%v) accepted, want error containing %q", c.args, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("run(%v) error %q does not contain %q", c.args, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestUnstructuredRunReportsCommunication pins the partitioned path's output
+// contract: the unstructured run reports its operator applications and halo
+// traffic.
+func TestUnstructuredRunReportsCommunication(t *testing.T) {
+	var stdout, stderr strings.Builder
+	args := []string{"-mesh", "unstructured", "-rings", "4", "-sectors", "6", "-parts", "2", "-steps", "2", "-dt", "1h"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"partitioned transient run", "2 parts", "operator applications", "halo words"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -25,6 +25,27 @@
 // to the serial cell-based sweep (massivefv.RunUnstructured; `fvflux
 // -experiment umesh -json BENCH_umesh.json` records the scaling baseline).
 //
+// The §8 matrix-free Krylov extension runs on both mesh families. On the
+// structured mesh, solver.DataflowOperator applies the pressure matrix
+// through the dataflow kernel. On the unstructured mesh, umesh.PartOperator
+// applies it through the partitioned engine — float64 halo exchange over the
+// precompiled plans, a partitioned Jacobi diagonal, and distributed dot
+// products folded in deterministic mesh-index order — so a transient
+// backward-Euler run (umesh.RunTransientPartitioned, massivefv.
+// SolveUnstructured / RunTransientUnstructured, `fvsim -mesh unstructured
+// -parts N`) is bit-identical to the serial reference at every part and
+// worker count: residual histories, iteration counts, and the final field.
+// `fvflux -experiment usolve -json BENCH_usolve.json` records the
+// implicit-solve scaling baseline.
+//
+// Tests form a pyramid: unit tests per package; property tests over seeded
+// random systems (solver convergence and monotonicity, RCB balance and plan
+// symmetry); native Go fuzz targets with a checked-in seed corpus
+// (FuzzPartition, FuzzRadialMesh; `make fuzz-smoke`); golden regressions
+// (partitioned solves bit-identical to serial references); a race gate over
+// every concurrent engine (`make race`); and a per-package coverage gate
+// (`make cover`).
+//
 // Performance: the engines execute through a fast path that stays
 // bit-identical (residuals and counters) to the legacy code — stride-1
 // specialized vector ops iterating over reslices with the bounds check

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/physics"
+	"repro/internal/umesh"
+)
+
+// This file is the partitioned implicit-solve scaling experiment: a transient
+// backward-Euler run (one preconditioned CG solve per step, every operator
+// application through the partitioned unstructured engine) swept over RCB
+// part counts and checked bit-identical — residual histories, iteration
+// counts, final state — against the serial UHostOperator reference. Where the
+// umesh experiment measures raw residual applications, this one measures the
+// first real solver scenario on the partitioned runtime: many engine
+// applications per time step, which is where the 0-alloc exchange and the
+// deterministic reductions pay off. The JSON report (BENCH_usolve.json) is
+// the trajectory anchor for the implicit path.
+
+// UsolveConfig sizes the partitioned implicit-solve sweep.
+type UsolveConfig struct {
+	// Radial sizes the benchmark mesh (default: the umesh experiment's
+	// 64×64 refined radial grid ≈ 15k cells).
+	Radial umesh.RadialOptions
+	// Dt and Steps shape the transient run (default: 3 one-hour steps).
+	Dt    float64
+	Steps int
+	// Tol is the CG tolerance (default 1e-8).
+	Tol float64
+	// Levels lists the RCB bisection depths to sweep (default 0–3, i.e.
+	// 1, 2, 4 and 8 parts).
+	Levels []int
+	// Workers sizes the engine worker pool (default 0 = NumCPU; the pool
+	// clamps to the part count).
+	Workers int
+	// Fluid overrides the default CO2 fluid when non-nil.
+	Fluid *physics.Fluid
+}
+
+func (c UsolveConfig) withDefaults() UsolveConfig {
+	if c.Radial == (umesh.RadialOptions{}) {
+		c.Radial = umesh.RadialOptions{
+			Rings: 64, BaseSectors: 64, RefineEvery: 16,
+			R0: 1, DR: 4, Dz: 4, PermMD: 200,
+		}
+	}
+	if c.Dt == 0 {
+		c.Dt = 3600
+	}
+	if c.Steps == 0 {
+		c.Steps = 3
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-8
+	}
+	if len(c.Levels) == 0 {
+		c.Levels = []int{0, 1, 2, 3}
+	}
+	return c
+}
+
+// UsolvePoint is one part count's measurement.
+type UsolvePoint struct {
+	Parts   int `json:"parts"`
+	Workers int `json:"workers"`
+	// Seconds is the host wall-clock of the whole transient run (system
+	// setup included — a solve pays its own operator construction).
+	Seconds float64 `json:"seconds"`
+	// Speedup is serial seconds / this point's seconds.
+	Speedup float64 `json:"speedup"`
+	// Iterations is the total CG iteration count over all steps.
+	Iterations int `json:"iterations"`
+	// OperatorApplications counts partitioned engine applications driven by
+	// the Krylov iterations.
+	OperatorApplications int `json:"operator_applications"`
+	// HaloWords and Messages are the run's total halo traffic (float64
+	// payloads counted as two 32-bit words each).
+	HaloWords uint64 `json:"halo_words"`
+	Messages  uint64 `json:"messages"`
+}
+
+// UsolveScaling is the sweep outcome. It serializes to the BENCH_usolve.json
+// baseline future PRs compare against.
+type UsolveScaling struct {
+	Cells      int     `json:"cells"`
+	Faces      int     `json:"faces"`
+	MaxDegree  int     `json:"max_degree"`
+	Steps      int     `json:"steps"`
+	DtSeconds  float64 `json:"dt_seconds"`
+	Tol        float64 `json:"tol"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+
+	// SerialSeconds is the serial UHostOperator transient wall-clock the
+	// speedups are relative to.
+	SerialSeconds float64 `json:"serial_seconds"`
+	// SerialIterations is the serial run's total CG iteration count; every
+	// partitioned point must match it exactly.
+	SerialIterations int           `json:"serial_iterations"`
+	Points           []UsolvePoint `json:"points"`
+
+	// BitIdentical records that every partitioned run matched the serial
+	// reference exactly (residual histories, iteration counts, final state);
+	// a divergence aborts the sweep.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// usolveOptions builds the shared transient options of a sweep.
+func usolveOptions(u *umesh.Mesh, cfg UsolveConfig) umesh.TransientOptions {
+	opts := umesh.TransientOptions{
+		Dt:    cfg.Dt,
+		Steps: cfg.Steps,
+		Wells: []umesh.Well{
+			{Cell: u.WellIndex(), Rate: 2.0},
+			{Cell: u.NumCells - 1, Rate: -2.0},
+		},
+		Workers: cfg.Workers,
+	}
+	opts.Solver.Tol = cfg.Tol
+	return opts
+}
+
+// RunUsolveScaling measures the partitioned implicit transient solve across
+// part counts against the serial UHostOperator baseline.
+func RunUsolveScaling(cfg UsolveConfig) (*UsolveScaling, error) {
+	cfg = cfg.withDefaults()
+	u, err := umesh.NewRadialMesh(cfg.Radial)
+	if err != nil {
+		return nil, err
+	}
+	fl := physics.DefaultFluid()
+	if cfg.Fluid != nil {
+		fl = *cfg.Fluid
+	}
+	opts := usolveOptions(u, cfg)
+
+	// Warm-up then measured serial baseline (the scaling methodology: no run
+	// pays first-touch costs for the ones after it).
+	if _, err := umesh.RunTransientPartitioned(u, nil, fl, opts); err != nil {
+		return nil, fmt.Errorf("bench: usolve warm-up: %w", err)
+	}
+	runtime.GC()
+	serialStart := time.Now()
+	serial, err := umesh.RunTransientPartitioned(u, nil, fl, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: usolve serial baseline: %w", err)
+	}
+	serialSec := time.Since(serialStart).Seconds()
+
+	out := &UsolveScaling{
+		Cells:         u.NumCells,
+		Faces:         len(u.Faces),
+		MaxDegree:     u.MaxDegree(),
+		Steps:         cfg.Steps,
+		DtSeconds:     cfg.Dt,
+		Tol:           cfg.Tol,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+		SerialSeconds: serialSec,
+		BitIdentical:  true,
+	}
+	for _, st := range serial.Steps {
+		out.SerialIterations += st.Iterations
+	}
+	for _, levels := range cfg.Levels {
+		part, err := umesh.RCB(u, levels)
+		if err != nil {
+			return nil, fmt.Errorf("bench: RCB levels %d: %w", levels, err)
+		}
+		// Warm-up run, GC, measured run.
+		if _, err := umesh.RunTransientPartitioned(u, part, fl, opts); err != nil {
+			return nil, fmt.Errorf("bench: %d parts warm-up: %w", part.NumParts, err)
+		}
+		runtime.GC()
+		start := time.Now()
+		res, err := umesh.RunTransientPartitioned(u, part, fl, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d parts: %w", part.NumParts, err)
+		}
+		sec := time.Since(start).Seconds()
+		if err := usolveCompare(serial, res); err != nil {
+			return nil, fmt.Errorf("bench: %d parts: %w", part.NumParts, err)
+		}
+		pt := UsolvePoint{
+			Parts:                part.NumParts,
+			Seconds:              sec,
+			OperatorApplications: res.OperatorApplications,
+			HaloWords:            res.Comm.HaloWords,
+			Messages:             res.Comm.Messages,
+		}
+		pt.Workers = cfg.Workers
+		if pt.Workers == 0 {
+			pt.Workers = runtime.NumCPU()
+		}
+		if pt.Workers > part.NumParts {
+			pt.Workers = part.NumParts
+		}
+		for _, st := range res.Steps {
+			pt.Iterations += st.Iterations
+		}
+		if sec > 0 {
+			pt.Speedup = serialSec / sec
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// usolveCompare asserts a partitioned run equals the serial reference
+// bit-for-bit: per-step residual history, iteration count, and final state.
+func usolveCompare(serial, got *umesh.TransientResult) error {
+	if len(got.Steps) != len(serial.Steps) {
+		return fmt.Errorf("ran %d steps, serial ran %d", len(got.Steps), len(serial.Steps))
+	}
+	for s := range serial.Steps {
+		ws, gs := serial.Steps[s], got.Steps[s]
+		if gs.Iterations != ws.Iterations {
+			return fmt.Errorf("step %d: %d iterations, serial took %d", s, gs.Iterations, ws.Iterations)
+		}
+		for k := range ws.History {
+			if gs.History[k] != ws.History[k] {
+				return fmt.Errorf("step %d: residual history[%d] diverged from serial (%g vs %g)",
+					s, k, gs.History[k], ws.History[k])
+			}
+		}
+	}
+	for i := range serial.Pressure {
+		if got.Pressure[i] != serial.Pressure[i] {
+			return fmt.Errorf("final pressure[%d] diverged from serial (%g vs %g)",
+				i, got.Pressure[i], serial.Pressure[i])
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the sweep as indented JSON — the BENCH_usolve.json
+// baseline format.
+func (s *UsolveScaling) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Render writes the sweep as a table.
+func (s *UsolveScaling) Render(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "Partitioned implicit solve — radial mesh, %d cells, %d faces (max degree %d), %d×%.0fs backward-Euler steps, CG tol %.0e\n",
+		s.Cells, s.Faces, s.MaxDegree, s.Steps, s.DtSeconds, s.Tol)
+	fmt.Fprintf(tw, "host: %s, NumCPU %d, GOMAXPROCS %d\n", s.GoVersion, s.NumCPU, s.GOMAXPROCS)
+	fmt.Fprintf(tw, "serial UHostOperator baseline: %.4f s, %d CG iterations\n", s.SerialSeconds, s.SerialIterations)
+	fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tCG its\tapplications\thalo words\tmsgs")
+	for _, p := range s.Points {
+		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%d\t%d\t%d\t%d\n",
+			p.Parts, p.Workers, p.Seconds, p.Speedup, p.Iterations,
+			p.OperatorApplications, p.HaloWords, p.Messages)
+	}
+	fmt.Fprintf(tw, "\nbit-identical to serial (histories, iterations, final state): %v\n", s.BitIdentical)
+	if s.GOMAXPROCS == 1 {
+		fmt.Fprintln(tw, "note: single-core host — wall-clock speedup is impossible here; the sweep still verifies the partitioned implicit path end to end")
+	}
+	return tw.Flush()
+}

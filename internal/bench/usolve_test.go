@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/umesh"
+)
+
+func smallUsolveCfg() UsolveConfig {
+	return UsolveConfig{
+		Radial: umesh.RadialOptions{
+			Rings: 8, BaseSectors: 8, RefineEvery: 3,
+			R0: 1, DR: 4, Dz: 4, PermMD: 200,
+		},
+		Steps:  2,
+		Levels: []int{0, 1, 2},
+	}
+}
+
+func TestUsolveScalingSweep(t *testing.T) {
+	s, err := RunUsolveScaling(smallUsolveCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.BitIdentical {
+		t.Error("sweep not bit-identical to serial reference")
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("%d sweep points, want 3", len(s.Points))
+	}
+	if s.SerialSeconds <= 0 || s.SerialIterations <= 0 {
+		t.Errorf("degenerate serial baseline: %.4fs, %d its", s.SerialSeconds, s.SerialIterations)
+	}
+	for i, p := range s.Points {
+		if p.Parts != 1<<i {
+			t.Errorf("point %d covers %d parts, want %d", i, p.Parts, 1<<i)
+		}
+		if p.Seconds <= 0 {
+			t.Errorf("degenerate sweep point %+v", p)
+		}
+		// The deterministic-reduction guarantee in its observable form: the
+		// partitioned Krylov iteration replays the serial one exactly.
+		if p.Iterations != s.SerialIterations {
+			t.Errorf("%d-part run took %d iterations, serial took %d", p.Parts, p.Iterations, s.SerialIterations)
+		}
+		if p.OperatorApplications < p.Iterations {
+			t.Errorf("%d-part run reports %d applications for %d iterations",
+				p.Parts, p.OperatorApplications, p.Iterations)
+		}
+		if p.Parts == 1 {
+			if p.HaloWords != 0 || p.Messages != 0 {
+				t.Errorf("1-part run reports communication: %+v", p)
+			}
+			continue
+		}
+		if p.HaloWords == 0 || p.Messages == 0 {
+			t.Errorf("%d-part run reports no communication: %+v", p.Parts, p)
+		}
+	}
+
+	var tbl, js strings.Builder
+	if err := s.Render(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Partitioned implicit solve", "CG its", "bit-identical to serial"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"serial_seconds"`, `"serial_iterations"`, `"bit_identical": true`, `"gomaxprocs"`, `"num_cpu"`, `"operator_applications"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestUsolveScalingRejectsBadLevels(t *testing.T) {
+	cfg := smallUsolveCfg()
+	cfg.Levels = []int{20}
+	if _, err := RunUsolveScaling(cfg); err == nil {
+		t.Error("20 bisection levels accepted")
+	}
+}

@@ -34,6 +34,29 @@ type Operator interface {
 	Size() int
 }
 
+// Reducer is an optional Operator extension: a distributed inner product.
+// Partitioned operators implement it to compute dot products through their
+// own runtime (parallel per-part products, then a deterministic
+// mesh-index-order sum), and the Krylov iterations route every inner product
+// and norm through it. A conforming implementation must return exactly the
+// serial left-to-right sum Σ a_i·b_i, so solves remain bit-identical to a
+// plain-Operator solve.
+type Reducer interface {
+	Dot(a, b []float64) float64
+}
+
+// dotOf routes an inner product through the operator's own reduction when it
+// provides one.
+func dotOf(a Operator, x, y []float64) float64 {
+	if r, ok := a.(Reducer); ok {
+		return r.Dot(x, y)
+	}
+	return dot(x, y)
+}
+
+// normOf is the Euclidean norm through the operator's reduction.
+func normOf(a Operator, x []float64) float64 { return math.Sqrt(dotOf(a, x, x)) }
+
 // Options controls the Krylov iteration.
 type Options struct {
 	// MaxIter bounds the iteration count (default 500).
@@ -79,7 +102,7 @@ func CG(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	if len(x) != n || len(b) != n {
 		return nil, fmt.Errorf("solver: size mismatch: operator %d, x %d, b %d", n, len(x), len(b))
 	}
-	normB := norm2(b)
+	normB := normOf(a, b)
 	if normB == 0 {
 		zero(x)
 		return &Stats{Converged: true}, nil
@@ -95,13 +118,13 @@ func CG(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	applyPrecond(opts, z, r)
 	p := append([]float64(nil), z...)
 	ap := make([]float64, n)
-	rz := dot(r, z)
+	rz := dotOf(a, r, z)
 	st := &Stats{}
 	for k := 0; k < opts.MaxIter; k++ {
 		if err := a.Apply(ap, p); err != nil {
 			return nil, err
 		}
-		pap := dot(p, ap)
+		pap := dotOf(a, p, ap)
 		if pap == 0 || math.IsNaN(pap) {
 			return st, fmt.Errorf("%w: pᵀAp = %v at iteration %d", ErrBreakdown, pap, k)
 		}
@@ -109,14 +132,14 @@ func CG(a Operator, x, b []float64, opts Options) (*Stats, error) {
 		axpy(x, alpha, p)
 		axpy(r, -alpha, ap)
 		st.Iterations = k + 1
-		st.Residual = norm2(r) / normB
+		st.Residual = normOf(a, r) / normB
 		st.History = append(st.History, st.Residual)
 		if st.Residual <= opts.Tol {
 			st.Converged = true
 			return st, nil
 		}
 		applyPrecond(opts, z, r)
-		rzNew := dot(r, z)
+		rzNew := dotOf(a, r, z)
 		if rz == 0 {
 			return st, fmt.Errorf("%w: rᵀz vanished at iteration %d", ErrBreakdown, k)
 		}
@@ -136,7 +159,7 @@ func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	if len(x) != n || len(b) != n {
 		return nil, fmt.Errorf("solver: size mismatch: operator %d, x %d, b %d", n, len(x), len(b))
 	}
-	normB := norm2(b)
+	normB := normOf(a, b)
 	if normB == 0 {
 		zero(x)
 		return &Stats{Converged: true}, nil
@@ -158,7 +181,7 @@ func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	t := make([]float64, n)
 	st := &Stats{}
 	for k := 0; k < opts.MaxIter; k++ {
-		rhoNew := dot(rHat, r)
+		rhoNew := dotOf(a, rHat, r)
 		if rhoNew == 0 {
 			return st, fmt.Errorf("%w: ρ = 0 at iteration %d", ErrBreakdown, k)
 		}
@@ -175,7 +198,7 @@ func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
 		if err := a.Apply(v, ph); err != nil {
 			return nil, err
 		}
-		den := dot(rHat, v)
+		den := dotOf(a, rHat, v)
 		if den == 0 {
 			return st, fmt.Errorf("%w: r̂ᵀv = 0 at iteration %d", ErrBreakdown, k)
 		}
@@ -184,7 +207,7 @@ func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
 			s[i] = r[i] - alpha*v[i]
 		}
 		st.Iterations = k + 1
-		if res := norm2(s) / normB; res <= opts.Tol {
+		if res := normOf(a, s) / normB; res <= opts.Tol {
 			axpy(x, alpha, ph)
 			st.Residual = res
 			st.History = append(st.History, res)
@@ -195,11 +218,11 @@ func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
 		if err := a.Apply(t, sh); err != nil {
 			return nil, err
 		}
-		tt := dot(t, t)
+		tt := dotOf(a, t, t)
 		if tt == 0 {
 			return st, fmt.Errorf("%w: tᵀt = 0 at iteration %d", ErrBreakdown, k)
 		}
-		omega = dot(t, s) / tt
+		omega = dotOf(a, t, s) / tt
 		if omega == 0 {
 			return st, fmt.Errorf("%w: ω = 0 at iteration %d", ErrBreakdown, k)
 		}
@@ -209,7 +232,7 @@ func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
 		for i := range r {
 			r[i] = s[i] - omega*t[i]
 		}
-		st.Residual = norm2(r) / normB
+		st.Residual = normOf(a, r) / normB
 		st.History = append(st.History, st.Residual)
 		if st.Residual <= opts.Tol {
 			st.Converged = true

@@ -1,0 +1,389 @@
+package umesh
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/physics"
+	"repro/internal/solver"
+)
+
+// This file is the §8 extension carried onto the partitioned unstructured
+// runtime: the flux kernel as a matrix-free linear operator for an iterative
+// Krylov method. USystem freezes one backward-Euler pressure step of Eq. (2)
+// over an unstructured mesh (the unstructured mirror of
+// solver.PressureSystem); UHostOperator applies it serially in float64 — the
+// reference every partitioned solve is measured against; PartOperator applies
+// it through the PartEngine's runtime (worker pool, precompiled exchange
+// plans, compact local renumbering) with float64 halo messages, so a solve's
+// many operator applications are exactly the engine's many-applications
+// pattern, now driven by the solver instead of the perturbation schedule.
+//
+// Bit-identity discipline: the partitioned apply accumulates each owned
+// cell's fluxes in the engine's CSR order, which preserves the serial
+// adjacency order, on exact float64 copies of the global vector — so
+// A·x, the Jacobi diagonal and the distributed dot products are
+// bit-identical to the serial reference for every part and worker count.
+
+// DefaultPorosity is the constant porosity the unstructured pressure system
+// assumes (the unstructured mesh carries no per-cell porosity field).
+const DefaultPorosity = 0.2
+
+// USystem is one backward-Euler step of Eq. (2) on an unstructured mesh,
+// linearized around the reference state with frozen face mobility λ:
+//
+//	(V·φ·ρref·cf/Δt)·δp_K − Σ_L Υ_KL·λ·(δp_L − δp_K) = b_K
+//
+// The accumulation diagonal makes the matrix strictly SPD.
+type USystem struct {
+	U *Mesh
+	// Mobility is the frozen face mobility λ = ρref/μ.
+	Mobility float64
+	// Accum is the per-cell accumulation coefficient V·φ·ρref·cf/Δt.
+	Accum []float64
+}
+
+// NewUSystem freezes the coefficients of a backward-Euler step of length dt
+// with the given constant porosity (0 selects DefaultPorosity).
+func NewUSystem(u *Mesh, fl physics.Fluid, dt, porosity float64) (*USystem, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fl.Validate(); err != nil {
+		return nil, err
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("umesh: time step must be positive, got %g", dt)
+	}
+	if porosity == 0 {
+		porosity = DefaultPorosity
+	}
+	if porosity < 0 || porosity > 1 {
+		return nil, fmt.Errorf("umesh: porosity %g outside (0, 1]", porosity)
+	}
+	acc := make([]float64, u.NumCells)
+	for i := range acc {
+		acc[i] = u.Volume[i] * porosity * fl.RhoRef * fl.Compressibility / dt
+		if acc[i] <= 0 {
+			return nil, fmt.Errorf("umesh: non-positive accumulation at cell %d (volume %g, cf %g)",
+				i, u.Volume[i], fl.Compressibility)
+		}
+	}
+	return &USystem{U: u, Mobility: fl.RhoRef / fl.Viscosity, Accum: acc}, nil
+}
+
+// Validate checks the system against its mesh.
+func (s *USystem) Validate() error {
+	if s.U == nil {
+		return fmt.Errorf("umesh: system has no mesh")
+	}
+	if len(s.Accum) != s.U.NumCells {
+		return fmt.Errorf("umesh: accumulation covers %d cells, mesh has %d", len(s.Accum), s.U.NumCells)
+	}
+	if s.Mobility <= 0 || math.IsNaN(s.Mobility) {
+		return fmt.Errorf("umesh: non-positive mobility %g", s.Mobility)
+	}
+	return nil
+}
+
+// Diagonal returns the matrix diagonal for the Jacobi preconditioner:
+// accumulation plus the sum of the cell's face conductances, accumulated in
+// adjacency order (the same order the operators use).
+func (s *USystem) Diagonal() []float64 {
+	d := make([]float64, s.U.NumCells)
+	lam := s.Mobility
+	for c := 0; c < s.U.NumCells; c++ {
+		_, trans := s.U.halfFaces(c)
+		sum := s.Accum[c]
+		for _, t := range trans {
+			sum += t * lam
+		}
+		d[c] = sum
+	}
+	return d
+}
+
+// UHostOperator applies the system serially in float64 — the reference the
+// partitioned operator must match bit-for-bit.
+type UHostOperator struct {
+	Sys *USystem
+}
+
+// Size implements solver.Operator.
+func (h *UHostOperator) Size() int { return h.Sys.U.NumCells }
+
+// Apply computes dst = A·x with the cell-based sweep in adjacency order.
+func (h *UHostOperator) Apply(dst, x []float64) error {
+	u := h.Sys.U
+	if len(dst) != len(x) || len(x) != u.NumCells {
+		return fmt.Errorf("umesh: host operator size mismatch")
+	}
+	lam := h.Sys.Mobility
+	for c := 0; c < u.NumCells; c++ {
+		nbrs, trans := u.halfFaces(c)
+		xc := x[c]
+		flux := 0.0
+		for i, nb := range nbrs {
+			flux += trans[i] * lam * (x[nb] - xc)
+		}
+		dst[c] = h.Sys.Accum[c]*xc - flux
+	}
+	return nil
+}
+
+// opMsg is one float64 halo message of the operator path: the sender's
+// planned owned values, in plan order, backed by the sender's persistent
+// buffer (valid until its next Apply, by the same barrier argument as the
+// engine's float32 exchange).
+type opMsg struct {
+	src  int
+	vals []float64
+}
+
+// opSend is one precompiled outgoing operator message. The index list is
+// shared with the engine's float32 send plan; only the payload buffer is
+// operator-private.
+type opSend struct {
+	dst int
+	idx []int32
+	buf []float64
+}
+
+// opPart is the operator's per-part working set: a float64 mirror of the
+// engine's compact local field plus persistent message buffers. Everything is
+// O(owned+halo).
+type opPart struct {
+	x     []float64 // local vector copy: owned cells first, then halo blocks
+	sends []opSend
+	comm  CommCounters
+}
+
+// PartOperator is the matrix-free partitioned operator: each Apply evaluates
+// A·x through the PartEngine's runtime — scatter to parts, pack+send over the
+// precompiled plans, receive+compute per owned cell — with float64 payloads.
+// It implements solver.Operator and solver.Reducer; the steady-state Apply
+// and Dot paths allocate nothing.
+type PartOperator struct {
+	Sys *USystem
+
+	e     *PartEngine
+	parts []*opPart
+	mail  []chan opMsg
+	// prod is the persistent product buffer of the distributed dot: parts
+	// write disjoint owned entries in parallel, the host folds them in global
+	// mesh-index order, so the reduction is bit-identical to a serial dot for
+	// every part count.
+	prod []float64
+
+	// Staged phase inputs (set per call; closures are pre-built so dispatch
+	// allocates nothing).
+	x, dst, da, db, diag []float64
+
+	fnSend, fnRecvCompute, fnProd, fnDiag func(int) error
+
+	// Applications counts operator applications (engine runs of the solve —
+	// the §3 "Algorithm 1 applied N times" pattern, driven by Krylov).
+	Applications int
+	// Comm accumulates halo traffic over all applications. Float64 payloads
+	// are counted as two 32-bit words each, keeping the word-level accounting
+	// comparable with the engine's float32 counters.
+	Comm CommCounters
+}
+
+// NewPartOperator builds the partitioned operator on an existing engine. The
+// operator shares the engine's pool, partition and renumbering; the engine
+// stays usable for residual runs.
+func NewPartOperator(e *PartEngine, sys *USystem) (*PartOperator, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if sys.U != e.u {
+		return nil, fmt.Errorf("umesh: operator system is not the engine's mesh")
+	}
+	o := &PartOperator{Sys: sys, e: e}
+	o.parts = make([]*opPart, len(e.parts))
+	o.mail = make([]chan opMsg, len(e.parts))
+	for me, ps := range e.parts {
+		op := &opPart{x: make([]float64, ps.nOwned+ps.nHalo)}
+		for _, sp := range ps.sends {
+			op.sends = append(op.sends, opSend{dst: sp.dst, idx: sp.idx, buf: make([]float64, len(sp.idx))})
+		}
+		o.parts[me] = op
+		o.mail[me] = make(chan opMsg, len(ps.recvs))
+	}
+	o.prod = make([]float64, e.u.NumCells)
+	o.fnSend = o.phaseSend
+	o.fnRecvCompute = o.phaseRecvCompute
+	o.fnProd = o.phaseProd
+	o.fnDiag = o.phaseDiag
+	return o, nil
+}
+
+// Size implements solver.Operator.
+func (o *PartOperator) Size() int { return o.e.u.NumCells }
+
+// Apply computes dst = A·x through one partitioned engine application:
+// scatter+pack+send, barrier, receive+compute. Steady state allocates
+// nothing.
+func (o *PartOperator) Apply(dst, x []float64) error {
+	if len(dst) != len(x) || len(x) != o.e.u.NumCells {
+		return fmt.Errorf("umesh: partitioned operator size mismatch")
+	}
+	o.x, o.dst = x, dst
+	if err := o.e.pool.Run(o.fnSend); err != nil {
+		return err
+	}
+	if err := o.e.pool.Run(o.fnRecvCompute); err != nil {
+		return err
+	}
+	o.Applications++
+	// Deterministic fold in part order (counters are bumped at the send
+	// sites; each part's tally is cumulative over the operator's lifetime).
+	total := CommCounters{}
+	for _, op := range o.parts {
+		total.HaloWords += op.comm.HaloWords
+		total.Messages += op.comm.Messages
+	}
+	o.Comm = total
+	return nil
+}
+
+// phaseSend loads the part's owned entries from the global vector, packs each
+// outgoing message from the engine's precompiled index list and posts it.
+func (o *PartOperator) phaseSend(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	for i := 0; i < ps.nOwned; i++ {
+		op.x[i] = o.x[ps.globalOf[i]]
+	}
+	for si := range op.sends {
+		sp := &op.sends[si]
+		for j, li := range sp.idx {
+			sp.buf[j] = op.x[li]
+		}
+		o.mail[sp.dst] <- opMsg{src: ps.me, vals: sp.buf}
+		op.comm.HaloWords += 2 * uint64(len(sp.buf))
+		op.comm.Messages++
+	}
+	return nil
+}
+
+// phaseRecvCompute drains the part's mailbox (each message scatters as one
+// copy into its contiguous halo block) and evaluates every owned cell's row
+// in the serial adjacency order: dst_K = accum_K·x_K − Σ Υ·λ·(x_L − x_K).
+func (o *PartOperator) phaseRecvCompute(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	for range ps.recvs {
+		msg := <-o.mail[ps.me]
+		slot := -1
+		for ri := range ps.recvs {
+			if ps.recvs[ri].src == msg.src {
+				slot = ri
+				break
+			}
+		}
+		if slot < 0 || ps.recvs[slot].n != len(msg.vals) {
+			return fmt.Errorf("umesh: part %d got unexpected operator halo from %d (%d values)", ps.me, msg.src, len(msg.vals))
+		}
+		r := ps.recvs[slot]
+		copy(op.x[r.base:r.base+r.n], msg.vals)
+	}
+	lam := o.Sys.Mobility
+	for i := 0; i < ps.nOwned; i++ {
+		xc := op.x[i]
+		flux := 0.0
+		for j := ps.rowStart[i]; j < ps.rowStart[i+1]; j++ {
+			flux += ps.nbrTrans[j] * lam * (op.x[ps.nbrLocal[j]] - xc)
+		}
+		g := ps.globalOf[i]
+		o.dst[g] = o.Sys.Accum[g]*xc - flux
+	}
+	return nil
+}
+
+// Dot implements solver.Reducer: the parts compute their owned products in
+// parallel into the persistent product buffer, then the host folds it in
+// global mesh-index order — the deterministic reduction that makes every
+// Krylov inner product bit-identical to the serial solve, independent of the
+// part count. Steady state allocates nothing.
+//
+// This is deliberately the distributed-memory discipline (each owner
+// computes its partial products; the reduction is ordered, not
+// completion-ordered) even though the vectors here are host-resident and a
+// plain serial dot would be cheaper — the point is the pattern an MPI rank
+// layout would need, exercised and bit-checked on every solve.
+func (o *PartOperator) Dot(a, b []float64) float64 {
+	o.da, o.db = a, b
+	// phaseProd cannot fail; the pool propagates no error here.
+	_ = o.e.pool.Run(o.fnProd)
+	s := 0.0
+	for _, v := range o.prod {
+		s += v
+	}
+	return s
+}
+
+// phaseProd writes the part's owned products a_g·b_g into the global product
+// buffer (disjoint writes; every cell is owned exactly once).
+func (o *PartOperator) phaseProd(shard int) error {
+	ps := o.e.parts[shard]
+	for i := 0; i < ps.nOwned; i++ {
+		g := ps.globalOf[i]
+		o.prod[g] = o.da[g] * o.db[g]
+	}
+	return nil
+}
+
+// Diagonal computes the Jacobi diagonal with the partitioned runtime: each
+// part accumulates its owned rows in CSR order into the global diagonal —
+// bit-identical to USystem.Diagonal for every part count.
+func (o *PartOperator) Diagonal() []float64 {
+	d := make([]float64, o.e.u.NumCells)
+	o.diag = d
+	_ = o.e.pool.Run(o.fnDiag)
+	return d
+}
+
+// phaseDiag accumulates one part's diagonal rows.
+func (o *PartOperator) phaseDiag(shard int) error {
+	ps := o.e.parts[shard]
+	lam := o.Sys.Mobility
+	for i := 0; i < ps.nOwned; i++ {
+		g := ps.globalOf[i]
+		sum := o.Sys.Accum[g]
+		for j := ps.rowStart[i]; j < ps.rowStart[i+1]; j++ {
+			sum += ps.nbrTrans[j] * lam
+		}
+		o.diag[g] = sum
+	}
+	return nil
+}
+
+// NewSystemOperator builds the solve-side operator for a partition: the
+// serial UHostOperator reference when p is nil, otherwise a PartOperator on
+// a fresh engine. It returns the operator, the Jacobi diagonal (computed by
+// the path that will apply the matrix), and a close function releasing the
+// engine (a no-op for the serial path). Both the transient loop and the
+// massivefv facade build their solves through it, so the two paths cannot
+// drift apart.
+func NewSystemOperator(u *Mesh, p *Partition, fl physics.Fluid, sys *USystem, workers int) (solver.Operator, []float64, func(), error) {
+	if p == nil {
+		return &UHostOperator{Sys: sys}, sys.Diagonal(), func() {}, nil
+	}
+	e, err := NewPartEngine(u, p, fl, EngineOptions{Workers: workers})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	po, err := NewPartOperator(e, sys)
+	if err != nil {
+		e.Close()
+		return nil, nil, nil, err
+	}
+	return po, po.Diagonal(), e.Close, nil
+}
+
+// compile-time interface checks
+var (
+	_ solver.Operator = (*UHostOperator)(nil)
+	_ solver.Operator = (*PartOperator)(nil)
+	_ solver.Reducer  = (*PartOperator)(nil)
+)

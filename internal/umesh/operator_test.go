@@ -1,0 +1,350 @@
+package umesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/physics"
+	"repro/internal/refflux"
+	"repro/internal/solver"
+)
+
+// probeVector returns a deterministic pressure-scale probe.
+func probeVector(n int, seed int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1e5 * math.Sin(float64(i+seed)*0.9)
+	}
+	return x
+}
+
+func newUSystemFixture(t *testing.T, u *Mesh) *USystem {
+	t.Helper()
+	sys, err := NewUSystem(u, physics.DefaultFluid(), 3600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPartOperatorBitIdenticalToHost(t *testing.T) {
+	// The tentpole invariant: A·x through the partitioned runtime equals the
+	// serial float64 host apply bit-for-bit, for every mesh builder, part
+	// count 1–8 and worker count. CI runs this under -race.
+	for name, u := range engineFixtures(t) {
+		sys := newUSystemFixture(t, u)
+		host := &UHostOperator{Sys: sys}
+		x := probeVector(u.NumCells, 7)
+		want := make([]float64, u.NumCells)
+		if err := host.Apply(want, x); err != nil {
+			t.Fatal(err)
+		}
+		for _, levels := range []int{0, 1, 2, 3} {
+			part, err := RCB(u, levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				e, err := NewPartEngine(u, part, physics.DefaultFluid(), EngineOptions{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				po, err := NewPartOperator(e, sys)
+				if err != nil {
+					e.Close()
+					t.Fatal(err)
+				}
+				got := make([]float64, u.NumCells)
+				err = po.Apply(got, x)
+				e.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s parts=%d workers=%d: A·x[%d] differs: %g vs %g",
+							name, part.NumParts, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartOperatorDiagonalAndDotBitIdentical(t *testing.T) {
+	// The partitioned Jacobi diagonal and the distributed dot reduction must
+	// equal their serial counterparts exactly — the deterministic
+	// mesh-index-order discipline.
+	u, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newUSystemFixture(t, u)
+	wantDiag := sys.Diagonal()
+	a := probeVector(u.NumCells, 3)
+	b := probeVector(u.NumCells, 11)
+	wantDot := 0.0
+	for i := range a {
+		wantDot += a[i] * b[i]
+	}
+	for _, levels := range []int{0, 2, 3} {
+		part, err := RCB(u, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewPartEngine(u, part, physics.DefaultFluid(), EngineOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		po, err := NewPartOperator(e, sys)
+		if err != nil {
+			e.Close()
+			t.Fatal(err)
+		}
+		diag := po.Diagonal()
+		dot := po.Dot(a, b)
+		e.Close()
+		for i := range wantDiag {
+			if diag[i] != wantDiag[i] {
+				t.Fatalf("parts=%d: diagonal[%d] differs: %g vs %g", part.NumParts, i, diag[i], wantDiag[i])
+			}
+		}
+		if dot != wantDot {
+			t.Fatalf("parts=%d: distributed dot %g != serial %g", part.NumParts, dot, wantDot)
+		}
+	}
+}
+
+func TestPartOperatorApplyAllocFree(t *testing.T) {
+	// The acceptance check: once warm, Apply and Dot run entirely through
+	// persistent buffers and pre-built phase closures — zero allocations.
+	u, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := RCB(u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPartEngine(u, part, physics.DefaultFluid(), EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	po, err := NewPartOperator(e, newUSystemFixture(t, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := probeVector(u.NumCells, 1)
+	dst := make([]float64, u.NumCells)
+	if err := po.Apply(dst, x); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := po.Apply(dst, x); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Apply allocates %.1f objects, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		po.Dot(x, dst)
+	})
+	if allocs != 0 {
+		t.Errorf("distributed Dot allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestPartOperatorCommCounters(t *testing.T) {
+	// Each Apply ships exactly the partition's static halo plan, counted as
+	// two 32-bit words per float64 value, one message per neighbor pair.
+	u, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := RCB(u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPartEngine(u, part, physics.DefaultFluid(), EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	po, err := NewPartOperator(e, newUSystemFixture(t, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantWords, wantMsgs uint64
+	for me := 0; me < part.NumParts; me++ {
+		wantWords += 2 * uint64(part.HaloCells(me))
+		wantMsgs += uint64(len(part.recvPlan[me]))
+	}
+	x := probeVector(u.NumCells, 2)
+	dst := make([]float64, u.NumCells)
+	const apps = 4
+	for k := 0; k < apps; k++ {
+		if err := po.Apply(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if po.Applications != apps {
+		t.Errorf("applications = %d, want %d", po.Applications, apps)
+	}
+	if po.Comm.HaloWords != apps*wantWords || po.Comm.Messages != apps*wantMsgs {
+		t.Errorf("comm {words %d, msgs %d}, want {%d, %d}",
+			po.Comm.HaloWords, po.Comm.Messages, apps*wantWords, apps*wantMsgs)
+	}
+}
+
+func TestUHostOperatorSymmetricPositiveDefinite(t *testing.T) {
+	// The frozen-mobility system must be SPD — what makes CG applicable.
+	u, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newUSystemFixture(t, u)
+	op := &UHostOperator{Sys: sys}
+	n := op.Size()
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	for seed := 0; seed < 10; seed++ {
+		x := probeVector(n, seed)
+		y := probeVector(n, seed+100)
+		if err := op.Apply(ax, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := op.Apply(ay, y); err != nil {
+			t.Fatal(err)
+		}
+		var xay, yax, xax float64
+		for i := 0; i < n; i++ {
+			xay += x[i] * ay[i]
+			yax += y[i] * ax[i]
+			xax += x[i] * ax[i]
+		}
+		if math.Abs(xay-yax) > 1e-9*(math.Abs(xay)+1e-30) {
+			t.Fatalf("seed %d: not symmetric: xᵀAy=%g yᵀAx=%g", seed, xay, yax)
+		}
+		if xax <= 0 {
+			t.Fatalf("seed %d: not positive definite: xᵀAx=%g", seed, xax)
+		}
+	}
+}
+
+func TestPartOperatorIterationParityWithStructuredHost(t *testing.T) {
+	// Satellite: on a structured-converted mesh with the structured system's
+	// own coefficients, CG through the partitioned operator at parts=1 takes
+	// exactly as many iterations as CG through solver.HostOperator.
+	sm, err := mesh.BuildDefault(mesh.Dims{Nx: 8, Ny: 6, Nz: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := physics.DefaultFluid()
+	ssys, err := solver.NewPressureSystem(sm, fl, 3600, refflux.FacesAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := FromStructured(sm, refflux.FacesAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usys := &USystem{U: u, Mobility: ssys.Mobility, Accum: ssys.Accum}
+	part, err := RCB(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPartEngine(u, part, fl, EngineOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	po, err := NewPartOperator(e, usys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := solver.WellSource(sm, 1, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveIts := func(op solver.Operator, diag []float64) int {
+		pre, err := solver.JacobiPrecond(diag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, op.Size())
+		st, err := solver.CG(op, x, b, solver.Options{Tol: 1e-8, MaxIter: 600, Precond: pre})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatal("solve did not converge")
+		}
+		return st.Iterations
+	}
+	hostIts := solveIts(&solver.HostOperator{Sys: ssys}, ssys.Diagonal())
+	partIts := solveIts(po, po.Diagonal())
+	if hostIts != partIts {
+		t.Errorf("iteration parity broken: structured host %d its, partitioned operator %d its",
+			hostIts, partIts)
+	}
+}
+
+func TestNewUSystemValidation(t *testing.T) {
+	u, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := physics.DefaultFluid()
+	if _, err := NewUSystem(u, fl, 0, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := NewUSystem(u, fl, 3600, 1.5); err == nil {
+		t.Error("porosity > 1 accepted")
+	}
+	incomp := fl
+	incomp.Compressibility = 0
+	if _, err := NewUSystem(u, incomp, 3600, 0); err == nil {
+		t.Error("zero accumulation accepted (matrix would be singular)")
+	}
+	bad := fl
+	bad.Viscosity = 0
+	if _, err := NewUSystem(u, bad, 3600, 0); err == nil {
+		t.Error("invalid fluid accepted")
+	}
+}
+
+func TestNewPartOperatorValidation(t *testing.T) {
+	u, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := RCB(u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPartEngine(u, part, physics.DefaultFluid(), EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	other, err := NewRadialMesh(RadialOptions{Rings: 3, BaseSectors: 4, R0: 1, DR: 2, Dz: 2, PermMD: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	osys := newUSystemFixture(t, other)
+	if _, err := NewPartOperator(e, osys); err == nil {
+		t.Error("system of a different mesh accepted")
+	}
+	po, err := NewPartOperator(e, newUSystemFixture(t, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := make([]float64, 3)
+	if err := po.Apply(short, short); err == nil {
+		t.Error("wrong-length vectors accepted")
+	}
+}

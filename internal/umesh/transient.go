@@ -1,0 +1,184 @@
+package umesh
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/physics"
+	"repro/internal/solver"
+)
+
+// This file is the transient backward-Euler loop over the partitioned
+// implicit solve: the §2 simulator workflow (one preconditioned Krylov solve
+// per time step) executed on the persistent unstructured runtime. It mirrors
+// sim.RunTransient for the structured mesh — the same frozen-coefficient
+// stepping, the same Krylov options, the same per-step reports — with wells
+// addressed by cell instead of by column, and the operator applied through
+// PartEngine instead of the structured engines.
+
+// Well is a constant-rate mass source/sink at one cell (positive injects).
+type Well struct {
+	Cell int
+	Rate float64
+}
+
+// TransientOptions configures a partitioned transient run. The fields mirror
+// sim.Options (Dt, Steps, Workers, Solver have identical semantics); Wells
+// are per-cell because unstructured meshes have no well columns.
+type TransientOptions struct {
+	// Dt is the time-step length in seconds; Steps the step count.
+	Dt    float64
+	Steps int
+	Wells []Well
+	// Porosity is the constant porosity of the accumulation term (0 selects
+	// DefaultPorosity).
+	Porosity float64
+	// Workers sizes the engine worker pool (0 = NumCPU; clamped to parts).
+	Workers int
+	// UseBiCGStab selects BiCGStab over the default CG (the system is SPD,
+	// so CG is the natural choice; BiCGStab exists for the general case).
+	UseBiCGStab bool
+	// InitialPressure is the starting field (nil selects uniform 20 MPa).
+	InitialPressure []float64
+	// Solver overrides the Krylov options (tolerance, iterations).
+	Solver solver.Options
+}
+
+func (o TransientOptions) withDefaults() TransientOptions {
+	if o.Solver.MaxIter == 0 {
+		o.Solver.MaxIter = 800
+	}
+	if o.Solver.Tol == 0 {
+		o.Solver.Tol = 1e-8
+	}
+	return o
+}
+
+// TransientStep summarizes one implicit step, including the solver's full
+// residual history — the golden regression tests assert the history is
+// bit-identical across part counts.
+type TransientStep struct {
+	Step       int
+	Iterations int
+	Residual   float64
+	MaxDeltaP  float64 // Pa
+	// MassError is |Σ accum·δp − Σ q| / Σ|q| — the per-step conservation
+	// check, as in sim.StepReport.
+	MassError float64
+	// History is ‖r‖/‖b‖ after each Krylov iteration.
+	History []float64
+}
+
+// TransientResult is a partitioned transient run's outcome.
+type TransientResult struct {
+	Steps []TransientStep
+	// Pressure is the final field.
+	Pressure []float64
+	// OperatorApplications counts partitioned engine applications performed
+	// by the Krylov iterations (0 for the serial reference path).
+	OperatorApplications int
+	// Comm is the total halo traffic of those applications (zero for the
+	// serial path).
+	Comm CommCounters
+}
+
+// RunTransientPartitioned advances an unstructured pressure field through
+// opts.Steps implicit backward-Euler steps, one preconditioned Krylov solve
+// per step, every operator application executed on the persistent partitioned
+// engine. A nil partition selects the serial float64 reference path
+// (UHostOperator + serial reductions) — the golden baseline the partitioned
+// runs must match bit-for-bit, which tests assert for parts 1–8.
+func RunTransientPartitioned(u *Mesh, p *Partition, fl physics.Fluid, opts TransientOptions) (*TransientResult, error) {
+	opts = opts.withDefaults()
+	if opts.Dt <= 0 || opts.Steps <= 0 {
+		return nil, fmt.Errorf("umesh: need positive Dt and Steps, got %g / %d", opts.Dt, opts.Steps)
+	}
+	if len(opts.Wells) == 0 {
+		return nil, fmt.Errorf("umesh: no wells — nothing drives the flow")
+	}
+	sys, err := NewUSystem(u, fl, opts.Dt, opts.Porosity)
+	if err != nil {
+		return nil, err
+	}
+
+	op, diag, closeOp, err := NewSystemOperator(u, p, fl, sys, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer closeOp()
+	po, _ := op.(*PartOperator)
+	pre, err := solver.JacobiPrecond(diag)
+	if err != nil {
+		return nil, err
+	}
+	sopts := opts.Solver
+	sopts.Precond = pre
+
+	b := make([]float64, u.NumCells)
+	injected := 0.0
+	for _, w := range opts.Wells {
+		if w.Cell < 0 || w.Cell >= u.NumCells {
+			return nil, fmt.Errorf("umesh: well cell %d outside %d-cell mesh", w.Cell, u.NumCells)
+		}
+		b[w.Cell] += w.Rate
+		injected += math.Abs(w.Rate)
+	}
+	if injected == 0 {
+		return nil, fmt.Errorf("umesh: all well rates are zero")
+	}
+
+	pres := make([]float64, u.NumCells)
+	if opts.InitialPressure != nil {
+		if len(opts.InitialPressure) != u.NumCells {
+			return nil, fmt.Errorf("umesh: initial pressure length %d != cells %d",
+				len(opts.InitialPressure), u.NumCells)
+		}
+		copy(pres, opts.InitialPressure)
+	} else {
+		for i := range pres {
+			pres[i] = 2e7
+		}
+	}
+
+	solve := solver.CG
+	if opts.UseBiCGStab {
+		solve = solver.BiCGStab
+	}
+	res := &TransientResult{}
+	x := make([]float64, u.NumCells)
+	sumQ := 0.0
+	for _, v := range b {
+		sumQ += v
+	}
+	for step := 0; step < opts.Steps; step++ {
+		for i := range x {
+			x[i] = 0 // fresh δp each step (coefficients are frozen)
+		}
+		st, err := solve(op, x, b, sopts)
+		if err != nil {
+			return nil, fmt.Errorf("umesh: step %d: %w", step, err)
+		}
+		maxDp, mass := 0.0, 0.0
+		for i := range x {
+			pres[i] += x[i]
+			if a := math.Abs(x[i]); a > maxDp {
+				maxDp = a
+			}
+			mass += sys.Accum[i] * x[i]
+		}
+		res.Steps = append(res.Steps, TransientStep{
+			Step:       step,
+			Iterations: st.Iterations,
+			Residual:   st.Residual,
+			MaxDeltaP:  maxDp,
+			MassError:  math.Abs(mass-sumQ) / injected,
+			History:    st.History,
+		})
+	}
+	res.Pressure = pres
+	if po != nil {
+		res.OperatorApplications = po.Applications
+		res.Comm = po.Comm
+	}
+	return res, nil
+}

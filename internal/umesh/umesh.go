@@ -13,6 +13,15 @@
 // sharded engine also runs on. The partitioned residual is bit-identical to
 // the serial cell-based sweep for every part and worker count; tests assert
 // it, including under the race detector.
+//
+// On top of the engine sits the §8 matrix-free implicit path: USystem (one
+// frozen backward-Euler pressure step), PartOperator (A·x through the
+// engine's pool and exchange plans in float64, with a partitioned Jacobi
+// diagonal and deterministic mesh-index-order reductions), and
+// RunTransientPartitioned (one preconditioned Krylov solve per time step).
+// Partitioned solves are bit-identical to the serial UHostOperator
+// reference — residual histories, iteration counts, final state — for every
+// part and worker count; the golden regression asserts it under -race.
 package umesh
 
 import (

@@ -131,6 +131,56 @@ func RunUnstructured(u *UMesh, part *UPartition, fl Fluid, opts UnstructuredOpti
 	return e.Run(p)
 }
 
+// Unstructured implicit solves (§8 on the §9 runtime).
+type (
+	// UPressureSystem is a frozen-coefficient backward-Euler pressure step
+	// over an unstructured mesh.
+	UPressureSystem = umesh.USystem
+	// UWell is a constant-rate mass source/sink at one cell.
+	UWell = umesh.Well
+	// UTransientOptions configures the partitioned implicit time stepping.
+	UTransientOptions = umesh.TransientOptions
+	// UTransientResult carries per-step reports (with residual histories),
+	// the final field and the solve's halo traffic.
+	UTransientResult = umesh.TransientResult
+)
+
+// SolveUnstructured solves one implicit pressure step A·δp = b on the
+// unstructured mesh with Jacobi-preconditioned CG, every operator
+// application executed on the persistent partitioned engine (matrix-free §8
+// on the §9 runtime). A nil partition selects the serial float64 reference
+// operator; partitioned solves are bit-identical to it for every part count.
+func SolveUnstructured(u *UMesh, part *UPartition, fl Fluid, dt float64, b []float64, opts SolverOptions) ([]float64, *SolverStats, error) {
+	sys, err := umesh.NewUSystem(u, fl, dt, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	op, diag, closeOp, err := umesh.NewSystemOperator(u, part, fl, sys, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer closeOp()
+	pre, err := solver.JacobiPrecond(diag)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Precond = pre
+	x := make([]float64, op.Size())
+	st, err := solver.CG(op, x, b, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	return x, st, nil
+}
+
+// RunTransientUnstructured advances an unstructured pressure field through
+// implicit backward-Euler steps on the partitioned runtime, one
+// preconditioned Krylov solve per step. A nil partition runs the serial
+// reference path.
+func RunTransientUnstructured(u *UMesh, part *UPartition, fl Fluid, opts UTransientOptions) (*UTransientResult, error) {
+	return umesh.RunTransientPartitioned(u, part, fl, opts)
+}
+
 // UnstructuredFromMesh converts a structured mesh (all ten faces).
 func UnstructuredFromMesh(m *Mesh) (*UMesh, error) {
 	return umesh.FromStructured(m, refflux.FacesAll)

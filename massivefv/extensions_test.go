@@ -109,6 +109,76 @@ func TestFacadeUnstructured(t *testing.T) {
 	}
 }
 
+func TestFacadeSolveUnstructured(t *testing.T) {
+	// The §8-on-§9 facade: a partitioned implicit pressure step must be
+	// bit-identical to the serial reference solve (same iterations, same x).
+	um, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := DefaultFluid()
+	b := make([]float64, um.NumCells)
+	b[um.WellIndex()] = 1.5
+	b[um.NumCells-1] = -1.5
+	xSerial, stSerial, err := SolveUnstructured(um, nil, fl, 3600, b, SolverOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stSerial.Converged {
+		t.Fatalf("serial solve did not converge: %+v", stSerial)
+	}
+	part, err := PartitionRCB(um, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPart, stPart, err := SolveUnstructured(um, part, fl, 3600, b, SolverOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPart.Iterations != stSerial.Iterations {
+		t.Errorf("partitioned solve took %d iterations, serial %d", stPart.Iterations, stSerial.Iterations)
+	}
+	for i := range xSerial {
+		if xPart[i] != xSerial[i] {
+			t.Fatalf("partitioned solution differs at %d: %g vs %g", i, xPart[i], xSerial[i])
+		}
+	}
+	if xSerial[um.WellIndex()] <= 0 {
+		t.Errorf("injection did not raise pressure: %g", xSerial[um.WellIndex()])
+	}
+}
+
+func TestFacadeTransientUnstructured(t *testing.T) {
+	um, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionRCB(um, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := UTransientOptions{
+		Dt:    3600,
+		Steps: 2,
+		Wells: []UWell{
+			{Cell: um.WellIndex(), Rate: 1.0},
+			{Cell: um.NumCells - 1, Rate: -1.0},
+		},
+		Workers: 2,
+	}
+	res, err := RunTransientUnstructured(um, part, DefaultFluid(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 || res.OperatorApplications == 0 {
+		t.Fatalf("degenerate transient result: %d steps, %d applications",
+			len(res.Steps), res.OperatorApplications)
+	}
+	if res.Pressure[um.WellIndex()] <= 2e7 {
+		t.Errorf("injector pressure %g did not rise", res.Pressure[um.WellIndex()])
+	}
+}
+
 func TestFacadeRunUnstructured(t *testing.T) {
 	um, err := NewRadialMesh(DefaultRadialOptions())
 	if err != nil {
