@@ -7,7 +7,7 @@ GO ?= go
 # partitioned implicit path.
 RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/ ./internal/exec/ ./internal/umesh/ ./internal/solver/
 
-.PHONY: build test race bench-smoke bench-kernel bench-umesh fuzz-smoke cover vet fmt-check ci
+.PHONY: build test race bench-smoke bench-kernel bench-umesh bench-usolve fuzz-smoke cover vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ bench-kernel:
 bench-umesh:
 	$(GO) test -run '^$$' -bench BenchmarkUmesh -benchtime 1x -short ./internal/umesh/
 
+# The part-resident implicit-solve microbenchmarks (resident operator
+# application and fused reductions vs the serial host apply, plus one whole
+# partitioned step) once each — the smoke run behind BENCH_usolve.json.
+bench-usolve:
+	$(GO) test -run '^$$' -bench 'BenchmarkPartOperator|BenchmarkUsolve' -benchtime 1x -short ./internal/umesh/
+
 # Short native-fuzz exploration of the RCB partitioner and the radial mesh
 # builder (the checked-in seed corpus already runs under plain `make test`).
 # -fuzz accepts one target per invocation, hence two runs.
@@ -44,8 +50,8 @@ fuzz-smoke:
 
 # Per-package coverage gate over the solver-path packages. Floors are pinned
 # a few points under the measured numbers so genuine regressions fail while
-# rounding noise does not. Current coverage (2026-07, PR 4):
-#   internal/umesh  92.3%   internal/solver 90.6%   internal/exec 100.0%
+# rounding noise does not. Current coverage (2026-07, PR 5):
+#   internal/umesh  92.2%   internal/solver 89.4%   internal/exec 95.8%
 cover:
 	@set -e; \
 	check() { \
@@ -68,4 +74,4 @@ fmt-check:
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Everything the CI workflow gates on.
-ci: build vet fmt-check test race cover bench-smoke bench-kernel bench-umesh fuzz-smoke
+ci: build vet fmt-check test race cover bench-smoke bench-kernel bench-umesh bench-usolve fuzz-smoke

@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 
@@ -55,9 +56,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		engine     = fs.String("engine", "fabric", "functional engine: fabric|flat|parallel")
 		workers    = fs.Int("workers", 0, "worker count for engine=parallel (0 = all CPUs)")
 		jsonOut    = fs.String("json", "", "record the selected scaling, kernel, umesh or usolve experiment as JSON to this path (ignored with -experiment all)")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })

@@ -3,6 +3,8 @@ package main
 import (
 	"errors"
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -35,6 +37,7 @@ func TestRunCLIValidation(t *testing.T) {
 		{"negative workers", []string{"-experiment", "table1", "-engine", "parallel", "-workers", "-2"}, "non-negative"},
 		{"bad dims", []string{"-experiment", "table1", "-dims", "12x10"}, "dims"},
 		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"unwritable cpuprofile", []string{"-experiment", "table1", "-cpuprofile", "/no/such/dir/prof.out"}, "cpuprofile"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -62,5 +65,25 @@ func TestRunTable1Small(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "==== table1 ====") {
 		t.Errorf("output missing experiment banner:\n%s", stdout.String())
+	}
+}
+
+// TestRunCPUProfile pins the -cpuprofile satellite: a profiled run writes a
+// non-empty pprof file through the testable run() entry.
+func TestRunCPUProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional experiment in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-experiment", "table1", "-engine", "flat", "-dims", "4x4x2", "-apps", "1", "-cpuprofile", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("profile file is empty")
 	}
 }

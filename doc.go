@@ -28,15 +28,22 @@
 // The §8 matrix-free Krylov extension runs on both mesh families. On the
 // structured mesh, solver.DataflowOperator applies the pressure matrix
 // through the dataflow kernel. On the unstructured mesh, umesh.PartOperator
-// applies it through the partitioned engine — float64 halo exchange over the
-// precompiled plans, a partitioned Jacobi diagonal, and distributed dot
-// products folded in deterministic mesh-index order — so a transient
-// backward-Euler run (umesh.RunTransientPartitioned, massivefv.
-// SolveUnstructured / RunTransientUnstructured, `fvsim -mesh unstructured
-// -parts N`) is bit-identical to the serial reference at every part and
-// worker count: residual histories, iteration counts, and the final field.
-// `fvflux -experiment usolve -json BENCH_usolve.json` records the
-// implicit-solve scaling baseline.
+// implements solver.VectorSpace, so CG/BiCGStab run part-resident: the
+// whole Krylov working set lives in each part's compact layout for the
+// entire solve (one scatter in, one gather out), each operator application
+// is a fused pack+send+interior-compute phase overlapping the halo exchange
+// followed by receive+frontier, and the vector algebra runs as fused
+// partitioned phases with per-part partial reductions. Every inner product
+// folds through the canonical blocked reduction (umesh.CanonicalOrder — the
+// RCB recursion's own summation tree), so a transient backward-Euler run
+// (umesh.RunTransientPartitioned, massivefv.SolveUnstructured /
+// RunTransientUnstructured, `fvsim -mesh unstructured -parts N`) is
+// bit-identical to the serial reference at every part and worker count:
+// residual histories, iteration counts, and the final field. `fvflux
+// -experiment usolve -json BENCH_usolve.json` records the implicit-solve
+// scaling baseline with a per-phase exchange/compute/reduce breakdown;
+// parts=1 runs at ≈1.0x the serial solve (0.54x before the part-resident
+// rework). `fvflux -cpuprofile` records a pprof profile of any experiment.
 //
 // Tests form a pyramid: unit tests per package; property tests over seeded
 // random systems (solver convergence and monotonicity, RCB balance and plan

@@ -1,11 +1,11 @@
 // Unstructured implicit pressure solves — the paper's §8 matrix-free Krylov
 // extension running on the §9 partitioned unstructured runtime. A transient
 // backward-Euler run (one Jacobi-preconditioned CG solve per step) drives an
-// injector/producer pair on a refined radial mesh; every operator
-// application is one partitioned engine application (scatter, precompiled
-// halo exchange, per-cell flux rows), and the deterministic mesh-index-order
-// reductions make the whole solve — residual histories, iteration counts,
-// final field — bit-identical to the serial reference at every part count.
+// injector/producer pair on a refined radial mesh; the solve runs
+// part-resident (one scatter in, one gather out, fused exchange-overlapped
+// applications in between), and the canonical blocked reductions make the
+// whole solve — residual histories, iteration counts, final field —
+// bit-identical to the serial reference at every part count.
 package main
 
 import (
@@ -94,5 +94,5 @@ func main() {
 		topts.Steps, inj/1e5, prod/1e5)
 	fmt.Println("\nevery CG iteration is one engine application — the \"1000 applications\"")
 	fmt.Println("pattern of §3, now driven by the Krylov solver over the partitioned mesh,")
-	fmt.Println("with reductions summed in mesh-index order so part count never changes a bit.")
+	fmt.Println("with reductions folded in canonical blocked order so part count never changes a bit.")
 }

@@ -17,10 +17,12 @@ import (
 // part counts and checked bit-identical — residual histories, iteration
 // counts, final state — against the serial UHostOperator reference. Where the
 // umesh experiment measures raw residual applications, this one measures the
-// first real solver scenario on the partitioned runtime: many engine
-// applications per time step, which is where the 0-alloc exchange and the
-// deterministic reductions pay off. The JSON report (BENCH_usolve.json) is
-// the trajectory anchor for the implicit path.
+// first real solver scenario on the partitioned runtime: many part-resident
+// engine applications per time step (one scatter and one gather per solve,
+// fused exchange-overlapped phases in between), which is where the 0-alloc
+// exchange and the canonical deterministic reductions pay off. The JSON
+// report (BENCH_usolve.json) carries a per-phase exchange/compute/reduce
+// breakdown per point and is the trajectory anchor for the implicit path.
 
 // UsolveConfig sizes the partitioned implicit-solve sweep.
 type UsolveConfig struct {
@@ -82,6 +84,16 @@ type UsolvePoint struct {
 	// payloads counted as two 32-bit words each).
 	HaloWords uint64 `json:"halo_words"`
 	Messages  uint64 `json:"messages"`
+	// Scatters and Gathers count whole-vector global transfers — the
+	// part-resident guarantee in its observable form: one of each per time
+	// step.
+	Scatters int `json:"scatters"`
+	Gathers  int `json:"gathers"`
+	// Phase is the per-phase wall-clock breakdown of the partitioned solve:
+	// exchange (fused pack+send+interior overlap window, plus the per-solve
+	// scatter and gather), compute (receive+frontier), reduce (fused
+	// axpy/dot/preconditioner phases).
+	Phase umesh.PhaseSeconds `json:"phase_seconds"`
 }
 
 // UsolveScaling is the sweep outcome. It serializes to the BENCH_usolve.json
@@ -194,6 +206,9 @@ func RunUsolveScaling(cfg UsolveConfig) (*UsolveScaling, error) {
 			OperatorApplications: res.OperatorApplications,
 			HaloWords:            res.Comm.HaloWords,
 			Messages:             res.Comm.Messages,
+			Scatters:             res.Scatters,
+			Gathers:              res.Gathers,
+			Phase:                res.Phase,
 		}
 		pt.Workers = cfg.Workers
 		if pt.Workers == 0 {
@@ -255,11 +270,12 @@ func (s *UsolveScaling) Render(w io.Writer) error {
 		s.Cells, s.Faces, s.MaxDegree, s.Steps, s.DtSeconds, s.Tol)
 	fmt.Fprintf(tw, "host: %s, NumCPU %d, GOMAXPROCS %d\n", s.GoVersion, s.NumCPU, s.GOMAXPROCS)
 	fmt.Fprintf(tw, "serial UHostOperator baseline: %.4f s, %d CG iterations\n", s.SerialSeconds, s.SerialIterations)
-	fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tCG its\tapplications\thalo words\tmsgs")
+	fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tCG its\tapplications\thalo words\tmsgs\texch [s]\tcomp [s]\tred [s]")
 	for _, p := range s.Points {
-		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\n",
 			p.Parts, p.Workers, p.Seconds, p.Speedup, p.Iterations,
-			p.OperatorApplications, p.HaloWords, p.Messages)
+			p.OperatorApplications, p.HaloWords, p.Messages,
+			p.Phase.Exchange, p.Phase.Compute, p.Phase.Reduce)
 	}
 	fmt.Fprintf(tw, "\nbit-identical to serial (histories, iterations, final state): %v\n", s.BitIdentical)
 	if s.GOMAXPROCS == 1 {

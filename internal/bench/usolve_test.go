@@ -48,6 +48,16 @@ func TestUsolveScalingSweep(t *testing.T) {
 			t.Errorf("%d-part run reports %d applications for %d iterations",
 				p.Parts, p.OperatorApplications, p.Iterations)
 		}
+		// The part-resident guarantee: one scatter and one gather per time
+		// step, and a populated per-phase breakdown.
+		if p.Scatters != s.Steps || p.Gathers != s.Steps {
+			t.Errorf("%d-part run reports %d scatters / %d gathers for %d steps, want %d each",
+				p.Parts, p.Scatters, p.Gathers, s.Steps, s.Steps)
+		}
+		if p.Phase.Total() <= 0 || p.Phase.Total() > p.Seconds {
+			t.Errorf("%d-part run has an implausible phase breakdown %+v for %.4fs total",
+				p.Parts, p.Phase, p.Seconds)
+		}
 		if p.Parts == 1 {
 			if p.HaloWords != 0 || p.Messages != 0 {
 				t.Errorf("1-part run reports communication: %+v", p)
@@ -71,7 +81,7 @@ func TestUsolveScalingSweep(t *testing.T) {
 	if err := s.WriteJSON(&js); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"serial_seconds"`, `"serial_iterations"`, `"bit_identical": true`, `"gomaxprocs"`, `"num_cpu"`, `"operator_applications"`} {
+	for _, want := range []string{`"serial_seconds"`, `"serial_iterations"`, `"bit_identical": true`, `"gomaxprocs"`, `"num_cpu"`, `"operator_applications"`, `"phase_seconds"`, `"exchange"`, `"compute"`, `"reduce"`, `"scatters"`, `"gathers"`} {
 		if !strings.Contains(js.String(), want) {
 			t.Errorf("JSON missing %q", want)
 		}

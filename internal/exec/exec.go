@@ -82,6 +82,12 @@ func (p *Pool) Shards() int { return p.shards }
 // yet. Cross-shard data dependencies belong between phases, where the
 // barrier orders them.
 func (p *Pool) Run(fn func(shard int) error) error {
+	if p.shards == 1 {
+		// Single shard: the barrier is trivial, so run inline and skip the
+		// channel round-trip — the phase-dispatch fast path a one-part
+		// engine sits on.
+		return fn(0)
+	}
 	for s := 0; s < p.shards; s++ {
 		p.tasks <- task{fn: fn, shard: s}
 	}

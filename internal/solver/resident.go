@@ -1,0 +1,182 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the part-resident Krylov recurrences: CG and BiCGStab
+// executed entirely through a VectorSpace, so every working vector lives in
+// the operator's own (partitioned) layout for the whole solve. A solve
+// scatters its inputs once (LoadVec2), gathers the solution once (StoreVec),
+// and runs every operator application, axpy and inner product as fused
+// resident phases in between — the discipline the slice path violates by
+// round-tripping each Krylov vector through global arrays per application.
+//
+// Bit-identity discipline: each resident step evaluates exactly the
+// expressions of the slice recurrence in the same order (the fused
+// update+dot phases sum their reductions in the operator's one fixed global
+// order), so a resident solve reproduces a slice solve over the same
+// operator ordering bit-for-bit. The breakdown checks mirror the slice
+// implementations check-for-check for the same reason.
+
+// Resident vector handles: the solvers address their working sets as fixed
+// slots Vec(0..n-1) reserved up front, so repeated solves on one operator
+// reuse the same storage and allocate nothing new.
+const (
+	cgX   = Vec(0)
+	cgB   = Vec(1)
+	cgR   = Vec(2)
+	cgZ   = Vec(3)
+	cgP   = Vec(4)
+	cgAp  = Vec(5)
+	cgLen = 6
+
+	biX    = Vec(0)
+	biB    = Vec(1)
+	biR    = Vec(2)
+	biRHat = Vec(3)
+	biV    = Vec(4)
+	biP    = Vec(5)
+	biPh   = Vec(6)
+	biS    = Vec(7)
+	biSh   = Vec(8)
+	biT    = Vec(9)
+	biLen  = 10
+)
+
+// cgResident is preconditioned conjugate gradients with the whole working
+// set resident in the operator's layout.
+func cgResident(a VectorSpace, x, b []float64, opts Options) (*Stats, error) {
+	if err := a.SetPrecondDiag(opts.PrecondDiag); err != nil {
+		return nil, err
+	}
+	a.Reserve(cgLen)
+	a.LoadVec2(cgX, x, cgB, b) // the solve's one scatter
+	normB := math.Sqrt(a.DotVec(cgB, cgB))
+	if normB == 0 {
+		zero(x)
+		return &Stats{Converged: true}, nil
+	}
+	// r = b − A·x (the SubAxpy's fused ⟨r,r⟩ is discarded; the slice path
+	// does not take an initial residual norm either).
+	if err := a.ApplyVec(cgAp, cgX); err != nil {
+		return nil, err
+	}
+	a.SubAxpyDotVec(cgR, cgB, 1, cgAp)
+	rz := a.PrecondDotVec(cgZ, cgR)
+	a.CopyVec(cgP, cgZ)
+	st := &Stats{}
+	for k := 0; k < opts.MaxIter; k++ {
+		pap, err := a.ApplyDotVec(cgAp, cgP, cgP)
+		if err != nil {
+			return nil, err
+		}
+		if pap == 0 || math.IsNaN(pap) {
+			a.StoreVec(x, cgX)
+			return st, fmt.Errorf("%w: pᵀAp = %v at iteration %d", ErrBreakdown, pap, k)
+		}
+		alpha := rz / pap
+		rr := a.CGStepVec(cgX, alpha, cgP, cgR, cgAp)
+		st.Iterations = k + 1
+		st.Residual = math.Sqrt(rr) / normB
+		st.History = append(st.History, st.Residual)
+		if st.Residual <= opts.Tol {
+			st.Converged = true
+			a.StoreVec(x, cgX) // the solve's one gather
+			return st, nil
+		}
+		rzNew := a.PrecondDotVec(cgZ, cgR)
+		if rz == 0 {
+			a.StoreVec(x, cgX)
+			return st, fmt.Errorf("%w: rᵀz vanished at iteration %d", ErrBreakdown, k)
+		}
+		beta := rzNew / rz
+		a.XpbyVec(cgP, beta, cgZ)
+		rz = rzNew
+	}
+	a.StoreVec(x, cgX)
+	return st, fmt.Errorf("%w after %d iterations (rel residual %.3e)", ErrNotConverged, st.Iterations, st.Residual)
+}
+
+// bicgstabResident is BiCGStab with the whole working set resident in the
+// operator's layout.
+func bicgstabResident(a VectorSpace, x, b []float64, opts Options) (*Stats, error) {
+	if err := a.SetPrecondDiag(opts.PrecondDiag); err != nil {
+		return nil, err
+	}
+	a.Reserve(biLen)
+	a.LoadVec2(biX, x, biB, b) // the solve's one scatter
+	normB := math.Sqrt(a.DotVec(biB, biB))
+	if normB == 0 {
+		zero(x)
+		return &Stats{Converged: true}, nil
+	}
+	// r = b − A·x, r̂ = r.
+	if err := a.ApplyVec(biT, biX); err != nil {
+		return nil, err
+	}
+	a.SubAxpyDotVec(biR, biB, 1, biT)
+	a.CopyVec(biRHat, biR)
+	var rho, alpha, omega float64 = 1, 1, 1
+	st := &Stats{}
+	for k := 0; k < opts.MaxIter; k++ {
+		rhoNew := a.DotVec(biRHat, biR)
+		if rhoNew == 0 {
+			a.StoreVec(x, biX)
+			return st, fmt.Errorf("%w: ρ = 0 at iteration %d", ErrBreakdown, k)
+		}
+		if k == 0 {
+			a.CopyVec(biP, biR)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			a.BicgPVec(biP, biR, biV, beta, omega)
+		}
+		rho = rhoNew
+		a.PrecondVec(biPh, biP)
+		den, err := a.ApplyDotVec(biV, biPh, biRHat)
+		if err != nil {
+			return nil, err
+		}
+		if den == 0 {
+			a.StoreVec(x, biX)
+			return st, fmt.Errorf("%w: r̂ᵀv = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha = rho / den
+		ss := a.SubAxpyDotVec(biS, biR, alpha, biV)
+		st.Iterations = k + 1
+		if res := math.Sqrt(ss) / normB; res <= opts.Tol {
+			a.AxpyVec(biX, alpha, biPh)
+			st.Residual = res
+			st.History = append(st.History, res)
+			st.Converged = true
+			a.StoreVec(x, biX) // the solve's one gather
+			return st, nil
+		}
+		a.PrecondVec(biSh, biS)
+		if err := a.ApplyVec(biT, biSh); err != nil {
+			return nil, err
+		}
+		tt, ts := a.Dot2Vec(biT, biT, biS)
+		if tt == 0 {
+			a.StoreVec(x, biX)
+			return st, fmt.Errorf("%w: tᵀt = 0 at iteration %d", ErrBreakdown, k)
+		}
+		omega = ts / tt
+		if omega == 0 {
+			a.StoreVec(x, biX)
+			return st, fmt.Errorf("%w: ω = 0 at iteration %d", ErrBreakdown, k)
+		}
+		a.Axpy2Vec(biX, alpha, biPh, omega, biSh)
+		rr := a.SubAxpyDotVec(biR, biS, omega, biT)
+		st.Residual = math.Sqrt(rr) / normB
+		st.History = append(st.History, st.Residual)
+		if st.Residual <= opts.Tol {
+			st.Converged = true
+			a.StoreVec(x, biX)
+			return st, nil
+		}
+	}
+	a.StoreVec(x, biX)
+	return st, fmt.Errorf("%w after %d iterations (rel residual %.3e)", ErrNotConverged, st.Iterations, st.Residual)
+}

@@ -1,0 +1,362 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// denseSpace wraps denseOp as a reference VectorSpace over plain slices with
+// the identity layout and plain left-to-right inner products — the simplest
+// conforming implementation. It exists to prove the resident CG/BiCGStab
+// recurrences reproduce the slice recurrences exactly, independent of any
+// partitioned runtime.
+type denseSpace struct {
+	*denseOp
+	vecs [][]float64
+	inv  []float64 // nil = identity preconditioner
+}
+
+func (d *denseSpace) Reserve(n int) {
+	for len(d.vecs) < n {
+		d.vecs = append(d.vecs, make([]float64, d.Size()))
+	}
+}
+
+func (d *denseSpace) LoadVec2(v1 Vec, s1 []float64, v2 Vec, s2 []float64) {
+	copy(d.vecs[v1], s1)
+	copy(d.vecs[v2], s2)
+}
+
+func (d *denseSpace) StoreVec(dst []float64, v Vec) { copy(dst, d.vecs[v]) }
+
+func (d *denseSpace) SetPrecondDiag(diag []float64) error {
+	if diag == nil {
+		d.inv = nil
+		return nil
+	}
+	d.inv = make([]float64, len(diag))
+	for i, v := range diag {
+		if v == 0 || math.IsNaN(v) {
+			return errZeroDiag
+		}
+		d.inv[i] = 1 / v
+	}
+	return nil
+}
+
+func (d *denseSpace) CopyVec(dst, src Vec) { copy(d.vecs[dst], d.vecs[src]) }
+
+func (d *denseSpace) DotVec(a, b Vec) float64 { return dot(d.vecs[a], d.vecs[b]) }
+
+func (d *denseSpace) Dot2Vec(a, x, y Vec) (float64, float64) {
+	return dot(d.vecs[a], d.vecs[x]), dot(d.vecs[a], d.vecs[y])
+}
+
+func (d *denseSpace) ApplyVec(dst, x Vec) error { return d.Apply(d.vecs[dst], d.vecs[x]) }
+
+func (d *denseSpace) ApplyDotVec(dst, x, w Vec) (float64, error) {
+	if err := d.Apply(d.vecs[dst], d.vecs[x]); err != nil {
+		return 0, err
+	}
+	return dot(d.vecs[w], d.vecs[dst]), nil
+}
+
+func (d *denseSpace) AxpyVec(y Vec, alpha float64, x Vec) { axpy(d.vecs[y], alpha, d.vecs[x]) }
+
+func (d *denseSpace) Axpy2Vec(y Vec, alpha float64, x Vec, beta float64, z Vec) {
+	yy, xx, zz := d.vecs[y], d.vecs[x], d.vecs[z]
+	for i := range yy {
+		yy[i] += alpha*xx[i] + beta*zz[i]
+	}
+}
+
+func (d *denseSpace) XpbyVec(y Vec, beta float64, x Vec) {
+	yy, xx := d.vecs[y], d.vecs[x]
+	for i := range yy {
+		yy[i] = xx[i] + beta*yy[i]
+	}
+}
+
+func (d *denseSpace) SubAxpyDotVec(dst, a Vec, alpha float64, b Vec) float64 {
+	dd, aa, bb := d.vecs[dst], d.vecs[a], d.vecs[b]
+	s := 0.0
+	for i := range dd {
+		v := aa[i] - alpha*bb[i]
+		dd[i] = v
+		s += v * v
+	}
+	return s
+}
+
+func (d *denseSpace) CGStepVec(x Vec, alpha float64, p, r, ap Vec) float64 {
+	xx, pp, rr, aap := d.vecs[x], d.vecs[p], d.vecs[r], d.vecs[ap]
+	s := 0.0
+	for i := range xx {
+		xx[i] += alpha * pp[i]
+		ri := rr[i] - alpha*aap[i]
+		rr[i] = ri
+		s += ri * ri
+	}
+	return s
+}
+
+func (d *denseSpace) BicgPVec(p, r, v Vec, beta, omega float64) {
+	pp, rr, vv := d.vecs[p], d.vecs[r], d.vecs[v]
+	for i := range pp {
+		pp[i] = rr[i] + beta*(pp[i]-omega*vv[i])
+	}
+}
+
+func (d *denseSpace) PrecondVec(z, r Vec) {
+	zz, rr := d.vecs[z], d.vecs[r]
+	if d.inv == nil {
+		copy(zz, rr)
+		return
+	}
+	for i := range zz {
+		zz[i] = d.inv[i] * rr[i]
+	}
+}
+
+func (d *denseSpace) PrecondDotVec(z, r Vec) float64 {
+	d.PrecondVec(z, r)
+	return dot(d.vecs[r], d.vecs[z])
+}
+
+var _ VectorSpace = (*denseSpace)(nil)
+
+var errZeroDiag = errors.New("denseSpace: zero/NaN diagonal entry")
+
+// diagOf extracts the matrix diagonal of a dense operator.
+func diagOf(d *denseOp) []float64 {
+	diag := make([]float64, d.Size())
+	for i := range d.a {
+		diag[i] = d.a[i][i]
+	}
+	return diag
+}
+
+func TestResidentCGMatchesSlicePathBitExact(t *testing.T) {
+	// The resident recurrence must be the slice recurrence expression for
+	// expression: CG through a conforming VectorSpace reproduces CG through
+	// the plain Operator bit-for-bit — iterations, histories, solution —
+	// with and without Jacobi preconditioning.
+	for _, seed := range []uint64{1, 7, 42} {
+		op, b := randomSPD(24, seed)
+		for _, jacobi := range []bool{false, true} {
+			var diag []float64
+			if jacobi {
+				diag = diagOf(op)
+			}
+			opts := Options{Tol: 1e-10, MaxIter: 300, PrecondDiag: diag}
+			xs := make([]float64, op.Size())
+			stS, errS := CG(op, xs, b, opts)
+			xr := make([]float64, op.Size())
+			stR, errR := CG(&denseSpace{denseOp: op}, xr, b, opts)
+			if (errS == nil) != (errR == nil) {
+				t.Fatalf("seed %d jacobi=%v: error mismatch: slice %v, resident %v", seed, jacobi, errS, errR)
+			}
+			if stS.Iterations != stR.Iterations || stS.Converged != stR.Converged {
+				t.Fatalf("seed %d jacobi=%v: slice %d its (conv %v), resident %d its (conv %v)",
+					seed, jacobi, stS.Iterations, stS.Converged, stR.Iterations, stR.Converged)
+			}
+			for k := range stS.History {
+				if stS.History[k] != stR.History[k] {
+					t.Fatalf("seed %d jacobi=%v: history[%d] differs: %g vs %g",
+						seed, jacobi, k, stS.History[k], stR.History[k])
+				}
+			}
+			for i := range xs {
+				if xs[i] != xr[i] {
+					t.Fatalf("seed %d jacobi=%v: x[%d] differs: %g vs %g", seed, jacobi, i, xs[i], xr[i])
+				}
+			}
+		}
+	}
+}
+
+func TestResidentBiCGStabMatchesSlicePathBitExact(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		op, b := randomSPD(20, seed)
+		// Nonsymmetric perturbation exercises the full BiCGStab recurrence.
+		op.a[1][2] += 0.25
+		op.a[5][0] -= 0.125
+		opts := Options{Tol: 1e-10, MaxIter: 400, PrecondDiag: diagOf(op)}
+		xs := make([]float64, op.Size())
+		stS, errS := BiCGStab(op, xs, b, opts)
+		xr := make([]float64, op.Size())
+		stR, errR := BiCGStab(&denseSpace{denseOp: op}, xr, b, opts)
+		if (errS == nil) != (errR == nil) {
+			t.Fatalf("seed %d: error mismatch: slice %v, resident %v", seed, errS, errR)
+		}
+		if stS.Iterations != stR.Iterations || stS.Converged != stR.Converged {
+			t.Fatalf("seed %d: slice %d its, resident %d its", seed, stS.Iterations, stR.Iterations)
+		}
+		for k := range stS.History {
+			if stS.History[k] != stR.History[k] {
+				t.Fatalf("seed %d: history[%d] differs: %g vs %g", seed, k, stS.History[k], stR.History[k])
+			}
+		}
+		for i := range xs {
+			if xs[i] != xr[i] {
+				t.Fatalf("seed %d: x[%d] differs: %g vs %g", seed, i, xs[i], xr[i])
+			}
+		}
+	}
+}
+
+func TestResidentZeroRHS(t *testing.T) {
+	// The zero-b early exit zeroes x on both paths.
+	op, _ := randomSPD(8, 5)
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	st, err := CG(&denseSpace{denseOp: op}, x, make([]float64, 8), Options{})
+	if err != nil || !st.Converged {
+		t.Fatalf("zero RHS: %v %+v", err, st)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("x[%d] = %g after zero-RHS solve", i, v)
+		}
+	}
+}
+
+func TestPrecondClosureForcesSlicePath(t *testing.T) {
+	// An Options.Precond closure cannot run resident; the solver must fall
+	// back to the slice path and still honor the closure.
+	op, b := randomSPD(16, 9)
+	inv := diagOf(op)
+	for i := range inv {
+		inv[i] = 1 / inv[i]
+	}
+	called := false
+	pre := func(z, r []float64) {
+		called = true
+		for i := range z {
+			z[i] = inv[i] * r[i]
+		}
+	}
+	x := make([]float64, op.Size())
+	st, err := CG(&denseSpace{denseOp: op}, x, b, Options{Tol: 1e-10, MaxIter: 300, Precond: pre})
+	if err != nil || !st.Converged {
+		t.Fatalf("solve failed: %v %+v", err, st)
+	}
+	if !called {
+		t.Error("Precond closure never invoked — resident path ignored it")
+	}
+}
+
+func TestResidentErrorPathsMirrorSlicePath(t *testing.T) {
+	// The exits that are not plain convergence must behave identically on
+	// the two paths: iteration exhaustion (best iterate still stored to x),
+	// Krylov breakdown, and a rejected preconditioner diagonal.
+	t.Run("not converged", func(t *testing.T) {
+		op, b := randomSPD(24, 21)
+		opts := Options{Tol: 1e-14, MaxIter: 3}
+		xs := make([]float64, op.Size())
+		_, errS := CG(op, xs, b, opts)
+		xr := make([]float64, op.Size())
+		_, errR := CG(&denseSpace{denseOp: op}, xr, b, opts)
+		if !errors.Is(errS, ErrNotConverged) || !errors.Is(errR, ErrNotConverged) {
+			t.Fatalf("want ErrNotConverged on both paths, got slice %v, resident %v", errS, errR)
+		}
+		for i := range xs {
+			if xs[i] != xr[i] {
+				t.Fatalf("best iterate differs at %d: %g vs %g", i, xs[i], xr[i])
+			}
+		}
+		xb := make([]float64, op.Size())
+		if _, err := BiCGStab(&denseSpace{denseOp: op}, xb, b, opts); !errors.Is(err, ErrNotConverged) {
+			t.Fatalf("resident BiCGStab: want ErrNotConverged, got %v", err)
+		}
+	})
+	t.Run("breakdown", func(t *testing.T) {
+		// The zero matrix gives pᵀAp = 0 on the first CG iteration and
+		// r̂ᵀv = 0 in BiCGStab.
+		n := 6
+		zeroA := &denseOp{a: make([][]float64, n)}
+		for i := range zeroA.a {
+			zeroA.a[i] = make([]float64, n)
+		}
+		b := make([]float64, n)
+		b[0] = 1
+		if _, err := CG(&denseSpace{denseOp: zeroA}, make([]float64, n), b, Options{}); !errors.Is(err, ErrBreakdown) {
+			t.Fatalf("resident CG on zero matrix: want ErrBreakdown, got %v", err)
+		}
+		if _, err := BiCGStab(&denseSpace{denseOp: zeroA}, make([]float64, n), b, Options{}); !errors.Is(err, ErrBreakdown) {
+			t.Fatalf("resident BiCGStab on zero matrix: want ErrBreakdown, got %v", err)
+		}
+	})
+	t.Run("bad diagonal", func(t *testing.T) {
+		op, b := randomSPD(8, 33)
+		bad := make([]float64, op.Size()) // all-zero diagonal
+		opts := Options{PrecondDiag: bad}
+		if _, err := CG(&denseSpace{denseOp: op}, make([]float64, op.Size()), b, opts); err == nil {
+			t.Error("resident CG accepted a zero preconditioner diagonal")
+		}
+		if _, err := CG(op, make([]float64, op.Size()), b, opts); err == nil {
+			t.Error("slice CG accepted a zero preconditioner diagonal")
+		}
+		if _, err := BiCGStab(&denseSpace{denseOp: op}, make([]float64, op.Size()), b, opts); err == nil {
+			t.Error("resident BiCGStab accepted a zero preconditioner diagonal")
+		}
+		if _, err := BiCGStab(op, make([]float64, op.Size()), b, opts); err == nil {
+			t.Error("slice BiCGStab accepted a zero preconditioner diagonal")
+		}
+	})
+	t.Run("bicgstab early exit", func(t *testing.T) {
+		// On the identity matrix BiCGStab converges at the ‖s‖ check of the
+		// first iteration — the half-step exit both paths must take alike.
+		n := 6
+		eye := &denseOp{a: make([][]float64, n)}
+		for i := range eye.a {
+			eye.a[i] = make([]float64, n)
+			eye.a[i][i] = 1
+		}
+		b := []float64{1, -2, 3, 0.5, -0.25, 4}
+		xs := make([]float64, n)
+		stS, errS := BiCGStab(eye, xs, b, Options{})
+		xr := make([]float64, n)
+		stR, errR := BiCGStab(&denseSpace{denseOp: eye}, xr, b, Options{})
+		if errS != nil || errR != nil || !stS.Converged || !stR.Converged {
+			t.Fatalf("identity solve failed: %v %v %+v %+v", errS, errR, stS, stR)
+		}
+		if stS.Iterations != stR.Iterations {
+			t.Fatalf("iterations differ: %d vs %d", stS.Iterations, stR.Iterations)
+		}
+		for i := range xs {
+			if xs[i] != xr[i] {
+				t.Fatalf("x[%d] differs: %g vs %g", i, xs[i], xr[i])
+			}
+		}
+	})
+}
+
+func TestResidentSolveRespectsInitialGuess(t *testing.T) {
+	// A warm start must behave identically on both paths (the resident
+	// preamble applies A to the loaded x, not to zero).
+	op, b := randomSPD(16, 13)
+	guess := make([]float64, op.Size())
+	for i := range guess {
+		guess[i] = math.Sin(float64(i))
+	}
+	opts := Options{Tol: 1e-10, MaxIter: 300}
+	xs := append([]float64(nil), guess...)
+	stS, err := CG(op, xs, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr := append([]float64(nil), guess...)
+	stR, err := CG(&denseSpace{denseOp: op}, xr, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stS.Iterations != stR.Iterations {
+		t.Fatalf("warm start diverged: slice %d its, resident %d", stS.Iterations, stR.Iterations)
+	}
+	for i := range xs {
+		if xs[i] != xr[i] {
+			t.Fatalf("x[%d] differs: %g vs %g", i, xs[i], xr[i])
+		}
+	}
+}

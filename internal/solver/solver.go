@@ -36,13 +36,80 @@ type Operator interface {
 
 // Reducer is an optional Operator extension: a distributed inner product.
 // Partitioned operators implement it to compute dot products through their
-// own runtime (parallel per-part products, then a deterministic
-// mesh-index-order sum), and the Krylov iterations route every inner product
-// and norm through it. A conforming implementation must return exactly the
-// serial left-to-right sum Σ a_i·b_i, so solves remain bit-identical to a
-// plain-Operator solve.
+// own runtime (parallel per-part partial sums, then a deterministic fold in
+// a fixed order), and the slice-based Krylov iterations route every inner
+// product and norm through it. A conforming implementation must return the
+// same left-to-right sum for every configuration of its runtime (worker
+// count, part count), so solves stay bit-reproducible.
 type Reducer interface {
 	Dot(a, b []float64) float64
+}
+
+// Vec is an opaque handle to an operator-resident vector — a vector that
+// lives in the operator's own (typically partitioned) layout for the whole
+// solve. Handles are small integers issued by VectorSpace.Reserve.
+type Vec int
+
+// VectorSpace is the part-resident Operator extension: an operator that can
+// hold the Krylov working set in its own layout and execute the iteration's
+// vector algebra there, so a solve scatters the inputs once, gathers the
+// solution once, and never round-trips a vector through global storage in
+// between. CG and BiCGStab run their whole recurrence through these methods
+// when an operator provides them (and Options.Precond — a global-slice
+// closure — is not forcing the slice path).
+//
+// Contract, so resident solves reproduce slice solves exactly:
+//   - element updates use the same expressions as the slice recurrences
+//     (e.g. CGStep computes x_i += α·p_i; r_i -= α·ap_i);
+//   - every returned inner product is a deterministic left-to-right sum in
+//     one fixed global order, the same order for every runtime
+//     configuration;
+//   - vector contents persist across calls until overwritten; only owned
+//     entries need to be maintained between operations (Apply refreshes
+//     whatever ghost state it needs itself).
+//
+// A VectorSpace is driven by one goroutine at a time.
+type VectorSpace interface {
+	Operator
+	// Reserve ensures resident vectors Vec(0)..Vec(n-1) exist. Growing may
+	// allocate; re-reserving an existing count must not.
+	Reserve(n int)
+	// LoadVec2 scatters two global vectors into resident vectors in one
+	// phase — the solve's single scatter.
+	LoadVec2(v1 Vec, src1 []float64, v2 Vec, src2 []float64)
+	// StoreVec gathers a resident vector into global order — the solve's
+	// single gather.
+	StoreVec(dst []float64, v Vec)
+	// SetPrecondDiag installs a resident Jacobi preconditioner from the
+	// matrix diagonal (z = r/d elementwise, applied as z_i = (1/d_i)·r_i
+	// exactly like JacobiPrecond). A nil diag selects the identity.
+	SetPrecondDiag(diag []float64) error
+	// CopyVec copies src's owned entries into dst.
+	CopyVec(dst, src Vec)
+	// DotVec returns ⟨a, b⟩.
+	DotVec(a, b Vec) float64
+	// Dot2Vec returns ⟨a, x⟩ and ⟨a, y⟩ in one phase.
+	Dot2Vec(a, x, y Vec) (float64, float64)
+	// ApplyVec computes dst = A·x resident (halo refresh included).
+	ApplyVec(dst, x Vec) error
+	// ApplyDotVec computes dst = A·x and returns ⟨w, dst⟩, fused.
+	ApplyDotVec(dst, x, w Vec) (float64, error)
+	// AxpyVec computes y += α·x.
+	AxpyVec(y Vec, alpha float64, x Vec)
+	// Axpy2Vec computes y += α·x + β·z (one expression per element).
+	Axpy2Vec(y Vec, alpha float64, x Vec, beta float64, z Vec)
+	// XpbyVec computes y = x + β·y (the CG search-direction update).
+	XpbyVec(y Vec, beta float64, x Vec)
+	// SubAxpyDotVec computes dst = a − α·b and returns ⟨dst, dst⟩, fused.
+	SubAxpyDotVec(dst, a Vec, alpha float64, b Vec) float64
+	// CGStepVec computes x += α·p; r −= α·ap and returns ⟨r, r⟩, fused.
+	CGStepVec(x Vec, alpha float64, p, r, ap Vec) float64
+	// BicgPVec computes p = r + β·(p − ω·v), the BiCGStab direction update.
+	BicgPVec(p, r, v Vec, beta, omega float64)
+	// PrecondVec computes z = M⁻¹·r.
+	PrecondVec(z, r Vec)
+	// PrecondDotVec computes z = M⁻¹·r and returns ⟨r, z⟩, fused.
+	PrecondDotVec(z, r Vec) float64
 }
 
 // dotOf routes an inner product through the operator's own reduction when it
@@ -63,8 +130,17 @@ type Options struct {
 	MaxIter int
 	// Tol is the relative residual tolerance ‖r‖/‖b‖ (default 1e-8).
 	Tol float64
-	// Precond optionally supplies a preconditioner application z = M⁻¹r.
+	// Precond optionally supplies a preconditioner application z = M⁻¹r as
+	// a closure over global slices. Setting it forces the slice-based
+	// iteration even for a VectorSpace operator; prefer PrecondDiag for
+	// Jacobi, which both paths support.
 	Precond func(z, r []float64)
+	// PrecondDiag optionally supplies the matrix diagonal for Jacobi
+	// preconditioning. The slice path builds the equivalent of
+	// JacobiPrecond(PrecondDiag); the part-resident path installs it through
+	// VectorSpace.SetPrecondDiag — elementwise z_i = (1/d_i)·r_i either way,
+	// so the two paths stay bit-identical. Ignored when Precond is set.
+	PrecondDiag []float64
 }
 
 func (o Options) withDefaults() Options {
@@ -96,11 +172,22 @@ var ErrNotConverged = errors.New("solver: not converged")
 
 // CG solves A·x = b for symmetric positive definite A. x carries the
 // initial guess and receives the solution.
+//
+// When the operator is a VectorSpace and no slice-closure preconditioner
+// forces the global path, the whole recurrence runs part-resident: one
+// scatter of (x, b), one gather of the solution, and every Apply/axpy/dot in
+// between executed in the operator's own layout through fused phases.
 func CG(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	opts = opts.withDefaults()
 	n := a.Size()
 	if len(x) != n || len(b) != n {
 		return nil, fmt.Errorf("solver: size mismatch: operator %d, x %d, b %d", n, len(x), len(b))
+	}
+	if vs, ok := a.(VectorSpace); ok && opts.Precond == nil {
+		return cgResident(vs, x, b, opts)
+	}
+	if err := resolvePrecond(&opts); err != nil {
+		return nil, err
 	}
 	normB := normOf(a, b)
 	if normB == 0 {
@@ -152,12 +239,20 @@ func CG(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	return st, fmt.Errorf("%w after %d iterations (rel residual %.3e)", ErrNotConverged, st.Iterations, st.Residual)
 }
 
-// BiCGStab solves A·x = b for general (nonsymmetric) A.
+// BiCGStab solves A·x = b for general (nonsymmetric) A. Like CG, the solve
+// runs part-resident when the operator is a VectorSpace and no slice-closure
+// preconditioner forces the global path.
 func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	opts = opts.withDefaults()
 	n := a.Size()
 	if len(x) != n || len(b) != n {
 		return nil, fmt.Errorf("solver: size mismatch: operator %d, x %d, b %d", n, len(x), len(b))
+	}
+	if vs, ok := a.(VectorSpace); ok && opts.Precond == nil {
+		return bicgstabResident(vs, x, b, opts)
+	}
+	if err := resolvePrecond(&opts); err != nil {
+		return nil, err
 	}
 	normB := normOf(a, b)
 	if normB == 0 {
@@ -260,6 +355,20 @@ func JacobiPrecond(diag []float64) (func(z, r []float64), error) {
 			z[i] = inv[i] * r[i]
 		}
 	}, nil
+}
+
+// resolvePrecond turns Options.PrecondDiag into the slice-path Jacobi
+// closure when no explicit closure was given.
+func resolvePrecond(opts *Options) error {
+	if opts.Precond != nil || opts.PrecondDiag == nil {
+		return nil
+	}
+	pre, err := JacobiPrecond(opts.PrecondDiag)
+	if err != nil {
+		return err
+	}
+	opts.Precond = pre
+	return nil
 }
 
 func applyPrecond(opts Options, z, r []float64) {

@@ -121,6 +121,15 @@ type sendPlan struct {
 	buf []float32
 }
 
+// nbrEntry is one interleaved CSR adjacency entry: the neighbor's local
+// index and the face transmissibility, packed so a row sweep streams one
+// 16-byte record per face.
+type nbrEntry struct {
+	t  float64
+	li int32
+	_  int32
+}
+
 // recvSlot is one precompiled incoming message: halo cells are renumbered so
 // each source part's cells occupy one contiguous local range, making the
 // scatter a single copy.
@@ -131,7 +140,8 @@ type recvSlot struct {
 
 // partState is the compact per-part working set: owned cells first, then
 // halo cells grouped by source part. Everything is sized O(owned+halo); no
-// field scales with the global cell count.
+// field scales with the global cell count (slotBySrc is O(parts), the
+// neighbor-rank table any rank of a distributed run would hold).
 type partState struct {
 	me            int
 	nOwned, nHalo int
@@ -142,9 +152,22 @@ type partState struct {
 	rowStart      []int32   // CSR adjacency over owned cells, local indices
 	nbrLocal      []int32
 	nbrTrans      []float64
-	sends         []sendPlan
-	recvs         []recvSlot
-	comm          CommCounters
+	// rows is the interleaved per-row adjacency view ((neighbor, trans)
+	// pairs in one stream, one slice header per row) the float64 operator
+	// sweeps run on — fewer live slice headers and better cache density
+	// than parallel index/value arrays.
+	rows  [][]nbrEntry
+	sends []sendPlan
+	recvs []recvSlot
+	// slotBySrc maps a source part id straight to its recv slot — the
+	// precompiled table that replaces the per-message linear slot search.
+	slotBySrc []int32
+	// interior lists the owned rows with no halo-cell neighbors and frontier
+	// the rest, both in compact order. Interior rows are computable before
+	// any halo message arrives, so the fused send phase evaluates them while
+	// messages are in flight; frontier rows wait for the receive.
+	interior, frontier []int32
+	comm               CommCounters
 }
 
 // PartEngine is the persistent partitioned unstructured engine. Construct it
@@ -199,8 +222,8 @@ func NewPartEngine(u *Mesh, p *Partition, fl physics.Fluid, opts EngineOptions) 
 	}
 	e.pool = exec.NewPool(opts.Workers, p.NumParts)
 	e.fnPerturb = e.phasePerturb
-	e.fnSend = e.phaseSend
-	e.fnRecvCompute = e.phaseRecvCompute
+	e.fnSend = e.phaseSendInterior
+	e.fnRecvCompute = e.phaseRecvFrontier
 	return e, nil
 }
 
@@ -286,6 +309,42 @@ func newPartState(u *Mesh, p *Partition, me int) (*partState, error) {
 		}
 		ps.sends = append(ps.sends, sp)
 	}
+
+	entries := make([]nbrEntry, len(ps.nbrLocal))
+	for j := range ps.nbrLocal {
+		entries[j] = nbrEntry{t: ps.nbrTrans[j], li: ps.nbrLocal[j]}
+	}
+	ps.rows = make([][]nbrEntry, ps.nOwned)
+	for i := 0; i < ps.nOwned; i++ {
+		ps.rows[i] = entries[ps.rowStart[i]:ps.rowStart[i+1]]
+	}
+
+	// Receive routing table: source part → recv slot, so a message resolves
+	// its halo block in O(1) instead of a linear search over the slots.
+	ps.slotBySrc = make([]int32, p.NumParts)
+	for i := range ps.slotBySrc {
+		ps.slotBySrc[i] = -1
+	}
+	for ri, r := range ps.recvs {
+		ps.slotBySrc[r.src] = int32(ri)
+	}
+
+	// Interior/frontier row classification: a row touching any halo cell
+	// must wait for the exchange; every other row overlaps with it.
+	for i := 0; i < ps.nOwned; i++ {
+		isFrontier := false
+		for j := ps.rowStart[i]; j < ps.rowStart[i+1]; j++ {
+			if ps.nbrLocal[j] >= int32(ps.nOwned) {
+				isFrontier = true
+				break
+			}
+		}
+		if isFrontier {
+			ps.frontier = append(ps.frontier, int32(i))
+		} else {
+			ps.interior = append(ps.interior, int32(i))
+		}
+	}
 	return ps, nil
 }
 
@@ -354,10 +413,11 @@ func (e *PartEngine) Run(pres []float32) (*PartResult, error) {
 }
 
 // step executes one application as barriered pool phases: perturb (app > 0),
-// pack+send, then receive+compute. Sends go to mailboxes buffered to the
-// expected message count, so the send phase never blocks; the barrier before
-// recv+compute guarantees every message is already waiting, so the receive
-// never blocks either — the pool stays deadlock-free for any worker count.
+// then the fused pack+send+interior-compute phase, then receive+frontier.
+// Sends go to mailboxes buffered to the expected message count, so the send
+// phase never blocks; the barrier before recv+frontier guarantees every
+// message is already waiting, so the receive never blocks either — the pool
+// stays deadlock-free for any worker count.
 func (e *PartEngine) step(app int) error {
 	e.app = app
 	if app > 0 {
@@ -383,10 +443,29 @@ func (e *PartEngine) phasePerturb(shard int) error {
 	return nil
 }
 
-// phaseSend packs each outgoing message from the precompiled index list into
-// its persistent buffer and posts it — the steady-state path allocates
-// nothing.
-func (e *PartEngine) phaseSend(shard int) error {
+// residualRows evaluates the listed owned rows in the serial sweep's
+// per-cell accumulation order. Rows write disjoint residual entries, so
+// splitting them between the send and receive phases leaves every value
+// bit-identical to the one-pass sweep.
+func (e *PartEngine) residualRows(ps *partState, rows []int32) {
+	fl := e.fl
+	for _, i := range rows {
+		pc := float64(ps.pres[i])
+		zc := ps.elev[i]
+		sum := 0.0
+		for j := ps.rowStart[i]; j < ps.rowStart[i+1]; j++ {
+			nb := ps.nbrLocal[j]
+			sum += fl.FaceFlux(ps.nbrTrans[j], pc, float64(ps.pres[nb]), zc, ps.elev[nb])
+		}
+		ps.res[i] = sum
+	}
+}
+
+// phaseSendInterior packs each outgoing message from the precompiled index
+// list into its persistent buffer and posts it, then — with the halo
+// messages in flight — computes every interior row (no halo neighbors). The
+// steady-state path allocates nothing.
+func (e *PartEngine) phaseSendInterior(shard int) error {
 	ps := e.parts[shard]
 	for si := range ps.sends {
 		sp := &ps.sends[si]
@@ -397,22 +476,20 @@ func (e *PartEngine) phaseSend(shard int) error {
 		ps.comm.HaloWords += uint64(len(sp.buf))
 		ps.comm.Messages++
 	}
+	e.residualRows(ps, ps.interior)
 	return nil
 }
 
-// phaseRecvCompute drains the part's mailbox (each message scatters as one
-// copy into its contiguous halo block), then computes every owned cell in
-// the serial sweep's accumulation order.
-func (e *PartEngine) phaseRecvCompute(shard int) error {
+// phaseRecvFrontier drains the part's mailbox (each message resolves its
+// contiguous halo block through the precompiled src→slot table and scatters
+// as one copy), then computes the frontier rows the exchange was blocking.
+func (e *PartEngine) phaseRecvFrontier(shard int) error {
 	ps := e.parts[shard]
 	for range ps.recvs {
 		msg := <-e.mail[ps.me]
-		slot := -1
-		for ri := range ps.recvs {
-			if ps.recvs[ri].src == msg.src {
-				slot = ri
-				break
-			}
+		slot := int32(-1)
+		if msg.src >= 0 && msg.src < len(ps.slotBySrc) {
+			slot = ps.slotBySrc[msg.src]
 		}
 		if slot < 0 || ps.recvs[slot].n != len(msg.vals) {
 			return fmt.Errorf("umesh: part %d got unexpected halo from %d (%d values)", ps.me, msg.src, len(msg.vals))
@@ -420,17 +497,7 @@ func (e *PartEngine) phaseRecvCompute(shard int) error {
 		r := ps.recvs[slot]
 		copy(ps.pres[r.base:r.base+r.n], msg.vals)
 	}
-	fl := e.fl
-	for i := 0; i < ps.nOwned; i++ {
-		pc := float64(ps.pres[i])
-		zc := ps.elev[i]
-		sum := 0.0
-		for j := ps.rowStart[i]; j < ps.rowStart[i+1]; j++ {
-			nb := ps.nbrLocal[j]
-			sum += fl.FaceFlux(ps.nbrTrans[j], pc, float64(ps.pres[nb]), zc, ps.elev[nb])
-		}
-		ps.res[i] = sum
-	}
+	e.residualRows(ps, ps.frontier)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package umesh
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/physics"
 	"repro/internal/solver"
@@ -13,17 +14,28 @@ import (
 // Krylov method. USystem freezes one backward-Euler pressure step of Eq. (2)
 // over an unstructured mesh (the unstructured mirror of
 // solver.PressureSystem); UHostOperator applies it serially in float64 — the
-// reference every partitioned solve is measured against; PartOperator applies
-// it through the PartEngine's runtime (worker pool, precompiled exchange
-// plans, compact local renumbering) with float64 halo messages, so a solve's
-// many operator applications are exactly the engine's many-applications
-// pattern, now driven by the solver instead of the perturbation schedule.
+// reference every partitioned solve is measured against; PartOperator is the
+// part-resident operator: the whole Krylov working set (x, r, p, q, z for
+// CG; the BiCGStab set) lives in each part's compact local layout
+// (owned-first + halo blocks) for the whole solve, so a solve performs
+// exactly one initial scatter and one final gather instead of one global
+// round-trip per operator application.
 //
-// Bit-identity discipline: the partitioned apply accumulates each owned
-// cell's fluxes in the engine's CSR order, which preserves the serial
-// adjacency order, on exact float64 copies of the global vector — so
-// A·x, the Jacobi diagonal and the distributed dot products are
-// bit-identical to the serial reference for every part and worker count.
+// The per-iteration phase schedule minimizes barriers: each operator
+// application is one fused pack+send+interior-compute phase (interior rows
+// have no halo neighbors, so they are evaluated while the halo messages are
+// in flight) followed by one receive+frontier-compute phase; the Krylov
+// vector updates and inner products run as fused partitioned phases with
+// per-part partial reductions.
+//
+// Determinism discipline: every inner product is accumulated per part in
+// compact (canonical RCB) order and folded in part order. Because each RCB
+// part owns one contiguous run of the canonical order (see CanonicalOrder),
+// that fold is the same left-to-right sum for every part count — and the
+// serial reference path reduces in the very same canonical order — so
+// partitioned solves are bit-identical across parts {1, 2, 4, 8, ... up
+// to 2^reductionDepth} × any worker count, and bit-identical to the serial
+// solve.
 
 // DefaultPorosity is the constant porosity the unstructured pressure system
 // assumes (the unstructured mesh carries no per-cell porosity field).
@@ -131,10 +143,50 @@ func (h *UHostOperator) Apply(dst, x []float64) error {
 	return nil
 }
 
+// serialReference is the serial solve-side operator: UHostOperator plus the
+// canonical blocked reduction, so serial Krylov solves take their inner
+// products with exactly the summation tree the partitioned part-resident
+// solves use — what keeps the golden comparison bit-exact.
+type serialReference struct {
+	*UHostOperator
+	order  []int32
+	blocks []int32 // canonical block start offsets into order
+}
+
+// newSerialReference builds the serial reference operator for a system.
+func newSerialReference(sys *USystem) *serialReference {
+	return &serialReference{
+		UHostOperator: &UHostOperator{Sys: sys},
+		order:         CanonicalOrder(sys.U),
+		blocks:        canonicalBlocks(sys.U.NumCells),
+	}
+}
+
+// Dot implements solver.Reducer with the canonical blocked sum: products
+// accumulate flat in canonical order within each block, block partials fold
+// flat in block order — the exact reduction every PartOperator performs, for
+// every part count.
+func (s *serialReference) Dot(a, b []float64) float64 {
+	sum := 0.0
+	for bi := range s.blocks {
+		lo, hi := int(s.blocks[bi]), len(s.order)
+		if bi+1 < len(s.blocks) {
+			hi = int(s.blocks[bi+1])
+		}
+		acc := 0.0
+		for k := lo; k < hi; k++ {
+			c := s.order[k]
+			acc += a[c] * b[c]
+		}
+		sum += acc
+	}
+	return sum
+}
+
 // opMsg is one float64 halo message of the operator path: the sender's
 // planned owned values, in plan order, backed by the sender's persistent
-// buffer (valid until its next Apply, by the same barrier argument as the
-// engine's float32 exchange).
+// buffer (valid until its next application, by the same barrier argument as
+// the engine's float32 exchange).
 type opMsg struct {
 	src  int
 	vals []float64
@@ -149,37 +201,103 @@ type opSend struct {
 	buf []float64
 }
 
-// opPart is the operator's per-part working set: a float64 mirror of the
-// engine's compact local field plus persistent message buffers. Everything is
-// O(owned+halo).
+// opPart is the operator's per-part working set: the resident Krylov
+// vectors in the part's compact local layout, the slice-path mirror, the
+// resident inverse diagonal, and persistent message buffers. Everything is
+// O(owned+halo) per vector.
 type opPart struct {
-	x     []float64 // local vector copy: owned cells first, then halo blocks
+	// x is the slice-path local mirror (Apply on global slices).
+	x []float64
+	// vecs holds the resident vectors, each owned cells first then halo
+	// blocks. Only Apply maintains halo entries (for its input vector); all
+	// vector algebra runs over owned entries.
+	vecs [][]float64
+	// invDiag is the resident Jacobi inverse diagonal over owned cells.
+	invDiag []float64
+	// accum is the system's accumulation coefficient in the part's compact
+	// layout, so the row sweep never chases a global index.
+	accum []float64
 	sends []opSend
-	comm  CommCounters
+	// blkLo/blkHi/blkOut segment the part's owned range into its canonical
+	// reduction blocks (compact-index [lo, hi) → blockSums[out]): every
+	// reduction accumulates flat within a block and the host folds block
+	// partials flat in block order, the summation tree that is identical
+	// for every part count.
+	blkLo, blkHi, blkOut []int32
+	comm                 CommCounters
 }
 
-// PartOperator is the matrix-free partitioned operator: each Apply evaluates
-// A·x through the PartEngine's runtime — scatter to parts, pack+send over the
-// precompiled plans, receive+compute per owned cell — with float64 payloads.
-// It implements solver.Operator and solver.Reducer; the steady-state Apply
-// and Dot paths allocate nothing.
+// PhaseSeconds is the per-phase wall-clock breakdown of a part-resident
+// solve, accumulated on the host around each barriered phase dispatch:
+//
+//   - Exchange: the fused pack+send+interior-compute phase (the window in
+//     which halo messages are in flight, hidden behind interior rows) plus
+//     the solve's one scatter and one gather;
+//   - Compute: the receive+frontier-compute phase of each application;
+//   - Reduce: the fused vector-algebra phases (axpy/dot/preconditioner
+//     updates with their per-part partial reductions).
+type PhaseSeconds struct {
+	Exchange float64 `json:"exchange"`
+	Compute  float64 `json:"compute"`
+	Reduce   float64 `json:"reduce"`
+}
+
+// Add accumulates another breakdown.
+func (p *PhaseSeconds) Add(q PhaseSeconds) {
+	p.Exchange += q.Exchange
+	p.Compute += q.Compute
+	p.Reduce += q.Reduce
+}
+
+// Total is the summed breakdown.
+func (p PhaseSeconds) Total() float64 { return p.Exchange + p.Compute + p.Reduce }
+
+// PartOperator is the matrix-free part-resident operator: it implements
+// solver.Operator and solver.Reducer on global slices (each Apply pays a
+// scatter and gather — the compatibility path), and solver.VectorSpace for
+// part-resident solves, where the whole Krylov working set stays in the
+// parts' compact layouts and a solve scatters once and gathers once.
+// Steady-state Apply, Dot and every fused vector phase allocate nothing.
+//
+// A PartOperator is driven by one goroutine at a time. With an RCB
+// partition of at most reductionDepth (8) bisection levels — up to 256
+// parts — its reductions are bit-identical for every part count (see
+// CanonicalOrder). Deeper or hand-built partitions fall back to a
+// per-part fold: still deterministic for that partition, but tied to its
+// Owned order rather than part-count independent.
 type PartOperator struct {
 	Sys *USystem
 
 	e     *PartEngine
 	parts []*opPart
 	mail  []chan opMsg
-	// prod is the persistent product buffer of the distributed dot: parts
-	// write disjoint owned entries in parallel, the host folds them in global
-	// mesh-index order, so the reduction is bit-identical to a serial dot for
-	// every part count.
-	prod []float64
+
+	// blockSums/blockSums2 hold the canonical block partials of the current
+	// reduction (disjoint per-part writes), folded flat on the host in
+	// block order.
+	blockSums, blockSums2 []float64
 
 	// Staged phase inputs (set per call; closures are pre-built so dispatch
-	// allocates nothing).
-	x, dst, da, db, diag []float64
+	// allocates nothing). ga/gb/gdst stage global slices (slice path,
+	// scatter/gather, diagonal); v1..v4 stage resident vector handles;
+	// sc1/sc2 stage scalars; applyDot arms the fused dot sweep of an
+	// application's receive phase.
+	ga, gb, gdst, diag []float64
+	v1, v2, v3, v4     int
+	sc1, sc2           float64
+	applyDot           bool
 
-	fnSend, fnRecvCompute, fnProd, fnDiag func(int) error
+	// usePre selects the resident Jacobi preconditioner; false means
+	// identity (SetPrecondDiag(nil)).
+	usePre bool
+
+	nVecs int
+
+	fnSliceSend, fnSliceRecv, fnProd, fnDiag         func(int) error
+	fnLoad2, fnStore, fnSetPre                       func(int) error
+	fnApplySend, fnApplyRecv                         func(int) error
+	fnDot, fnDot2, fnAxpy, fnAxpy2, fnXpby, fnCopy   func(int) error
+	fnCGStep, fnBicgP, fnSubAxpyDot, fnPre, fnPreDot func(int) error
 
 	// Applications counts operator applications (engine runs of the solve —
 	// the §3 "Algorithm 1 applied N times" pattern, driven by Krylov).
@@ -188,11 +306,16 @@ type PartOperator struct {
 	// are counted as two 32-bit words each, keeping the word-level accounting
 	// comparable with the engine's float32 counters.
 	Comm CommCounters
+	// Scatters and Gathers count whole-vector global transfers — the
+	// part-resident acceptance metric: exactly one of each per solve.
+	Scatters, Gathers int
+	// Phase is the accumulated per-phase wall-clock breakdown.
+	Phase PhaseSeconds
 }
 
-// NewPartOperator builds the partitioned operator on an existing engine. The
-// operator shares the engine's pool, partition and renumbering; the engine
-// stays usable for residual runs.
+// NewPartOperator builds the part-resident operator on an existing engine.
+// The operator shares the engine's pool, partition and renumbering; the
+// engine stays usable for residual runs.
 func NewPartOperator(e *PartEngine, sys *USystem) (*PartOperator, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -204,131 +327,259 @@ func NewPartOperator(e *PartEngine, sys *USystem) (*PartOperator, error) {
 	o.parts = make([]*opPart, len(e.parts))
 	o.mail = make([]chan opMsg, len(e.parts))
 	for me, ps := range e.parts {
-		op := &opPart{x: make([]float64, ps.nOwned+ps.nHalo)}
+		op := &opPart{
+			x:       make([]float64, ps.nOwned+ps.nHalo),
+			invDiag: make([]float64, ps.nOwned),
+			accum:   make([]float64, ps.nOwned),
+		}
+		for i := 0; i < ps.nOwned; i++ {
+			op.accum[i] = sys.Accum[ps.globalOf[i]]
+		}
 		for _, sp := range ps.sends {
 			op.sends = append(op.sends, opSend{dst: sp.dst, idx: sp.idx, buf: make([]float64, len(sp.idx))})
 		}
 		o.parts[me] = op
 		o.mail[me] = make(chan opMsg, len(ps.recvs))
 	}
-	o.prod = make([]float64, e.u.NumCells)
-	o.fnSend = o.phaseSend
-	o.fnRecvCompute = o.phaseRecvCompute
+	o.compileReduction()
+	o.fnSliceSend = o.phaseSliceSend
+	o.fnSliceRecv = o.phaseSliceRecv
 	o.fnProd = o.phaseProd
 	o.fnDiag = o.phaseDiag
+	o.fnLoad2 = o.phaseLoad2
+	o.fnStore = o.phaseStore
+	o.fnSetPre = o.phaseSetPre
+	o.fnApplySend = o.phaseApplySend
+	o.fnApplyRecv = o.phaseApplyRecv
+	o.fnDot = o.phaseDot
+	o.fnDot2 = o.phaseDot2
+	o.fnAxpy = o.phaseAxpy
+	o.fnAxpy2 = o.phaseAxpy2
+	o.fnXpby = o.phaseXpby
+	o.fnCopy = o.phaseCopy
+	o.fnCGStep = o.phaseCGStep
+	o.fnBicgP = o.phaseBicgP
+	o.fnSubAxpyDot = o.phaseSubAxpyDot
+	o.fnPre = o.phasePre
+	o.fnPreDot = o.phasePreDot
 	return o, nil
 }
 
 // Size implements solver.Operator.
 func (o *PartOperator) Size() int { return o.e.u.NumCells }
 
-// Apply computes dst = A·x through one partitioned engine application:
-// scatter+pack+send, barrier, receive+compute. Steady state allocates
-// nothing.
-func (o *PartOperator) Apply(dst, x []float64) error {
-	if len(dst) != len(x) || len(x) != o.e.u.NumCells {
-		return fmt.Errorf("umesh: partitioned operator size mismatch")
+// run dispatches one barriered phase and charges its wall-clock to a
+// breakdown bucket.
+func (o *PartOperator) run(fn func(int) error, bucket *float64) error {
+	start := time.Now()
+	err := o.e.pool.Run(fn)
+	*bucket += time.Since(start).Seconds()
+	return err
+}
+
+// compileReduction assigns each part its canonical reduction blocks. With a
+// canonical RCB partition of at most reductionDepth levels, every part
+// boundary is a block boundary, so the parts share the one global block
+// structure and the fold is part-count independent. Otherwise (hand-built
+// partition, or deeper than the block tree) each part's whole owned range
+// becomes one block — still deterministic for that partition, folded in
+// part order.
+func (o *PartOperator) compileReduction() {
+	p := o.e.part
+	starts := make([]int, p.NumParts+1)
+	for me, owned := range p.Owned {
+		starts[me+1] = starts[me] + len(owned)
 	}
-	o.x, o.dst = x, dst
-	if err := o.e.pool.Run(o.fnSend); err != nil {
-		return err
+	blocks := canonicalBlocks(o.e.u.NumCells)
+	aligned := p.canonical
+	if aligned {
+		at := make(map[int32]bool, len(blocks))
+		for _, b := range blocks {
+			at[b] = true
+		}
+		for me := 1; me < p.NumParts; me++ {
+			if !at[int32(starts[me])] {
+				aligned = false
+				break
+			}
+		}
 	}
-	if err := o.e.pool.Run(o.fnRecvCompute); err != nil {
-		return err
+	if !aligned {
+		o.blockSums = make([]float64, p.NumParts)
+		o.blockSums2 = make([]float64, p.NumParts)
+		for me, op := range o.parts {
+			op.blkLo = []int32{0}
+			op.blkHi = []int32{int32(o.e.parts[me].nOwned)}
+			op.blkOut = []int32{int32(me)}
+		}
+		return
 	}
+	o.blockSums = make([]float64, len(blocks))
+	o.blockSums2 = make([]float64, len(blocks))
+	me := 0
+	for bi, lo := range blocks {
+		hi := int32(o.e.u.NumCells)
+		if bi+1 < len(blocks) {
+			hi = blocks[bi+1]
+		}
+		for int(lo) >= starts[me+1] {
+			me++
+		}
+		op := o.parts[me]
+		op.blkLo = append(op.blkLo, lo-int32(starts[me]))
+		op.blkHi = append(op.blkHi, hi-int32(starts[me]))
+		op.blkOut = append(op.blkOut, int32(bi))
+	}
+}
+
+// fold sums the block partials flat in block order — the canonical
+// reduction every inner product of the operator returns.
+func (o *PartOperator) fold() float64 {
+	s := 0.0
+	for _, v := range o.blockSums {
+		s += v
+	}
+	return s
+}
+
+func (o *PartOperator) fold2() (float64, float64) {
+	s1, s2 := 0.0, 0.0
+	for i := range o.blockSums {
+		s1 += o.blockSums[i]
+		s2 += o.blockSums2[i]
+	}
+	return s1, s2
+}
+
+// finishApply folds the communication counters after an application.
+func (o *PartOperator) finishApply() {
 	o.Applications++
-	// Deterministic fold in part order (counters are bumped at the send
-	// sites; each part's tally is cumulative over the operator's lifetime).
 	total := CommCounters{}
 	for _, op := range o.parts {
 		total.HaloWords += op.comm.HaloWords
 		total.Messages += op.comm.Messages
 	}
 	o.Comm = total
-	return nil
 }
 
-// phaseSend loads the part's owned entries from the global vector, packs each
-// outgoing message from the engine's precompiled index list and posts it.
-func (o *PartOperator) phaseSend(shard int) error {
-	ps, op := o.e.parts[shard], o.parts[shard]
-	for i := 0; i < ps.nOwned; i++ {
-		op.x[i] = o.x[ps.globalOf[i]]
-	}
+// packSend packs and posts every outgoing message of one part from a local
+// float64 vector (the shared first half of both application paths).
+func (o *PartOperator) packSend(ps *partState, op *opPart, x []float64) {
 	for si := range op.sends {
 		sp := &op.sends[si]
 		for j, li := range sp.idx {
-			sp.buf[j] = op.x[li]
+			sp.buf[j] = x[li]
 		}
 		o.mail[sp.dst] <- opMsg{src: ps.me, vals: sp.buf}
 		op.comm.HaloWords += 2 * uint64(len(sp.buf))
 		op.comm.Messages++
 	}
-	return nil
 }
 
-// phaseRecvCompute drains the part's mailbox (each message scatters as one
-// copy into its contiguous halo block) and evaluates every owned cell's row
-// in the serial adjacency order: dst_K = accum_K·x_K − Σ Υ·λ·(x_L − x_K).
-func (o *PartOperator) phaseRecvCompute(shard int) error {
-	ps, op := o.e.parts[shard], o.parts[shard]
+// recvHalo drains one part's mailbox into a local vector's halo blocks,
+// resolving each message through the precompiled src→slot table.
+func (o *PartOperator) recvHalo(ps *partState, x []float64) error {
 	for range ps.recvs {
 		msg := <-o.mail[ps.me]
-		slot := -1
-		for ri := range ps.recvs {
-			if ps.recvs[ri].src == msg.src {
-				slot = ri
-				break
-			}
+		slot := int32(-1)
+		if msg.src >= 0 && msg.src < len(ps.slotBySrc) {
+			slot = ps.slotBySrc[msg.src]
 		}
 		if slot < 0 || ps.recvs[slot].n != len(msg.vals) {
 			return fmt.Errorf("umesh: part %d got unexpected operator halo from %d (%d values)", ps.me, msg.src, len(msg.vals))
 		}
 		r := ps.recvs[slot]
-		copy(op.x[r.base:r.base+r.n], msg.vals)
-	}
-	lam := o.Sys.Mobility
-	for i := 0; i < ps.nOwned; i++ {
-		xc := op.x[i]
-		flux := 0.0
-		for j := ps.rowStart[i]; j < ps.rowStart[i+1]; j++ {
-			flux += ps.nbrTrans[j] * lam * (op.x[ps.nbrLocal[j]] - xc)
-		}
-		g := ps.globalOf[i]
-		o.dst[g] = o.Sys.Accum[g]*xc - flux
+		copy(x[r.base:r.base+r.n], msg.vals)
 	}
 	return nil
 }
 
-// Dot implements solver.Reducer: the parts compute their owned products in
-// parallel into the persistent product buffer, then the host folds it in
-// global mesh-index order — the deterministic reduction that makes every
-// Krylov inner product bit-identical to the serial solve, independent of the
-// part count. Steady state allocates nothing.
-//
-// This is deliberately the distributed-memory discipline (each owner
-// computes its partial products; the reduction is ordered, not
-// completion-ordered) even though the vectors here are host-resident and a
-// plain serial dot would be cheaper — the point is the pattern an MPI rank
-// layout would need, exercised and bit-checked on every solve.
-func (o *PartOperator) Dot(a, b []float64) float64 {
-	o.da, o.db = a, b
-	// phaseProd cannot fail; the pool propagates no error here.
-	_ = o.e.pool.Run(o.fnProd)
-	s := 0.0
-	for _, v := range o.prod {
-		s += v
+// ---------------------------------------------------------------------------
+// Slice-path Operator/Reducer (compatibility: one scatter+gather per Apply)
+// ---------------------------------------------------------------------------
+
+// Apply computes dst = A·x through one partitioned engine application on
+// global slices: scatter+pack+send+interior, barrier, receive+frontier.
+// Steady state allocates nothing. Part-resident solves use ApplyVec instead,
+// which skips the per-application scatter and gather.
+func (o *PartOperator) Apply(dst, x []float64) error {
+	if len(dst) != len(x) || len(x) != o.e.u.NumCells {
+		return fmt.Errorf("umesh: partitioned operator size mismatch")
 	}
-	return s
+	o.ga, o.gdst = x, dst
+	if err := o.run(o.fnSliceSend, &o.Phase.Exchange); err != nil {
+		return err
+	}
+	if err := o.run(o.fnSliceRecv, &o.Phase.Compute); err != nil {
+		return err
+	}
+	o.finishApply()
+	return nil
 }
 
-// phaseProd writes the part's owned products a_g·b_g into the global product
-// buffer (disjoint writes; every cell is owned exactly once).
-func (o *PartOperator) phaseProd(shard int) error {
-	ps := o.e.parts[shard]
+// fluxRowsGlobal evaluates the listed owned rows into the staged global
+// destination. It reads the same compact accum snapshot as the resident
+// sweeps, so the two Apply paths always evaluate the same matrix.
+func (o *PartOperator) fluxRowsGlobal(ps *partState, op *opPart, rows []int32) {
+	lam := o.Sys.Mobility
+	adj, accum := ps.rows, op.accum
+	for _, i := range rows {
+		xc := op.x[i]
+		flux := 0.0
+		for _, e := range adj[i] {
+			flux += e.t * lam * (op.x[e.li] - xc)
+		}
+		o.gdst[ps.globalOf[i]] = accum[i]*xc - flux
+	}
+}
+
+// phaseSliceSend loads the part's owned entries from the global vector,
+// packs and posts each outgoing message, then computes the interior rows
+// while the halo messages are in flight.
+func (o *PartOperator) phaseSliceSend(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
 	for i := 0; i < ps.nOwned; i++ {
-		g := ps.globalOf[i]
-		o.prod[g] = o.da[g] * o.db[g]
+		op.x[i] = o.ga[ps.globalOf[i]]
+	}
+	o.packSend(ps, op, op.x)
+	o.fluxRowsGlobal(ps, op, ps.interior)
+	return nil
+}
+
+// phaseSliceRecv scatters the received halo blocks and finishes the
+// frontier rows.
+func (o *PartOperator) phaseSliceRecv(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	if err := o.recvHalo(ps, op.x); err != nil {
+		return err
+	}
+	o.fluxRowsGlobal(ps, op, ps.frontier)
+	return nil
+}
+
+// Dot implements solver.Reducer on global slices: each part accumulates its
+// owned products in compact (canonical) order into its persistent partial
+// slot; the host folds the slots in part order. With an RCB partition the
+// result is the canonical-order left-to-right sum for every part count.
+// Steady state allocates nothing.
+func (o *PartOperator) Dot(a, b []float64) float64 {
+	o.ga, o.gb = a, b
+	// phaseProd cannot fail; the pool propagates no error here.
+	_ = o.run(o.fnProd, &o.Phase.Reduce)
+	return o.fold()
+}
+
+// phaseProd accumulates the part's owned products a_g·b_g per canonical
+// block in compact order.
+func (o *PartOperator) phaseProd(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	for b := range op.blkLo {
+		acc := 0.0
+		for i := op.blkLo[b]; i < op.blkHi[b]; i++ {
+			g := ps.globalOf[i]
+			acc += o.ga[g] * o.gb[g]
+		}
+		o.blockSums[op.blkOut[b]] = acc
 	}
 	return nil
 }
@@ -358,16 +609,453 @@ func (o *PartOperator) phaseDiag(shard int) error {
 	return nil
 }
 
+// ---------------------------------------------------------------------------
+// Part-resident VectorSpace
+// ---------------------------------------------------------------------------
+
+// Reserve implements solver.VectorSpace: it grows each part's resident
+// vector pool to n vectors. Growing allocates; re-reserving does not.
+func (o *PartOperator) Reserve(n int) {
+	if n <= o.nVecs {
+		return
+	}
+	for me, op := range o.parts {
+		ps := o.e.parts[me]
+		for len(op.vecs) < n {
+			op.vecs = append(op.vecs, make([]float64, ps.nOwned+ps.nHalo))
+		}
+	}
+	o.nVecs = n
+}
+
+// LoadVec2 scatters two global vectors into resident vectors in one phase —
+// the solve's single scatter.
+func (o *PartOperator) LoadVec2(v1 solver.Vec, src1 []float64, v2 solver.Vec, src2 []float64) {
+	o.v1, o.ga, o.v2, o.gb = int(v1), src1, int(v2), src2
+	_ = o.run(o.fnLoad2, &o.Phase.Exchange)
+	o.Scatters++
+}
+
+func (o *PartOperator) phaseLoad2(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	a, b := op.vecs[o.v1], op.vecs[o.v2]
+	for i := 0; i < ps.nOwned; i++ {
+		g := ps.globalOf[i]
+		a[i] = o.ga[g]
+		b[i] = o.gb[g]
+	}
+	return nil
+}
+
+// StoreVec gathers a resident vector into global order — the solve's single
+// gather.
+func (o *PartOperator) StoreVec(dst []float64, v solver.Vec) {
+	o.v1, o.gdst = int(v), dst
+	_ = o.run(o.fnStore, &o.Phase.Exchange)
+	o.Gathers++
+}
+
+func (o *PartOperator) phaseStore(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	a := op.vecs[o.v1]
+	for i := 0; i < ps.nOwned; i++ {
+		o.gdst[ps.globalOf[i]] = a[i]
+	}
+	return nil
+}
+
+// SetPrecondDiag installs the resident Jacobi inverse diagonal (z_i =
+// (1/d_i)·r_i, the same expression JacobiPrecond applies). A nil diag
+// selects the identity. The diagonal is validated and reloaded on every
+// call — like the slice path, which rebuilds its closure per solve — so a
+// caller mutating the diag contents between solves can never leave a stale
+// inverse behind; the cost is one O(owned) phase per solve.
+func (o *PartOperator) SetPrecondDiag(diag []float64) error {
+	if diag == nil {
+		o.usePre = false
+		return nil
+	}
+	if len(diag) != o.e.u.NumCells {
+		return fmt.Errorf("umesh: preconditioner diagonal covers %d cells, mesh has %d", len(diag), o.e.u.NumCells)
+	}
+	for i, d := range diag {
+		if d == 0 || math.IsNaN(d) {
+			return fmt.Errorf("umesh: zero/NaN diagonal entry at %d", i)
+		}
+	}
+	o.usePre = true
+	o.ga = diag
+	_ = o.run(o.fnSetPre, &o.Phase.Reduce)
+	return nil
+}
+
+func (o *PartOperator) phaseSetPre(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	for i := 0; i < ps.nOwned; i++ {
+		op.invDiag[i] = 1 / o.ga[ps.globalOf[i]]
+	}
+	return nil
+}
+
+// ApplyVec computes dst = A·x resident: fused pack+send+interior, barrier,
+// receive+frontier. No global vector is touched.
+func (o *PartOperator) ApplyVec(dst, x solver.Vec) error {
+	o.applyDot = false
+	o.v1, o.v2 = int(dst), int(x)
+	if err := o.run(o.fnApplySend, &o.Phase.Exchange); err != nil {
+		return err
+	}
+	if err := o.run(o.fnApplyRecv, &o.Phase.Compute); err != nil {
+		return err
+	}
+	o.finishApply()
+	return nil
+}
+
+// ApplyDotVec computes dst = A·x and returns ⟨w, dst⟩: the inner product is
+// folded into the receive phase as a compact-order sweep, so the fused
+// application needs no extra barrier.
+func (o *PartOperator) ApplyDotVec(dst, x, w solver.Vec) (float64, error) {
+	o.applyDot = true
+	o.v1, o.v2, o.v3 = int(dst), int(x), int(w)
+	if err := o.run(o.fnApplySend, &o.Phase.Exchange); err != nil {
+		return 0, err
+	}
+	if err := o.run(o.fnApplyRecv, &o.Phase.Compute); err != nil {
+		return 0, err
+	}
+	o.finishApply()
+	return o.fold(), nil
+}
+
+// fluxRowsLocal evaluates the listed owned rows of dst = A·x in the part's
+// local layout, in the serial adjacency order per row.
+func (o *PartOperator) fluxRowsLocal(ps *partState, op *opPart, x, dst []float64, rows []int32) {
+	lam := o.Sys.Mobility
+	adj, accum := ps.rows, op.accum
+	for _, i := range rows {
+		xc := x[i]
+		flux := 0.0
+		for _, e := range adj[i] {
+			flux += e.t * lam * (x[e.li] - xc)
+		}
+		dst[i] = accum[i]*xc - flux
+	}
+}
+
+// fluxRowsSeq is fluxRowsLocal over the whole owned range without the row
+// indirection — the path a part with no frontier (notably parts=1) takes.
+func (o *PartOperator) fluxRowsSeq(ps *partState, op *opPart, x, dst []float64) {
+	lam := o.Sys.Mobility
+	adj, accum := ps.rows, op.accum
+	for i := 0; i < ps.nOwned; i++ {
+		xc := x[i]
+		flux := 0.0
+		for _, e := range adj[i] {
+			flux += e.t * lam * (x[e.li] - xc)
+		}
+		dst[i] = accum[i]*xc - flux
+	}
+}
+
+// fluxRowsSeqDot is the fully fused no-frontier path: every owned row is
+// computed sequentially in compact order with the inner product ⟨w, dst⟩
+// accumulated per canonical block inside the same sweep — identical values
+// and summation tree as the separate blocked sweep, one less memory pass.
+func (o *PartOperator) fluxRowsSeqDot(ps *partState, op *opPart, x, dst, w []float64) {
+	lam := o.Sys.Mobility
+	adj, accum := ps.rows, op.accum
+	for blk := range op.blkLo {
+		acc := 0.0
+		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
+			xc := x[i]
+			flux := 0.0
+			for _, e := range adj[i] {
+				flux += e.t * lam * (x[e.li] - xc)
+			}
+			d := accum[i]*xc - flux
+			dst[i] = d
+			acc += w[i] * d
+		}
+		o.blockSums[op.blkOut[blk]] = acc
+	}
+}
+
+// phaseApplySend packs and posts the halo messages from the resident input
+// vector, then computes the interior rows while they are in flight. A part
+// with no frontier computes everything here — fused with the inner-product
+// sweep when one is armed — leaving the receive phase trivial.
+func (o *PartOperator) phaseApplySend(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	x := op.vecs[o.v2]
+	o.packSend(ps, op, x)
+	switch {
+	case len(ps.frontier) > 0:
+		o.fluxRowsLocal(ps, op, x, op.vecs[o.v1], ps.interior)
+	case o.applyDot:
+		o.fluxRowsSeqDot(ps, op, x, op.vecs[o.v1], op.vecs[o.v3])
+	default:
+		o.fluxRowsSeq(ps, op, x, op.vecs[o.v1])
+	}
+	return nil
+}
+
+// phaseApplyRecv scatters the received halo blocks into the input vector,
+// finishes the frontier rows, and (when armed) sweeps the fused inner
+// product in compact order.
+func (o *PartOperator) phaseApplyRecv(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	x := op.vecs[o.v2]
+	if err := o.recvHalo(ps, x); err != nil {
+		return err
+	}
+	if len(ps.frontier) == 0 {
+		return nil // everything (dot included) already ran in the send phase
+	}
+	dst := op.vecs[o.v1]
+	o.fluxRowsLocal(ps, op, x, dst, ps.frontier)
+	if o.applyDot {
+		w := op.vecs[o.v3]
+		for b := range op.blkLo {
+			acc := 0.0
+			for i := op.blkLo[b]; i < op.blkHi[b]; i++ {
+				acc += w[i] * dst[i]
+			}
+			o.blockSums[op.blkOut[b]] = acc
+		}
+	}
+	return nil
+}
+
+// CopyVec copies src's owned entries into dst.
+func (o *PartOperator) CopyVec(dst, src solver.Vec) {
+	o.v1, o.v2 = int(dst), int(src)
+	_ = o.run(o.fnCopy, &o.Phase.Reduce)
+}
+
+func (o *PartOperator) phaseCopy(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	copy(op.vecs[o.v1][:ps.nOwned], op.vecs[o.v2][:ps.nOwned])
+	return nil
+}
+
+// DotVec returns ⟨a, b⟩ as per-part compact-order partials folded in part
+// order.
+func (o *PartOperator) DotVec(a, b solver.Vec) float64 {
+	o.v1, o.v2 = int(a), int(b)
+	_ = o.run(o.fnDot, &o.Phase.Reduce)
+	return o.fold()
+}
+
+func (o *PartOperator) phaseDot(shard int) error {
+	op := o.parts[shard]
+	a, b := op.vecs[o.v1], op.vecs[o.v2]
+	for blk := range op.blkLo {
+		acc := 0.0
+		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
+			acc += a[i] * b[i]
+		}
+		o.blockSums[op.blkOut[blk]] = acc
+	}
+	return nil
+}
+
+// Dot2Vec returns ⟨a, x⟩ and ⟨a, y⟩ from one fused phase.
+func (o *PartOperator) Dot2Vec(a, x, y solver.Vec) (float64, float64) {
+	o.v1, o.v2, o.v3 = int(a), int(x), int(y)
+	_ = o.run(o.fnDot2, &o.Phase.Reduce)
+	return o.fold2()
+}
+
+func (o *PartOperator) phaseDot2(shard int) error {
+	op := o.parts[shard]
+	a, x, y := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3]
+	for blk := range op.blkLo {
+		acc1, acc2 := 0.0, 0.0
+		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
+			acc1 += a[i] * x[i]
+			acc2 += a[i] * y[i]
+		}
+		o.blockSums[op.blkOut[blk]] = acc1
+		o.blockSums2[op.blkOut[blk]] = acc2
+	}
+	return nil
+}
+
+// AxpyVec computes y += α·x.
+func (o *PartOperator) AxpyVec(y solver.Vec, alpha float64, x solver.Vec) {
+	o.v1, o.v2, o.sc1 = int(y), int(x), alpha
+	_ = o.run(o.fnAxpy, &o.Phase.Reduce)
+}
+
+func (o *PartOperator) phaseAxpy(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	y, x := op.vecs[o.v1], op.vecs[o.v2]
+	alpha := o.sc1
+	for i := 0; i < ps.nOwned; i++ {
+		y[i] += alpha * x[i]
+	}
+	return nil
+}
+
+// Axpy2Vec computes y += α·x + β·z in one expression per element (the
+// BiCGStab solution update).
+func (o *PartOperator) Axpy2Vec(y solver.Vec, alpha float64, x solver.Vec, beta float64, z solver.Vec) {
+	o.v1, o.v2, o.v3, o.sc1, o.sc2 = int(y), int(x), int(z), alpha, beta
+	_ = o.run(o.fnAxpy2, &o.Phase.Reduce)
+}
+
+func (o *PartOperator) phaseAxpy2(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	y, x, z := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3]
+	alpha, beta := o.sc1, o.sc2
+	for i := 0; i < ps.nOwned; i++ {
+		y[i] += alpha*x[i] + beta*z[i]
+	}
+	return nil
+}
+
+// XpbyVec computes y = x + β·y (the CG search-direction update).
+func (o *PartOperator) XpbyVec(y solver.Vec, beta float64, x solver.Vec) {
+	o.v1, o.v2, o.sc1 = int(y), int(x), beta
+	_ = o.run(o.fnXpby, &o.Phase.Reduce)
+}
+
+func (o *PartOperator) phaseXpby(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	y, x := op.vecs[o.v1], op.vecs[o.v2]
+	beta := o.sc1
+	for i := 0; i < ps.nOwned; i++ {
+		y[i] = x[i] + beta*y[i]
+	}
+	return nil
+}
+
+// SubAxpyDotVec computes dst = a − α·b and returns ⟨dst, dst⟩, fused.
+func (o *PartOperator) SubAxpyDotVec(dst, a solver.Vec, alpha float64, b solver.Vec) float64 {
+	o.v1, o.v2, o.v3, o.sc1 = int(dst), int(a), int(b), alpha
+	_ = o.run(o.fnSubAxpyDot, &o.Phase.Reduce)
+	return o.fold()
+}
+
+func (o *PartOperator) phaseSubAxpyDot(shard int) error {
+	op := o.parts[shard]
+	dst, a, b := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3]
+	alpha := o.sc1
+	for blk := range op.blkLo {
+		acc := 0.0
+		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
+			d := a[i] - alpha*b[i]
+			dst[i] = d
+			acc += d * d
+		}
+		o.blockSums[op.blkOut[blk]] = acc
+	}
+	return nil
+}
+
+// CGStepVec computes x += α·p; r −= α·ap and returns ⟨r, r⟩ — the two CG
+// axpys and the residual norm fused into one phase.
+func (o *PartOperator) CGStepVec(x solver.Vec, alpha float64, p, r, ap solver.Vec) float64 {
+	o.v1, o.v2, o.v3, o.v4, o.sc1 = int(x), int(p), int(r), int(ap), alpha
+	_ = o.run(o.fnCGStep, &o.Phase.Reduce)
+	return o.fold()
+}
+
+func (o *PartOperator) phaseCGStep(shard int) error {
+	op := o.parts[shard]
+	x, p, r, ap := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3], op.vecs[o.v4]
+	alpha := o.sc1
+	for blk := range op.blkLo {
+		acc := 0.0
+		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
+			x[i] += alpha * p[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			acc += ri * ri
+		}
+		o.blockSums[op.blkOut[blk]] = acc
+	}
+	return nil
+}
+
+// BicgPVec computes p = r + β·(p − ω·v), the BiCGStab direction update.
+func (o *PartOperator) BicgPVec(p, r, v solver.Vec, beta, omega float64) {
+	o.v1, o.v2, o.v3, o.sc1, o.sc2 = int(p), int(r), int(v), beta, omega
+	_ = o.run(o.fnBicgP, &o.Phase.Reduce)
+}
+
+func (o *PartOperator) phaseBicgP(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	p, r, v := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3]
+	beta, omega := o.sc1, o.sc2
+	for i := 0; i < ps.nOwned; i++ {
+		p[i] = r[i] + beta*(p[i]-omega*v[i])
+	}
+	return nil
+}
+
+// PrecondVec computes z = M⁻¹·r.
+func (o *PartOperator) PrecondVec(z, r solver.Vec) {
+	o.v1, o.v2 = int(z), int(r)
+	_ = o.run(o.fnPre, &o.Phase.Reduce)
+}
+
+func (o *PartOperator) phasePre(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	if !o.usePre {
+		copy(z[:ps.nOwned], r[:ps.nOwned])
+		return nil
+	}
+	inv := op.invDiag
+	for i := 0; i < ps.nOwned; i++ {
+		z[i] = inv[i] * r[i]
+	}
+	return nil
+}
+
+// PrecondDotVec computes z = M⁻¹·r and returns ⟨r, z⟩, fused.
+func (o *PartOperator) PrecondDotVec(z, r solver.Vec) float64 {
+	o.v1, o.v2 = int(z), int(r)
+	_ = o.run(o.fnPreDot, &o.Phase.Reduce)
+	return o.fold()
+}
+
+func (o *PartOperator) phasePreDot(shard int) error {
+	op := o.parts[shard]
+	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	inv := op.invDiag
+	for blk := range op.blkLo {
+		acc := 0.0
+		if !o.usePre {
+			for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
+				ri := r[i]
+				z[i] = ri
+				acc += ri * ri
+			}
+		} else {
+			for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
+				zi := inv[i] * r[i]
+				z[i] = zi
+				acc += r[i] * zi
+			}
+		}
+		o.blockSums[op.blkOut[blk]] = acc
+	}
+	return nil
+}
+
 // NewSystemOperator builds the solve-side operator for a partition: the
-// serial UHostOperator reference when p is nil, otherwise a PartOperator on
-// a fresh engine. It returns the operator, the Jacobi diagonal (computed by
-// the path that will apply the matrix), and a close function releasing the
-// engine (a no-op for the serial path). Both the transient loop and the
-// massivefv facade build their solves through it, so the two paths cannot
-// drift apart.
+// serial reference (UHostOperator with the canonical-order reduction) when p
+// is nil, otherwise a part-resident PartOperator on a fresh engine. It
+// returns the operator, the Jacobi diagonal (computed by the path that will
+// apply the matrix), and a close function releasing the engine (a no-op for
+// the serial path). Both the transient loop and the massivefv facade build
+// their solves through it, so the two paths cannot drift apart.
 func NewSystemOperator(u *Mesh, p *Partition, fl physics.Fluid, sys *USystem, workers int) (solver.Operator, []float64, func(), error) {
 	if p == nil {
-		return &UHostOperator{Sys: sys}, sys.Diagonal(), func() {}, nil
+		return newSerialReference(sys), sys.Diagonal(), func() {}, nil
 	}
 	e, err := NewPartEngine(u, p, fl, EngineOptions{Workers: workers})
 	if err != nil {
@@ -383,7 +1071,9 @@ func NewSystemOperator(u *Mesh, p *Partition, fl physics.Fluid, sys *USystem, wo
 
 // compile-time interface checks
 var (
-	_ solver.Operator = (*UHostOperator)(nil)
-	_ solver.Operator = (*PartOperator)(nil)
-	_ solver.Reducer  = (*PartOperator)(nil)
+	_ solver.Operator    = (*UHostOperator)(nil)
+	_ solver.Operator    = (*PartOperator)(nil)
+	_ solver.Reducer     = (*PartOperator)(nil)
+	_ solver.VectorSpace = (*PartOperator)(nil)
+	_ solver.Reducer     = (*serialReference)(nil)
 )

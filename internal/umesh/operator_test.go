@@ -1,6 +1,7 @@
 package umesh
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -73,9 +74,10 @@ func TestPartOperatorBitIdenticalToHost(t *testing.T) {
 }
 
 func TestPartOperatorDiagonalAndDotBitIdentical(t *testing.T) {
-	// The partitioned Jacobi diagonal and the distributed dot reduction must
-	// equal their serial counterparts exactly — the deterministic
-	// mesh-index-order discipline.
+	// The partitioned Jacobi diagonal must equal the serial diagonal exactly,
+	// and the distributed dot must equal the canonical blocked reduction —
+	// the partition-independent summation tree the serial reference also
+	// uses — for every part count.
 	u, err := NewRadialMesh(DefaultRadialOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -84,9 +86,14 @@ func TestPartOperatorDiagonalAndDotBitIdentical(t *testing.T) {
 	wantDiag := sys.Diagonal()
 	a := probeVector(u.NumCells, 3)
 	b := probeVector(u.NumCells, 11)
-	wantDot := 0.0
+	wantDot := newSerialReference(sys).Dot(a, b)
+	plain := 0.0
 	for i := range a {
-		wantDot += a[i] * b[i]
+		plain += a[i] * b[i]
+	}
+	if rel := math.Abs(wantDot-plain) / math.Abs(plain); rel > 1e-12 {
+		t.Fatalf("canonical dot %g is not a rounding-level reordering of the plain dot %g (rel %g)",
+			wantDot, plain, rel)
 	}
 	for _, levels := range []int{0, 2, 3} {
 		part, err := RCB(u, levels)
@@ -111,7 +118,7 @@ func TestPartOperatorDiagonalAndDotBitIdentical(t *testing.T) {
 			}
 		}
 		if dot != wantDot {
-			t.Fatalf("parts=%d: distributed dot %g != serial %g", part.NumParts, dot, wantDot)
+			t.Fatalf("parts=%d: distributed dot %g != canonical serial reduction %g", part.NumParts, dot, wantDot)
 		}
 	}
 }
@@ -155,6 +162,224 @@ func TestPartOperatorApplyAllocFree(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("distributed Dot allocates %.1f objects, want 0", allocs)
 	}
+}
+
+// residentFixture builds a PartOperator on an RCB partition of the default
+// radial mesh.
+func residentFixture(tb testing.TB, levels, workers int) (*PartOperator, func()) {
+	tb.Helper()
+	u, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return residentFixtureOn(tb, u, levels, workers)
+}
+
+// residentFixtureOn builds a PartOperator on an RCB partition of the given
+// mesh.
+func residentFixtureOn(tb testing.TB, u *Mesh, levels, workers int) (*PartOperator, func()) {
+	tb.Helper()
+	part, err := RCB(u, levels)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e, err := NewPartEngine(u, part, physics.DefaultFluid(), EngineOptions{Workers: workers})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys, err := NewUSystem(u, physics.DefaultFluid(), 3600, 0)
+	if err != nil {
+		e.Close()
+		tb.Fatal(err)
+	}
+	po, err := NewPartOperator(e, sys)
+	if err != nil {
+		e.Close()
+		tb.Fatal(err)
+	}
+	return po, e.Close
+}
+
+func TestResidentSolveMatchesSlicePathBitExact(t *testing.T) {
+	// The resident recurrence is the slice recurrence, expression for
+	// expression: CG through the VectorSpace path must reproduce CG through
+	// the slice path (forced via a Precond closure, which routes dots through
+	// the same canonical Reducer) bit-for-bit — histories, iterations, and
+	// the solution.
+	po, closeOp := residentFixture(t, 2, 2)
+	defer closeOp()
+	diag := po.Diagonal()
+	n := po.Size()
+	b := make([]float64, n)
+	b[0], b[n-1] = 2.0, -2.0
+
+	pre, err := solver.JacobiPrecond(diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xSlice := make([]float64, n)
+	stSlice, err := solver.CG(po, xSlice, b, solver.Options{Tol: 1e-8, MaxIter: 800, Precond: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xRes := make([]float64, n)
+	stRes, err := solver.CG(po, xRes, b, solver.Options{Tol: 1e-8, MaxIter: 800, PrecondDiag: diag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSlice.Iterations != stRes.Iterations {
+		t.Fatalf("slice path took %d iterations, resident path %d", stSlice.Iterations, stRes.Iterations)
+	}
+	for k := range stSlice.History {
+		if stSlice.History[k] != stRes.History[k] {
+			t.Fatalf("history[%d] differs: slice %g, resident %g", k, stSlice.History[k], stRes.History[k])
+		}
+	}
+	for i := range xSlice {
+		if xSlice[i] != xRes[i] {
+			t.Fatalf("solution[%d] differs: slice %g, resident %g", i, xSlice[i], xRes[i])
+		}
+	}
+}
+
+func TestResidentSolveScattersAndGathersOnce(t *testing.T) {
+	// The part-resident acceptance metric: one scatter and one gather per
+	// solve, however many iterations the solve takes — for CG and BiCGStab.
+	for _, bicg := range []bool{false, true} {
+		po, closeOp := residentFixture(t, 1, 1)
+		diag := po.Diagonal()
+		n := po.Size()
+		b := make([]float64, n)
+		b[0], b[n-1] = 2.0, -2.0
+		x := make([]float64, n)
+		solve := solver.CG
+		if bicg {
+			solve = solver.BiCGStab
+		}
+		st, err := solve(po, x, b, solver.Options{Tol: 1e-8, MaxIter: 800, PrecondDiag: diag})
+		closeOp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged || st.Iterations < 2 {
+			t.Fatalf("bicg=%v: degenerate solve: %+v", bicg, st)
+		}
+		if po.Scatters != 1 || po.Gathers != 1 {
+			t.Errorf("bicg=%v: %d iterations used %d scatters and %d gathers, want exactly 1 each",
+				bicg, st.Iterations, po.Scatters, po.Gathers)
+		}
+		if po.Applications < st.Iterations {
+			t.Errorf("bicg=%v: %d applications for %d iterations", bicg, po.Applications, st.Iterations)
+		}
+		if po.Phase.Total() <= 0 {
+			t.Errorf("bicg=%v: no per-phase time recorded: %+v", bicg, po.Phase)
+		}
+	}
+}
+
+func TestResidentFusedPhasesAllocFree(t *testing.T) {
+	// Every fused part-resident phase must allocate nothing once the vector
+	// pool is warm — the acceptance criterion for the steady-state solve.
+	po, closeOp := residentFixture(t, 2, 2)
+	defer closeOp()
+	diag := po.Diagonal()
+	if err := po.SetPrecondDiag(diag); err != nil {
+		t.Fatal(err)
+	}
+	po.Reserve(6)
+	n := po.Size()
+	a := probeVector(n, 1)
+	b := probeVector(n, 2)
+	po.LoadVec2(solver.Vec(0), a, solver.Vec(1), b)
+	out := make([]float64, n)
+	steps := map[string]func(){
+		"LoadVec2":      func() { po.LoadVec2(solver.Vec(0), a, solver.Vec(1), b) },
+		"StoreVec":      func() { po.StoreVec(out, solver.Vec(0)) },
+		"ApplyVec":      func() { _ = po.ApplyVec(solver.Vec(2), solver.Vec(0)) },
+		"ApplyDotVec":   func() { _, _ = po.ApplyDotVec(solver.Vec(2), solver.Vec(0), solver.Vec(1)) },
+		"DotVec":        func() { po.DotVec(solver.Vec(0), solver.Vec(1)) },
+		"Dot2Vec":       func() { po.Dot2Vec(solver.Vec(0), solver.Vec(1), solver.Vec(2)) },
+		"AxpyVec":       func() { po.AxpyVec(solver.Vec(2), 0.5, solver.Vec(0)) },
+		"Axpy2Vec":      func() { po.Axpy2Vec(solver.Vec(2), 0.5, solver.Vec(0), 0.25, solver.Vec(1)) },
+		"XpbyVec":       func() { po.XpbyVec(solver.Vec(2), 0.5, solver.Vec(0)) },
+		"SubAxpyDotVec": func() { po.SubAxpyDotVec(solver.Vec(3), solver.Vec(0), 0.5, solver.Vec(1)) },
+		"CGStepVec":     func() { po.CGStepVec(solver.Vec(2), 0.5, solver.Vec(0), solver.Vec(3), solver.Vec(1)) },
+		"BicgPVec":      func() { po.BicgPVec(solver.Vec(3), solver.Vec(0), solver.Vec(1), 0.5, 0.25) },
+		"PrecondVec":    func() { po.PrecondVec(solver.Vec(4), solver.Vec(0)) },
+		"PrecondDotVec": func() { po.PrecondDotVec(solver.Vec(4), solver.Vec(0)) },
+		"CopyVec":       func() { po.CopyVec(solver.Vec(5), solver.Vec(0)) },
+		"SetPrecond":    func() { _ = po.SetPrecondDiag(diag) },
+	}
+	for name, fn := range steps {
+		fn() // warm up
+		if allocs := testing.AllocsPerRun(20, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per call, want 0", name, allocs)
+		}
+	}
+}
+
+// BenchmarkPartOperatorApply measures one resident operator application
+// (fused send+interior, receive+frontier) across part and worker counts.
+func BenchmarkPartOperatorApply(b *testing.B) {
+	for _, levels := range []int{0, 1, 2} {
+		for _, workers := range []int{1, 2} {
+			b.Run(benchName(1<<levels, workers), func(b *testing.B) {
+				po, closeOp := residentFixtureOn(b, benchRadial(b), levels, workers)
+				defer closeOp()
+				po.Reserve(2)
+				x := probeVector(po.Size(), 1)
+				po.LoadVec2(solver.Vec(0), x, solver.Vec(1), x)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := po.ApplyVec(solver.Vec(1), solver.Vec(0)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPartOperatorDot measures one fused resident inner product.
+func BenchmarkPartOperatorDot(b *testing.B) {
+	for _, levels := range []int{0, 1, 2} {
+		for _, workers := range []int{1, 2} {
+			b.Run(benchName(1<<levels, workers), func(b *testing.B) {
+				po, closeOp := residentFixtureOn(b, benchRadial(b), levels, workers)
+				defer closeOp()
+				po.Reserve(2)
+				x := probeVector(po.Size(), 1)
+				po.LoadVec2(solver.Vec(0), x, solver.Vec(1), x)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					po.DotVec(solver.Vec(0), solver.Vec(1))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPartOperatorHostApply is the serial UHostOperator yardstick the
+// resident application is compared against.
+func BenchmarkPartOperatorHostApply(b *testing.B) {
+	u := benchRadial(b)
+	sys, err := NewUSystem(u, physics.DefaultFluid(), 3600, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	host := &UHostOperator{Sys: sys}
+	x := probeVector(u.NumCells, 1)
+	dst := make([]float64, u.NumCells)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := host.Apply(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(parts, workers int) string {
+	return fmt.Sprintf("parts=%d/workers=%d", parts, workers)
 }
 
 func TestPartOperatorCommCounters(t *testing.T) {
@@ -235,9 +460,13 @@ func TestUHostOperatorSymmetricPositiveDefinite(t *testing.T) {
 }
 
 func TestPartOperatorIterationParityWithStructuredHost(t *testing.T) {
-	// Satellite: on a structured-converted mesh with the structured system's
-	// own coefficients, CG through the partitioned operator at parts=1 takes
-	// exactly as many iterations as CG through solver.HostOperator.
+	// On a structured-converted mesh with the structured system's own
+	// coefficients: the part-resident solve at parts=1 takes exactly as many
+	// iterations as the canonical serial reference (the designed invariant),
+	// and cross-validates against CG through solver.HostOperator — whose
+	// inner products use the plain index-order sum, so its trajectory may
+	// round differently: iterations agree within a small band and the
+	// solutions to solver tolerance.
 	sm, err := mesh.BuildDefault(mesh.Dims{Nx: 8, Ny: 6, Nz: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -270,26 +499,44 @@ func TestPartOperatorIterationParityWithStructuredHost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solveIts := func(op solver.Operator, diag []float64) int {
-		pre, err := solver.JacobiPrecond(diag)
-		if err != nil {
-			t.Fatal(err)
-		}
+	solve := func(op solver.Operator, diag []float64) (int, []float64) {
 		x := make([]float64, op.Size())
-		st, err := solver.CG(op, x, b, solver.Options{Tol: 1e-8, MaxIter: 600, Precond: pre})
+		st, err := solver.CG(op, x, b, solver.Options{Tol: 1e-8, MaxIter: 600, PrecondDiag: diag})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !st.Converged {
 			t.Fatal("solve did not converge")
 		}
-		return st.Iterations
+		return st.Iterations, x
 	}
-	hostIts := solveIts(&solver.HostOperator{Sys: ssys}, ssys.Diagonal())
-	partIts := solveIts(po, po.Diagonal())
-	if hostIts != partIts {
-		t.Errorf("iteration parity broken: structured host %d its, partitioned operator %d its",
-			hostIts, partIts)
+	refIts, refX := solve(newSerialReference(usys), usys.Diagonal())
+	partIts, partX := solve(po, po.Diagonal())
+	if refIts != partIts {
+		t.Errorf("iteration parity broken: canonical serial reference %d its, part-resident operator %d its",
+			refIts, partIts)
+	}
+	for i := range refX {
+		if refX[i] != partX[i] {
+			t.Fatalf("part-resident solution diverges from the canonical reference at cell %d: %g vs %g",
+				i, partX[i], refX[i])
+		}
+	}
+	hostIts, hostX := solve(&solver.HostOperator{Sys: ssys}, ssys.Diagonal())
+	if d := hostIts - partIts; d < -5 || d > 5 {
+		t.Errorf("structured host took %d its, part-resident %d — more than reordering noise", hostIts, partIts)
+	}
+	scale := 0.0
+	for i := range hostX {
+		if a := math.Abs(hostX[i]); a > scale {
+			scale = a
+		}
+	}
+	for i := range hostX {
+		if math.Abs(hostX[i]-partX[i]) > 1e-6*scale {
+			t.Fatalf("structured and part-resident solutions diverge at cell %d: %g vs %g",
+				i, hostX[i], partX[i])
+		}
 	}
 }
 

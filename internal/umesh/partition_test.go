@@ -140,6 +140,70 @@ func TestRCBPlannedHaloCellsFaceAdjacent(t *testing.T) {
 	}
 }
 
+func TestCanonicalOrderHierarchy(t *testing.T) {
+	// The property the deterministic reductions stand on: the canonical
+	// order is a permutation of the cells, every RCB part owns one
+	// contiguous canonical run with parts ascending (so the concatenation of
+	// Owned lists is the canonical order itself), and part boundaries land
+	// on canonical block boundaries.
+	for name, u := range partitionFixtures(t) {
+		canon := CanonicalOrder(u)
+		if len(canon) != u.NumCells {
+			t.Fatalf("%s: canonical order covers %d of %d cells", name, len(canon), u.NumCells)
+		}
+		seen := make([]bool, u.NumCells)
+		for _, c := range canon {
+			if seen[c] {
+				t.Fatalf("%s: cell %d appears twice in the canonical order", name, c)
+			}
+			seen[c] = true
+		}
+		blockAt := map[int]bool{}
+		for _, b := range canonicalBlocks(u.NumCells) {
+			blockAt[int(b)] = true
+		}
+		for _, levels := range []int{0, 1, 2, 3} {
+			p, err := RCB(u, levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos := 0
+			for me, owned := range p.Owned {
+				if !blockAt[pos] {
+					t.Errorf("%s levels=%d: part %d starts at canonical position %d, not a block boundary",
+						name, levels, me, pos)
+				}
+				for i, c := range owned {
+					if int32(c) != canon[pos+i] {
+						t.Fatalf("%s levels=%d: part %d owned[%d] = %d, canonical order has %d",
+							name, levels, me, i, c, canon[pos+i])
+					}
+				}
+				pos += len(owned)
+			}
+			if pos != u.NumCells {
+				t.Fatalf("%s levels=%d: Owned lists cover %d of %d cells", name, levels, pos, u.NumCells)
+			}
+		}
+	}
+}
+
+func TestCanonicalOrderCachedAndInvalidated(t *testing.T) {
+	// The order is computed once per mesh; geometry mutation rebuilds it.
+	_, u := structuredFixture(t, mesh.Dims{Nx: 6, Ny: 5, Nz: 2})
+	first := CanonicalOrder(u)
+	if second := CanonicalOrder(u); &second[0] != &first[0] {
+		t.Error("second CanonicalOrder call recomputed instead of returning the cache")
+	}
+	if err := u.Jitter(0.3, 9); err != nil {
+		t.Fatal(err)
+	}
+	after := CanonicalOrder(u)
+	if &after[0] == &first[0] {
+		t.Error("Jitter left a stale canonical order cached")
+	}
+}
+
 func containsCell(cells []int, c int) bool {
 	for _, x := range cells {
 		if x == c {

@@ -80,14 +80,23 @@ type TransientResult struct {
 	// Comm is the total halo traffic of those applications (zero for the
 	// serial path).
 	Comm CommCounters
+	// Scatters and Gathers count whole-vector global transfers of the
+	// part-resident solves — one of each per time step (zero for the serial
+	// path, which works on global slices throughout).
+	Scatters, Gathers int
+	// Phase is the per-phase wall-clock breakdown of the partitioned solves
+	// (zero for the serial path).
+	Phase PhaseSeconds
 }
 
 // RunTransientPartitioned advances an unstructured pressure field through
 // opts.Steps implicit backward-Euler steps, one preconditioned Krylov solve
-// per step, every operator application executed on the persistent partitioned
-// engine. A nil partition selects the serial float64 reference path
-// (UHostOperator + serial reductions) — the golden baseline the partitioned
-// runs must match bit-for-bit, which tests assert for parts 1–8.
+// per step. Partitioned solves run part-resident (one scatter and one
+// gather per step; every application, axpy and dot executed as fused phases
+// on the persistent engine runtime). A nil partition selects the serial
+// float64 reference path (UHostOperator + the canonical blocked reduction)
+// — the golden baseline the partitioned runs must match bit-for-bit, which
+// tests assert for parts 1–8.
 func RunTransientPartitioned(u *Mesh, p *Partition, fl physics.Fluid, opts TransientOptions) (*TransientResult, error) {
 	opts = opts.withDefaults()
 	if opts.Dt <= 0 || opts.Steps <= 0 {
@@ -107,12 +116,12 @@ func RunTransientPartitioned(u *Mesh, p *Partition, fl physics.Fluid, opts Trans
 	}
 	defer closeOp()
 	po, _ := op.(*PartOperator)
-	pre, err := solver.JacobiPrecond(diag)
-	if err != nil {
-		return nil, err
-	}
+	// Jacobi preconditioning goes in as the diagonal, not a closure: the
+	// partitioned path installs it resident (VectorSpace.SetPrecondDiag),
+	// the serial path builds the equivalent slice closure — elementwise
+	// z_i = (1/d_i)·r_i either way, so the two stay bit-identical.
 	sopts := opts.Solver
-	sopts.Precond = pre
+	sopts.PrecondDiag = diag
 
 	b := make([]float64, u.NumCells)
 	injected := 0.0
@@ -179,6 +188,8 @@ func RunTransientPartitioned(u *Mesh, p *Partition, fl physics.Fluid, opts Trans
 	if po != nil {
 		res.OperatorApplications = po.Applications
 		res.Comm = po.Comm
+		res.Scatters, res.Gathers = po.Scatters, po.Gathers
+		res.Phase = po.Phase
 	}
 	return res, nil
 }

@@ -14,12 +14,16 @@
 // the serial cell-based sweep for every part and worker count; tests assert
 // it, including under the race detector.
 //
-// On top of the engine sits the §8 matrix-free implicit path: USystem (one
-// frozen backward-Euler pressure step), PartOperator (A·x through the
-// engine's pool and exchange plans in float64, with a partitioned Jacobi
-// diagonal and deterministic mesh-index-order reductions), and
-// RunTransientPartitioned (one preconditioned Krylov solve per time step).
-// Partitioned solves are bit-identical to the serial UHostOperator
+// On top of the engine sits the §8 matrix-free implicit path, run
+// part-resident: USystem (one frozen backward-Euler pressure step) and
+// PartOperator, a solver.VectorSpace that keeps the whole Krylov working
+// set in each part's compact layout for the entire solve — one scatter in,
+// one gather out, fused pack+send+interior-compute phases overlapping the
+// float64 halo exchange, and fused vector/reduction phases in between.
+// Reductions fold through the canonical blocked order (CanonicalOrder, the
+// RCB recursion's own summation tree), which is identical for every part
+// count and for the serial reference, so RunTransientPartitioned (one
+// preconditioned Krylov solve per time step) is bit-identical to the serial
 // reference — residual histories, iteration counts, final state — for every
 // part and worker count; the golden regression asserts it under -race.
 package umesh
@@ -27,6 +31,7 @@ package umesh
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mesh"
 	"repro/internal/refflux"
@@ -53,6 +58,12 @@ type Mesh struct {
 	// adjacency: per cell, the incident faces as (neighbor, trans).
 	adjNbr   [][]int32
 	adjTrans [][]float64
+
+	// canonMu guards canon, the cached canonical RCB order (see
+	// CanonicalOrder). Builders and mutators invalidate it through
+	// buildAdjacency.
+	canonMu sync.Mutex
+	canon   []int32
 }
 
 // halfFaces returns the cell's (neighbor, trans) lists.
@@ -97,8 +108,13 @@ func (u *Mesh) Validate() error {
 	return nil
 }
 
-// buildAdjacency derives the per-cell half-face lists from Faces.
+// buildAdjacency derives the per-cell half-face lists from Faces. It also
+// invalidates the cached canonical order: every builder and mutator ends
+// here, so geometry changes can never leave a stale order behind.
 func (u *Mesh) buildAdjacency() {
+	u.canonMu.Lock()
+	u.canon = nil
+	u.canonMu.Unlock()
 	u.adjNbr = make([][]int32, u.NumCells)
 	u.adjTrans = make([][]float64, u.NumCells)
 	for _, f := range u.Faces {

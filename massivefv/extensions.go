@@ -146,10 +146,12 @@ type (
 )
 
 // SolveUnstructured solves one implicit pressure step A·δp = b on the
-// unstructured mesh with Jacobi-preconditioned CG, every operator
-// application executed on the persistent partitioned engine (matrix-free §8
-// on the §9 runtime). A nil partition selects the serial float64 reference
-// operator; partitioned solves are bit-identical to it for every part count.
+// unstructured mesh with Jacobi-preconditioned CG. Partitioned solves run
+// part-resident: the Krylov working set lives in each part's compact layout
+// for the whole solve (one scatter in, one gather out) with fused
+// exchange-overlapped operator applications. A nil partition selects the
+// serial float64 reference operator; partitioned solves are bit-identical
+// to it for every part count.
 func SolveUnstructured(u *UMesh, part *UPartition, fl Fluid, dt float64, b []float64, opts SolverOptions) ([]float64, *SolverStats, error) {
 	sys, err := umesh.NewUSystem(u, fl, dt, 0)
 	if err != nil {
@@ -160,11 +162,9 @@ func SolveUnstructured(u *UMesh, part *UPartition, fl Fluid, dt float64, b []flo
 		return nil, nil, err
 	}
 	defer closeOp()
-	pre, err := solver.JacobiPrecond(diag)
-	if err != nil {
-		return nil, nil, err
-	}
-	opts.Precond = pre
+	// The diagonal, not a closure: a closure would force the slice path and
+	// its per-application scatter/gather.
+	opts.PrecondDiag = diag
 	x := make([]float64, op.Size())
 	st, err := solver.CG(op, x, b, opts)
 	if err != nil {
