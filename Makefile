@@ -7,7 +7,7 @@ GO ?= go
 # partitioned implicit path.
 RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/ ./internal/exec/ ./internal/umesh/ ./internal/solver/
 
-.PHONY: build test race bench-smoke bench-kernel bench-umesh bench-usolve fuzz-smoke cover vet fmt-check ci
+.PHONY: build test race bench-smoke bench-kernel bench-umesh bench-usolve fuzz-smoke cover docs-check vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -36,8 +36,10 @@ bench-umesh:
 	$(GO) test -run '^$$' -bench BenchmarkUmesh -benchtime 1x -short ./internal/umesh/
 
 # The part-resident implicit-solve microbenchmarks (resident operator
-# application and fused reductions vs the serial host apply, plus one whole
-# partitioned step) once each — the smoke run behind BENCH_usolve.json.
+# application and fused reductions vs the serial host apply, one whole
+# partitioned step, and a transient solve per preconditioner-ladder rung —
+# BenchmarkUsolvePrecond/{jacobi,ssor,chebyshev,amg}) once each — the smoke
+# run behind BENCH_usolve.json.
 bench-usolve:
 	$(GO) test -run '^$$' -bench 'BenchmarkPartOperator|BenchmarkUsolve' -benchtime 1x -short ./internal/umesh/
 
@@ -50,8 +52,8 @@ fuzz-smoke:
 
 # Per-package coverage gate over the solver-path packages. Floors are pinned
 # a few points under the measured numbers so genuine regressions fail while
-# rounding noise does not. Current coverage (2026-07, PR 5):
-#   internal/umesh  92.2%   internal/solver 89.4%   internal/exec 95.8%
+# rounding noise does not. Current coverage (2026-08, PR 6):
+#   internal/umesh  94.5%   internal/solver 88.7%   internal/exec 95.8%
 cover:
 	@set -e; \
 	check() { \
@@ -66,6 +68,27 @@ cover:
 	check ./internal/solver/ 86; \
 	check ./internal/exec/ 95
 
+# Docs gate: the godoc Example functions (solver.CG, RunTransientPartitioned,
+# SolveUnstructured) execute with output verification, the architecture and
+# benchmark documents exist, the README links them, and every relative
+# markdown cross-link in the top-level docs resolves to a real file.
+docs-check:
+	$(GO) test -run Example -count=1 ./internal/solver/ ./internal/umesh/ ./massivefv/
+	@set -e; \
+	for f in ARCHITECTURE.md docs/benchmarks.md; do \
+	  [ -f "$$f" ] || { echo "docs-check: $$f is missing"; exit 1; }; \
+	done; \
+	grep -q 'ARCHITECTURE.md' README.md || { echo "docs-check: README.md does not link ARCHITECTURE.md"; exit 1; }; \
+	grep -q 'docs/benchmarks.md' README.md || { echo "docs-check: README.md does not link docs/benchmarks.md"; exit 1; }; \
+	for doc in README.md ARCHITECTURE.md ROADMAP.md docs/benchmarks.md; do \
+	  dir=$$(dirname "$$doc"); \
+	  for ref in $$(grep -oE '\]\([^)#]+\.md\)' "$$doc" | sed 's/^](//; s/)$$//'); do \
+	    case "$$ref" in http*) continue;; esac; \
+	    [ -f "$$dir/$$ref" ] || { echo "docs-check: $$doc links $$ref, which does not exist"; exit 1; }; \
+	  done; \
+	done; \
+	echo "docs-check: examples ran, cross-links resolve"
+
 vet:
 	$(GO) vet ./...
 
@@ -74,4 +97,4 @@ fmt-check:
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Everything the CI workflow gates on.
-ci: build vet fmt-check test race cover bench-smoke bench-kernel bench-umesh bench-usolve fuzz-smoke
+ci: build vet fmt-check test race cover docs-check bench-smoke bench-kernel bench-umesh bench-usolve fuzz-smoke

@@ -56,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		engine     = fs.String("engine", "fabric", "functional engine: fabric|flat|parallel")
 		workers    = fs.Int("workers", 0, "worker count for engine=parallel (0 = all CPUs)")
 		jsonOut    = fs.String("json", "", "record the selected scaling, kernel, umesh or usolve experiment as JSON to this path (ignored with -experiment all)")
+		preconds   = fs.String("preconds", "", "comma-separated preconditioner rungs for -experiment usolve: jacobi,ssor,chebyshev,amg (default: the whole ladder)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -208,11 +209,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	})
 	runExp("usolve", func(c bench.Config) error {
 		// The partitioned implicit-solve experiment: a transient CG run per
-		// RCB part count, bit-checked against the serial reference; -apps
-		// selects the backward-Euler step count, -workers the pool size.
+		// preconditioner rung per RCB part count, bit-checked against the
+		// serial reference; -apps selects the backward-Euler step count,
+		// -workers the pool size, -preconds the ladder rungs to sweep.
 		ucfg := bench.UsolveConfig{Workers: *workers}
 		if explicit["apps"] {
 			ucfg.Steps = c.FuncApps
+		}
+		if *preconds != "" {
+			ucfg.Preconds = strings.Split(*preconds, ",")
 		}
 		u, err := bench.RunUsolveScaling(ucfg)
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/physics"
+	"repro/internal/solver"
 	"repro/internal/umesh"
 )
 
@@ -42,6 +43,10 @@ type UsolveConfig struct {
 	Workers int
 	// Fluid overrides the default CO2 fluid when non-nil.
 	Fluid *physics.Fluid
+	// Preconds lists the preconditioner rungs to sweep (default: the whole
+	// ladder — jacobi, ssor, chebyshev, amg). Each rung runs the full
+	// part-count sweep with its own serial baseline and bit-identity check.
+	Preconds []string
 }
 
 func (c UsolveConfig) withDefaults() UsolveConfig {
@@ -62,6 +67,11 @@ func (c UsolveConfig) withDefaults() UsolveConfig {
 	}
 	if len(c.Levels) == 0 {
 		c.Levels = []int{0, 1, 2, 3}
+	}
+	if len(c.Preconds) == 0 {
+		for _, k := range solver.PrecondKinds() {
+			c.Preconds = append(c.Preconds, string(k))
+		}
 	}
 	return c
 }
@@ -96,8 +106,33 @@ type UsolvePoint struct {
 	Phase umesh.PhaseSeconds `json:"phase_seconds"`
 }
 
+// UsolveRung is one preconditioner's full part-count sweep: its own serial
+// baseline, its partitioned points, and its iteration count relative to the
+// Jacobi rung — the ladder's headline number.
+type UsolveRung struct {
+	// Precond names the rung (jacobi, ssor, chebyshev, amg).
+	Precond string `json:"precond"`
+	// SerialSeconds is the rung's serial reference wall-clock; the rung's
+	// speedups are relative to it.
+	SerialSeconds float64 `json:"serial_seconds"`
+	// SerialIterations is the rung's total CG iteration count over all
+	// steps; every partitioned point must match it exactly.
+	SerialIterations int `json:"serial_iterations"`
+	// IterationFactor is the Jacobi rung's serial iteration count divided by
+	// this rung's — how many CG iterations the rung buys (1.0 for Jacobi
+	// itself; 0 when Jacobi was not in the sweep).
+	IterationFactor float64 `json:"iteration_factor_vs_jacobi"`
+	// Points are the rung's partitioned measurements, one per part count.
+	Points []UsolvePoint `json:"points"`
+	// BitIdentical records that every partitioned run of this rung matched
+	// its serial reference exactly.
+	BitIdentical bool `json:"bit_identical"`
+}
+
 // UsolveScaling is the sweep outcome. It serializes to the BENCH_usolve.json
-// baseline future PRs compare against.
+// baseline future PRs compare against. The top-level serial/points fields
+// mirror the Jacobi rung (the pre-ladder format, kept so older tooling and
+// earlier baselines stay comparable); Rungs carries the full ladder.
 type UsolveScaling struct {
 	Cells      int     `json:"cells"`
 	Faces      int     `json:"faces"`
@@ -110,16 +145,20 @@ type UsolveScaling struct {
 	GoVersion  string  `json:"go_version"`
 
 	// SerialSeconds is the serial UHostOperator transient wall-clock the
-	// speedups are relative to.
+	// speedups are relative to (the Jacobi rung's baseline).
 	SerialSeconds float64 `json:"serial_seconds"`
 	// SerialIterations is the serial run's total CG iteration count; every
 	// partitioned point must match it exactly.
 	SerialIterations int           `json:"serial_iterations"`
 	Points           []UsolvePoint `json:"points"`
 
-	// BitIdentical records that every partitioned run matched the serial
-	// reference exactly (residual histories, iteration counts, final state);
-	// a divergence aborts the sweep.
+	// Rungs is the preconditioner ladder: one full sweep per rung, in the
+	// order configured (default jacobi → ssor → chebyshev → amg).
+	Rungs []UsolveRung `json:"rungs"`
+
+	// BitIdentical records that every partitioned run of every rung matched
+	// its serial reference exactly (residual histories, iteration counts,
+	// final state); a divergence aborts the sweep.
 	BitIdentical bool `json:"bit_identical"`
 }
 
@@ -139,7 +178,8 @@ func usolveOptions(u *umesh.Mesh, cfg UsolveConfig) umesh.TransientOptions {
 }
 
 // RunUsolveScaling measures the partitioned implicit transient solve across
-// part counts against the serial UHostOperator baseline.
+// part counts against the serial UHostOperator baseline, once per
+// preconditioner rung.
 func RunUsolveScaling(cfg UsolveConfig) (*UsolveScaling, error) {
 	cfg = cfg.withDefaults()
 	u, err := umesh.NewRadialMesh(cfg.Radial)
@@ -150,81 +190,115 @@ func RunUsolveScaling(cfg UsolveConfig) (*UsolveScaling, error) {
 	if cfg.Fluid != nil {
 		fl = *cfg.Fluid
 	}
-	opts := usolveOptions(u, cfg)
-
-	// Warm-up then measured serial baseline (the scaling methodology: no run
-	// pays first-touch costs for the ones after it).
-	if _, err := umesh.RunTransientPartitioned(u, nil, fl, opts); err != nil {
-		return nil, fmt.Errorf("bench: usolve warm-up: %w", err)
+	for _, name := range cfg.Preconds {
+		if name != string(solver.PrecondJacobi) && name != string(solver.PrecondSSOR) &&
+			name != string(solver.PrecondChebyshev) && name != string(solver.PrecondAMG) {
+			return nil, fmt.Errorf("bench: unknown preconditioner %q (want jacobi, ssor, chebyshev or amg)", name)
+		}
 	}
-	runtime.GC()
-	serialStart := time.Now()
-	serial, err := umesh.RunTransientPartitioned(u, nil, fl, opts)
-	if err != nil {
-		return nil, fmt.Errorf("bench: usolve serial baseline: %w", err)
-	}
-	serialSec := time.Since(serialStart).Seconds()
-
-	out := &UsolveScaling{
-		Cells:         u.NumCells,
-		Faces:         len(u.Faces),
-		MaxDegree:     u.MaxDegree(),
-		Steps:         cfg.Steps,
-		DtSeconds:     cfg.Dt,
-		Tol:           cfg.Tol,
-		NumCPU:        runtime.NumCPU(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		GoVersion:     runtime.Version(),
-		SerialSeconds: serialSec,
-		BitIdentical:  true,
-	}
-	for _, st := range serial.Steps {
-		out.SerialIterations += st.Iterations
-	}
-	for _, levels := range cfg.Levels {
-		part, err := umesh.RCB(u, levels)
-		if err != nil {
+	parts := make([]*umesh.Partition, len(cfg.Levels))
+	for i, levels := range cfg.Levels {
+		if parts[i], err = umesh.RCB(u, levels); err != nil {
 			return nil, fmt.Errorf("bench: RCB levels %d: %w", levels, err)
 		}
-		// Warm-up run, GC, measured run.
-		if _, err := umesh.RunTransientPartitioned(u, part, fl, opts); err != nil {
-			return nil, fmt.Errorf("bench: %d parts warm-up: %w", part.NumParts, err)
+	}
+
+	out := &UsolveScaling{
+		Cells:        u.NumCells,
+		Faces:        len(u.Faces),
+		MaxDegree:    u.MaxDegree(),
+		Steps:        cfg.Steps,
+		DtSeconds:    cfg.Dt,
+		Tol:          cfg.Tol,
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		GoVersion:    runtime.Version(),
+		BitIdentical: true,
+	}
+	for _, name := range cfg.Preconds {
+		opts := usolveOptions(u, cfg)
+		opts.Solver.PrecondKind = solver.PrecondKind(name)
+
+		// Warm-up then measured serial baseline (the scaling methodology: no
+		// run pays first-touch costs for the ones after it).
+		if _, err := umesh.RunTransientPartitioned(u, nil, fl, opts); err != nil {
+			return nil, fmt.Errorf("bench: usolve %s warm-up: %w", name, err)
 		}
 		runtime.GC()
-		start := time.Now()
-		res, err := umesh.RunTransientPartitioned(u, part, fl, opts)
+		serialStart := time.Now()
+		serial, err := umesh.RunTransientPartitioned(u, nil, fl, opts)
 		if err != nil {
-			return nil, fmt.Errorf("bench: %d parts: %w", part.NumParts, err)
+			return nil, fmt.Errorf("bench: usolve %s serial baseline: %w", name, err)
 		}
-		sec := time.Since(start).Seconds()
-		if err := usolveCompare(serial, res); err != nil {
-			return nil, fmt.Errorf("bench: %d parts: %w", part.NumParts, err)
+		rung := UsolveRung{
+			Precond:       name,
+			SerialSeconds: time.Since(serialStart).Seconds(),
+			BitIdentical:  true,
 		}
-		pt := UsolvePoint{
-			Parts:                part.NumParts,
-			Seconds:              sec,
-			OperatorApplications: res.OperatorApplications,
-			HaloWords:            res.Comm.HaloWords,
-			Messages:             res.Comm.Messages,
-			Scatters:             res.Scatters,
-			Gathers:              res.Gathers,
-			Phase:                res.Phase,
+		for _, st := range serial.Steps {
+			rung.SerialIterations += st.Iterations
 		}
-		pt.Workers = cfg.Workers
-		if pt.Workers == 0 {
-			pt.Workers = runtime.NumCPU()
+		for _, part := range parts {
+			// Warm-up run, GC, measured run.
+			if _, err := umesh.RunTransientPartitioned(u, part, fl, opts); err != nil {
+				return nil, fmt.Errorf("bench: %s %d parts warm-up: %w", name, part.NumParts, err)
+			}
+			runtime.GC()
+			start := time.Now()
+			res, err := umesh.RunTransientPartitioned(u, part, fl, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %d parts: %w", name, part.NumParts, err)
+			}
+			sec := time.Since(start).Seconds()
+			if err := usolveCompare(serial, res); err != nil {
+				return nil, fmt.Errorf("bench: %s %d parts: %w", name, part.NumParts, err)
+			}
+			pt := UsolvePoint{
+				Parts:                part.NumParts,
+				Seconds:              sec,
+				OperatorApplications: res.OperatorApplications,
+				HaloWords:            res.Comm.HaloWords,
+				Messages:             res.Comm.Messages,
+				Scatters:             res.Scatters,
+				Gathers:              res.Gathers,
+				Phase:                res.Phase,
+			}
+			pt.Workers = cfg.Workers
+			if pt.Workers == 0 {
+				pt.Workers = runtime.NumCPU()
+			}
+			if pt.Workers > part.NumParts {
+				pt.Workers = part.NumParts
+			}
+			for _, st := range res.Steps {
+				pt.Iterations += st.Iterations
+			}
+			if sec > 0 {
+				pt.Speedup = rung.SerialSeconds / sec
+			}
+			rung.Points = append(rung.Points, pt)
 		}
-		if pt.Workers > part.NumParts {
-			pt.Workers = part.NumParts
-		}
-		for _, st := range res.Steps {
-			pt.Iterations += st.Iterations
-		}
-		if sec > 0 {
-			pt.Speedup = serialSec / sec
-		}
-		out.Points = append(out.Points, pt)
+		out.Rungs = append(out.Rungs, rung)
 	}
+
+	// IterationFactor is relative to the Jacobi rung; the legacy top-level
+	// fields mirror it (or the first rung when Jacobi was not swept).
+	mirror := &out.Rungs[0]
+	for i := range out.Rungs {
+		if out.Rungs[i].Precond == string(solver.PrecondJacobi) {
+			mirror = &out.Rungs[i]
+		}
+	}
+	if mirror.Precond == string(solver.PrecondJacobi) {
+		for i := range out.Rungs {
+			if its := out.Rungs[i].SerialIterations; its > 0 {
+				out.Rungs[i].IterationFactor = float64(mirror.SerialIterations) / float64(its)
+			}
+		}
+	}
+	out.SerialSeconds = mirror.SerialSeconds
+	out.SerialIterations = mirror.SerialIterations
+	out.Points = mirror.Points
 	return out, nil
 }
 
@@ -263,19 +337,31 @@ func (s *UsolveScaling) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// Render writes the sweep as a table.
+// Render writes the sweep as tables: the ladder summary, then each rung's
+// per-part-count points.
 func (s *UsolveScaling) Render(w io.Writer) error {
 	tw := newTab(w)
 	fmt.Fprintf(tw, "Partitioned implicit solve — radial mesh, %d cells, %d faces (max degree %d), %d×%.0fs backward-Euler steps, CG tol %.0e\n",
 		s.Cells, s.Faces, s.MaxDegree, s.Steps, s.DtSeconds, s.Tol)
 	fmt.Fprintf(tw, "host: %s, NumCPU %d, GOMAXPROCS %d\n", s.GoVersion, s.NumCPU, s.GOMAXPROCS)
-	fmt.Fprintf(tw, "serial UHostOperator baseline: %.4f s, %d CG iterations\n", s.SerialSeconds, s.SerialIterations)
-	fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tCG its\tapplications\thalo words\tmsgs\texch [s]\tcomp [s]\tred [s]")
-	for _, p := range s.Points {
-		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\n",
-			p.Parts, p.Workers, p.Seconds, p.Speedup, p.Iterations,
-			p.OperatorApplications, p.HaloWords, p.Messages,
-			p.Phase.Exchange, p.Phase.Compute, p.Phase.Reduce)
+	fmt.Fprintln(tw, "\npreconditioner ladder (serial baselines):")
+	fmt.Fprintln(tw, "precond\tCG its\tits ÷ jacobi\tserial [s]")
+	for _, r := range s.Rungs {
+		factor := "-"
+		if r.IterationFactor > 0 {
+			factor = fmt.Sprintf("%.1fx", r.IterationFactor)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.4f\n", r.Precond, r.SerialIterations, factor, r.SerialSeconds)
+	}
+	for _, r := range s.Rungs {
+		fmt.Fprintf(tw, "\n%s — serial reference: %.4f s, %d CG iterations\n", r.Precond, r.SerialSeconds, r.SerialIterations)
+		fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tCG its\tapplications\thalo words\tmsgs\texch [s]\tcomp [s]\tred [s]")
+		for _, p := range r.Points {
+			fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\n",
+				p.Parts, p.Workers, p.Seconds, p.Speedup, p.Iterations,
+				p.OperatorApplications, p.HaloWords, p.Messages,
+				p.Phase.Exchange, p.Phase.Compute, p.Phase.Reduce)
+		}
 	}
 	fmt.Fprintf(tw, "\nbit-identical to serial (histories, iterations, final state): %v\n", s.BitIdentical)
 	if s.GOMAXPROCS == 1 {

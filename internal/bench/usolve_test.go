@@ -26,46 +26,75 @@ func TestUsolveScalingSweep(t *testing.T) {
 	if !s.BitIdentical {
 		t.Error("sweep not bit-identical to serial reference")
 	}
-	if len(s.Points) != 3 {
-		t.Fatalf("%d sweep points, want 3", len(s.Points))
+	// The default sweep runs the whole ladder, jacobi first; the legacy
+	// top-level fields mirror the jacobi rung.
+	if len(s.Rungs) != 4 {
+		t.Fatalf("%d rungs, want the full 4-rung ladder", len(s.Rungs))
 	}
-	if s.SerialSeconds <= 0 || s.SerialIterations <= 0 {
-		t.Errorf("degenerate serial baseline: %.4fs, %d its", s.SerialSeconds, s.SerialIterations)
+	wantOrder := []string{"jacobi", "ssor", "chebyshev", "amg"}
+	for i, r := range s.Rungs {
+		if r.Precond != wantOrder[i] {
+			t.Errorf("rung %d is %q, want %q", i, r.Precond, wantOrder[i])
+		}
 	}
-	for i, p := range s.Points {
-		if p.Parts != 1<<i {
-			t.Errorf("point %d covers %d parts, want %d", i, p.Parts, 1<<i)
+	if s.SerialSeconds != s.Rungs[0].SerialSeconds || s.SerialIterations != s.Rungs[0].SerialIterations {
+		t.Error("top-level serial fields do not mirror the jacobi rung")
+	}
+	if len(s.Points) != len(s.Rungs[0].Points) {
+		t.Error("top-level points do not mirror the jacobi rung")
+	}
+	if f := s.Rungs[0].IterationFactor; f != 1.0 {
+		t.Errorf("jacobi's iteration factor is %g, want exactly 1", f)
+	}
+	amg := s.Rungs[3]
+	if amg.IterationFactor <= 1 {
+		t.Errorf("AMG's iteration factor %g does not beat jacobi", amg.IterationFactor)
+	}
+	for _, r := range s.Rungs {
+		if !r.BitIdentical {
+			t.Errorf("rung %s not bit-identical to its serial reference", r.Precond)
 		}
-		if p.Seconds <= 0 {
-			t.Errorf("degenerate sweep point %+v", p)
+		if len(r.Points) != 3 {
+			t.Fatalf("rung %s has %d sweep points, want 3", r.Precond, len(r.Points))
 		}
-		// The deterministic-reduction guarantee in its observable form: the
-		// partitioned Krylov iteration replays the serial one exactly.
-		if p.Iterations != s.SerialIterations {
-			t.Errorf("%d-part run took %d iterations, serial took %d", p.Parts, p.Iterations, s.SerialIterations)
+		if r.SerialSeconds <= 0 || r.SerialIterations <= 0 {
+			t.Errorf("rung %s: degenerate serial baseline: %.4fs, %d its", r.Precond, r.SerialSeconds, r.SerialIterations)
 		}
-		if p.OperatorApplications < p.Iterations {
-			t.Errorf("%d-part run reports %d applications for %d iterations",
-				p.Parts, p.OperatorApplications, p.Iterations)
-		}
-		// The part-resident guarantee: one scatter and one gather per time
-		// step, and a populated per-phase breakdown.
-		if p.Scatters != s.Steps || p.Gathers != s.Steps {
-			t.Errorf("%d-part run reports %d scatters / %d gathers for %d steps, want %d each",
-				p.Parts, p.Scatters, p.Gathers, s.Steps, s.Steps)
-		}
-		if p.Phase.Total() <= 0 || p.Phase.Total() > p.Seconds {
-			t.Errorf("%d-part run has an implausible phase breakdown %+v for %.4fs total",
-				p.Parts, p.Phase, p.Seconds)
-		}
-		if p.Parts == 1 {
-			if p.HaloWords != 0 || p.Messages != 0 {
-				t.Errorf("1-part run reports communication: %+v", p)
+		for i, p := range r.Points {
+			if p.Parts != 1<<i {
+				t.Errorf("rung %s point %d covers %d parts, want %d", r.Precond, i, p.Parts, 1<<i)
 			}
-			continue
-		}
-		if p.HaloWords == 0 || p.Messages == 0 {
-			t.Errorf("%d-part run reports no communication: %+v", p.Parts, p)
+			if p.Seconds <= 0 {
+				t.Errorf("rung %s: degenerate sweep point %+v", r.Precond, p)
+			}
+			// The deterministic-reduction guarantee in its observable form:
+			// the partitioned Krylov iteration replays the serial one exactly.
+			if p.Iterations != r.SerialIterations {
+				t.Errorf("rung %s: %d-part run took %d iterations, serial took %d", r.Precond, p.Parts, p.Iterations, r.SerialIterations)
+			}
+			if p.OperatorApplications < p.Iterations {
+				t.Errorf("rung %s: %d-part run reports %d applications for %d iterations",
+					r.Precond, p.Parts, p.OperatorApplications, p.Iterations)
+			}
+			// The part-resident guarantee: one scatter and one gather per time
+			// step, and a populated per-phase breakdown.
+			if p.Scatters != s.Steps || p.Gathers != s.Steps {
+				t.Errorf("rung %s: %d-part run reports %d scatters / %d gathers for %d steps, want %d each",
+					r.Precond, p.Parts, p.Scatters, p.Gathers, s.Steps, s.Steps)
+			}
+			if p.Phase.Total() <= 0 || p.Phase.Total() > p.Seconds {
+				t.Errorf("rung %s: %d-part run has an implausible phase breakdown %+v for %.4fs total",
+					r.Precond, p.Parts, p.Phase, p.Seconds)
+			}
+			if p.Parts == 1 {
+				if p.HaloWords != 0 || p.Messages != 0 {
+					t.Errorf("rung %s: 1-part run reports communication: %+v", r.Precond, p)
+				}
+				continue
+			}
+			if p.HaloWords == 0 || p.Messages == 0 {
+				t.Errorf("rung %s: %d-part run reports no communication: %+v", r.Precond, p.Parts, p)
+			}
 		}
 	}
 
@@ -73,7 +102,7 @@ func TestUsolveScalingSweep(t *testing.T) {
 	if err := s.Render(&tbl); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"Partitioned implicit solve", "CG its", "bit-identical to serial"} {
+	for _, want := range []string{"Partitioned implicit solve", "CG its", "bit-identical to serial", "preconditioner ladder", "amg", "chebyshev"} {
 		if !strings.Contains(tbl.String(), want) {
 			t.Errorf("render missing %q", want)
 		}
@@ -81,10 +110,31 @@ func TestUsolveScalingSweep(t *testing.T) {
 	if err := s.WriteJSON(&js); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"serial_seconds"`, `"serial_iterations"`, `"bit_identical": true`, `"gomaxprocs"`, `"num_cpu"`, `"operator_applications"`, `"phase_seconds"`, `"exchange"`, `"compute"`, `"reduce"`, `"scatters"`, `"gathers"`} {
+	for _, want := range []string{`"serial_seconds"`, `"serial_iterations"`, `"bit_identical": true`, `"gomaxprocs"`, `"num_cpu"`, `"operator_applications"`, `"phase_seconds"`, `"exchange"`, `"compute"`, `"reduce"`, `"scatters"`, `"gathers"`, `"rungs"`, `"precond"`, `"iteration_factor_vs_jacobi"`} {
 		if !strings.Contains(js.String(), want) {
 			t.Errorf("JSON missing %q", want)
 		}
+	}
+}
+
+func TestUsolveScalingSingleRung(t *testing.T) {
+	// A single-rung sweep without jacobi: iteration factors are unset, and
+	// the legacy fields mirror the only rung there is.
+	cfg := smallUsolveCfg()
+	cfg.Preconds = []string{"amg"}
+	cfg.Levels = []int{1}
+	s, err := RunUsolveScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rungs) != 1 || s.Rungs[0].Precond != "amg" {
+		t.Fatalf("rungs = %+v, want just amg", s.Rungs)
+	}
+	if s.Rungs[0].IterationFactor != 0 {
+		t.Errorf("iteration factor %g without a jacobi baseline", s.Rungs[0].IterationFactor)
+	}
+	if s.SerialIterations != s.Rungs[0].SerialIterations {
+		t.Error("legacy fields do not mirror the only rung")
 	}
 }
 
@@ -93,5 +143,13 @@ func TestUsolveScalingRejectsBadLevels(t *testing.T) {
 	cfg.Levels = []int{20}
 	if _, err := RunUsolveScaling(cfg); err == nil {
 		t.Error("20 bisection levels accepted")
+	}
+}
+
+func TestUsolveScalingRejectsUnknownPrecond(t *testing.T) {
+	cfg := smallUsolveCfg()
+	cfg.Preconds = []string{"ilu"}
+	if _, err := RunUsolveScaling(cfg); err == nil {
+		t.Error("unknown preconditioner accepted")
 	}
 }

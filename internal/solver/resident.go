@@ -48,7 +48,7 @@ const (
 // cgResident is preconditioned conjugate gradients with the whole working
 // set resident in the operator's layout.
 func cgResident(a VectorSpace, x, b []float64, opts Options) (*Stats, error) {
-	if err := a.SetPrecondDiag(opts.PrecondDiag); err != nil {
+	if err := installPrecond(a, opts); err != nil {
 		return nil, err
 	}
 	a.Reserve(cgLen)
@@ -102,7 +102,7 @@ func cgResident(a VectorSpace, x, b []float64, opts Options) (*Stats, error) {
 // bicgstabResident is BiCGStab with the whole working set resident in the
 // operator's layout.
 func bicgstabResident(a VectorSpace, x, b []float64, opts Options) (*Stats, error) {
-	if err := a.SetPrecondDiag(opts.PrecondDiag); err != nil {
+	if err := installPrecond(a, opts); err != nil {
 		return nil, err
 	}
 	a.Reserve(biLen)

@@ -18,6 +18,15 @@
 //
 // whose matrix is symmetric positive definite for frozen mobilities, making
 // CG applicable; BiCGStab is provided for the general case.
+//
+// Preconditioning is selected by Options.PrecondKind — a ladder of four
+// rungs (jacobi, ssor, chebyshev, amg). Jacobi needs only the matrix
+// diagonal (Options.PrecondDiag) and works with any Operator; the
+// operator-built rungs are constructed by the operator itself through the
+// PrecondFactory (slice path) and ResidentPrecond (VectorSpace path)
+// extension interfaces, which umesh's serial reference and PartOperator
+// implement. An explicit Options.Precond closure bypasses kind resolution
+// and forces the slice path.
 package solver
 
 import (
@@ -141,6 +150,15 @@ type Options struct {
 	// VectorSpace.SetPrecondDiag — elementwise z_i = (1/d_i)·r_i either way,
 	// so the two paths stay bit-identical. Ignored when Precond is set.
 	PrecondDiag []float64
+	// PrecondKind selects a rung of the preconditioner ladder (see the
+	// PrecondKind constants). The zero value keeps the pre-ladder behavior:
+	// Jacobi when PrecondDiag is set, identity otherwise. Operator-built
+	// rungs (SSOR, Chebyshev, AMG) require the operator to implement
+	// PrecondFactory (slice path) or ResidentPrecond (resident path); the
+	// two realizations apply identical arithmetic, so solves stay
+	// bit-identical across paths and part counts. Ignored when Precond is
+	// set.
+	PrecondKind PrecondKind
 }
 
 func (o Options) withDefaults() Options {
@@ -186,7 +204,7 @@ func CG(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	if vs, ok := a.(VectorSpace); ok && opts.Precond == nil {
 		return cgResident(vs, x, b, opts)
 	}
-	if err := resolvePrecond(&opts); err != nil {
+	if err := resolvePrecond(a, &opts); err != nil {
 		return nil, err
 	}
 	normB := normOf(a, b)
@@ -251,7 +269,7 @@ func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	if vs, ok := a.(VectorSpace); ok && opts.Precond == nil {
 		return bicgstabResident(vs, x, b, opts)
 	}
-	if err := resolvePrecond(&opts); err != nil {
+	if err := resolvePrecond(a, &opts); err != nil {
 		return nil, err
 	}
 	normB := normOf(a, b)
@@ -355,20 +373,6 @@ func JacobiPrecond(diag []float64) (func(z, r []float64), error) {
 			z[i] = inv[i] * r[i]
 		}
 	}, nil
-}
-
-// resolvePrecond turns Options.PrecondDiag into the slice-path Jacobi
-// closure when no explicit closure was given.
-func resolvePrecond(opts *Options) error {
-	if opts.Precond != nil || opts.PrecondDiag == nil {
-		return nil
-	}
-	pre, err := JacobiPrecond(opts.PrecondDiag)
-	if err != nil {
-		return err
-	}
-	opts.Precond = pre
-	return nil
 }
 
 func applyPrecond(opts Options, z, r []float64) {

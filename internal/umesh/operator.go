@@ -3,6 +3,7 @@ package umesh
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/physics"
@@ -53,6 +54,16 @@ type USystem struct {
 	Mobility float64
 	// Accum is the per-cell accumulation coefficient V·φ·ρref·cf/Δt.
 	Accum []float64
+
+	// preMu guards the memoized preconditioner setup state below: the
+	// two-level AMG hierarchy (aggregation + factored Galerkin coarse
+	// matrix, assembled once per system and reused by every solve and every
+	// transient step, serial and partitioned alike) and the Chebyshev
+	// spectral bound.
+	preMu   sync.Mutex
+	amgLvl  *amgLevel
+	amgErr  error
+	chebTop float64
 }
 
 // NewUSystem freezes the coefficients of a backward-Euler step of length dt
@@ -225,6 +236,15 @@ type opPart struct {
 	// for every part count.
 	blkLo, blkHi, blkOut []int32
 	comm                 CommCounters
+
+	// Preconditioner-resident state (SetPrecond): the matrix diagonal in
+	// the compact layout (SSOR's backward sweep), the Chebyshev direction
+	// vector, the scratch destination of in-preconditioner operator
+	// applications, and the part-local view of the AMG aggregates (global
+	// aggregate ids, member CSR over local indices, owned-cell → aggregate).
+	dLoc                              []float64
+	pd, pw                            []float64
+	aggID, aggPtr, aggCells, aggOfLoc []int32
 }
 
 // PhaseSeconds is the per-phase wall-clock breakdown of a part-resident
@@ -290,6 +310,23 @@ type PartOperator struct {
 	// usePre selects the resident Jacobi preconditioner; false means
 	// identity (SetPrecondDiag(nil)).
 	usePre bool
+	// preKind is the installed preconditioner ladder rung (SetPrecond);
+	// PrecondVec/PrecondDotVec dispatch on it. The default covers the
+	// Jacobi/identity path through usePre.
+	preKind solver.PrecondKind
+	// applyScratch redirects the current application sweep's destination to
+	// each part's pw scratch — the in-preconditioner applications (Chebyshev
+	// and AMG run A·z on scratch without burning a solver vector).
+	applyScratch bool
+	// aligned records that the partition's reduction blocks are the global
+	// canonical blocks (compileReduction) — the precondition for the
+	// block-structured rungs.
+	aligned bool
+	// cheb holds the installed Chebyshev coefficients; amg the installed
+	// level with its shared coarse vectors.
+	cheb             chebCoeffs
+	amg              *amgLevel
+	coarseR, coarseE []float64
 
 	nVecs int
 
@@ -298,6 +335,8 @@ type PartOperator struct {
 	fnApplySend, fnApplyRecv                         func(int) error
 	fnDot, fnDot2, fnAxpy, fnAxpy2, fnXpby, fnCopy   func(int) error
 	fnCGStep, fnBicgP, fnSubAxpyDot, fnPre, fnPreDot func(int) error
+	fnSetDiag, fnSSOR, fnChebInit, fnChebStep        func(int) error
+	fnAMGPre, fnAMGRestrict, fnAMGProlong, fnAMGPost func(int) error
 
 	// Applications counts operator applications (engine runs of the solve —
 	// the §3 "Algorithm 1 applied N times" pattern, driven by Krylov).
@@ -362,6 +401,14 @@ func NewPartOperator(e *PartEngine, sys *USystem) (*PartOperator, error) {
 	o.fnSubAxpyDot = o.phaseSubAxpyDot
 	o.fnPre = o.phasePre
 	o.fnPreDot = o.phasePreDot
+	o.fnSetDiag = o.phaseSetDiag
+	o.fnSSOR = o.phaseSSOR
+	o.fnChebInit = o.phaseChebInit
+	o.fnChebStep = o.phaseChebStep
+	o.fnAMGPre = o.phaseAMGPre
+	o.fnAMGRestrict = o.phaseAMGRestrict
+	o.fnAMGProlong = o.phaseAMGProlong
+	o.fnAMGPost = o.phaseAMGPost
 	return o, nil
 }
 
@@ -404,6 +451,7 @@ func (o *PartOperator) compileReduction() {
 			}
 		}
 	}
+	o.aligned = aligned
 	if !aligned {
 		o.blockSums = make([]float64, p.NumParts)
 		o.blockSums2 = make([]float64, p.NumParts)
@@ -671,6 +719,7 @@ func (o *PartOperator) phaseStore(shard int) error {
 // caller mutating the diag contents between solves can never leave a stale
 // inverse behind; the cost is one O(owned) phase per solve.
 func (o *PartOperator) SetPrecondDiag(diag []float64) error {
+	o.preKind = solver.PrecondDefault
 	if diag == nil {
 		o.usePre = false
 		return nil
@@ -788,16 +837,27 @@ func (o *PartOperator) fluxRowsSeqDot(ps *partState, op *opPart, x, dst, w []flo
 func (o *PartOperator) phaseApplySend(shard int) error {
 	ps, op := o.e.parts[shard], o.parts[shard]
 	x := op.vecs[o.v2]
+	dst := o.applyDst(op)
 	o.packSend(ps, op, x)
 	switch {
 	case len(ps.frontier) > 0:
-		o.fluxRowsLocal(ps, op, x, op.vecs[o.v1], ps.interior)
+		o.fluxRowsLocal(ps, op, x, dst, ps.interior)
 	case o.applyDot:
-		o.fluxRowsSeqDot(ps, op, x, op.vecs[o.v1], op.vecs[o.v3])
+		o.fluxRowsSeqDot(ps, op, x, dst, op.vecs[o.v3])
 	default:
-		o.fluxRowsSeq(ps, op, x, op.vecs[o.v1])
+		o.fluxRowsSeq(ps, op, x, dst)
 	}
 	return nil
+}
+
+// applyDst resolves the current application sweep's destination: the staged
+// resident vector, or the part's preconditioner scratch while a rung's
+// internal application is running (applyScratch).
+func (o *PartOperator) applyDst(op *opPart) []float64 {
+	if o.applyScratch {
+		return op.pw
+	}
+	return op.vecs[o.v1]
 }
 
 // phaseApplyRecv scatters the received halo blocks into the input vector,
@@ -812,7 +872,7 @@ func (o *PartOperator) phaseApplyRecv(shard int) error {
 	if len(ps.frontier) == 0 {
 		return nil // everything (dot included) already ran in the send phase
 	}
-	dst := op.vecs[o.v1]
+	dst := o.applyDst(op)
 	o.fluxRowsLocal(ps, op, x, dst, ps.frontier)
 	if o.applyDot {
 		w := op.vecs[o.v3]
@@ -995,10 +1055,22 @@ func (o *PartOperator) phaseBicgP(shard int) error {
 	return nil
 }
 
-// PrecondVec computes z = M⁻¹·r.
+// PrecondVec computes z = M⁻¹·r with the installed preconditioner: the
+// Jacobi/identity phase by default, or the SetPrecond rung's fused phase
+// sequence.
 func (o *PartOperator) PrecondVec(z, r solver.Vec) {
-	o.v1, o.v2 = int(z), int(r)
-	_ = o.run(o.fnPre, &o.Phase.Reduce)
+	switch o.preKind {
+	case solver.PrecondSSOR:
+		o.v1, o.v2 = int(z), int(r)
+		_ = o.run(o.fnSSOR, &o.Phase.Reduce)
+	case solver.PrecondChebyshev:
+		o.chebApplyVec(z, r)
+	case solver.PrecondAMG:
+		o.amgApplyVec(z, r)
+	default:
+		o.v1, o.v2 = int(z), int(r)
+		_ = o.run(o.fnPre, &o.Phase.Reduce)
+	}
 }
 
 func (o *PartOperator) phasePre(shard int) error {
@@ -1015,8 +1087,16 @@ func (o *PartOperator) phasePre(shard int) error {
 	return nil
 }
 
-// PrecondDotVec computes z = M⁻¹·r and returns ⟨r, z⟩, fused.
+// PrecondDotVec computes z = M⁻¹·r and returns ⟨r, z⟩. The Jacobi/identity
+// default fuses application and reduction into one phase; the ladder rungs
+// run their phase sequence and take the canonical blocked DotVec — the same
+// ⟨r, z⟩ summation tree the slice path's separate reduction produces.
 func (o *PartOperator) PrecondDotVec(z, r solver.Vec) float64 {
+	switch o.preKind {
+	case solver.PrecondSSOR, solver.PrecondChebyshev, solver.PrecondAMG:
+		o.PrecondVec(z, r)
+		return o.DotVec(r, z)
+	}
 	o.v1, o.v2 = int(z), int(r)
 	_ = o.run(o.fnPreDot, &o.Phase.Reduce)
 	return o.fold()
@@ -1071,9 +1151,11 @@ func NewSystemOperator(u *Mesh, p *Partition, fl physics.Fluid, sys *USystem, wo
 
 // compile-time interface checks
 var (
-	_ solver.Operator    = (*UHostOperator)(nil)
-	_ solver.Operator    = (*PartOperator)(nil)
-	_ solver.Reducer     = (*PartOperator)(nil)
-	_ solver.VectorSpace = (*PartOperator)(nil)
-	_ solver.Reducer     = (*serialReference)(nil)
+	_ solver.Operator        = (*UHostOperator)(nil)
+	_ solver.Operator        = (*PartOperator)(nil)
+	_ solver.Reducer         = (*PartOperator)(nil)
+	_ solver.VectorSpace     = (*PartOperator)(nil)
+	_ solver.ResidentPrecond = (*PartOperator)(nil)
+	_ solver.Reducer         = (*serialReference)(nil)
+	_ solver.PrecondFactory  = (*serialReference)(nil)
 )

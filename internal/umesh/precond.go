@@ -1,0 +1,854 @@
+package umesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/solver"
+)
+
+// This file is the preconditioner ladder on the unstructured implicit-solve
+// path: three rungs above Jacobi, each realized twice with identical
+// arithmetic — as a slice closure on the serial reference operator
+// (solver.PrecondFactory) and as fused resident phases on PartOperator
+// (solver.ResidentPrecond) — so golden transient trajectories stay
+// bit-identical between the serial solve and every partitioned
+// configuration.
+//
+//   - SSOR (symmetric Gauss–Seidel, ω = 1) restricted to the canonical
+//     reduction blocks: couplings crossing a block boundary are dropped from
+//     the preconditioner (the matrix itself is untouched), which keeps M
+//     symmetric positive definite, makes every block's triangular sweep an
+//     independent unit of work, and — because an RCB part owns whole
+//     canonical blocks — makes the partitioned application one local phase
+//     with no halo exchange and no part-count dependence.
+//
+//   - Chebyshev: a fixed-degree polynomial of the Jacobi-scaled operator
+//     D⁻¹A on the interval [b/30, b], where b ≥ λmax(D⁻¹A) is the Gershgorin
+//     row-sum bound. The application is chebDegree−1 operator applications
+//     plus elementwise updates — no triangular solves, so the resident form
+//     reuses the fused exchange-overlapped application phases on a scratch
+//     destination.
+//
+//   - Two-level aggregation AMG: greedy distance-2 face-adjacency
+//     aggregation walked in canonical order and bounded by the canonical
+//     blocks (an aggregate never crosses a block, hence never a part), a
+//     Galerkin coarse matrix assembled once per USystem into banded storage
+//     and Cholesky-factored (the aggregate numbering follows the canonical
+//     order, so coarse couplings stay near the diagonal), and a V-cycle of
+//     weighted-Jacobi smoothing around the exact coarse correction. The
+//     coarse residual restriction is a per-part disjoint write into one
+//     shared coarse vector (the "coarse-level halo plan" degenerates to
+//     nothing precisely because aggregates are block-bounded), and the
+//     coarse triangular solves run host-serial — the identical code and data
+//     on the serial and partitioned paths.
+//
+// Bit-identity discipline, as everywhere on this path: both realizations of
+// a rung evaluate the same floating-point expressions in the same order, and
+// every reduction (including the ladder's ⟨r, z⟩) uses the canonical blocked
+// summation tree.
+
+const (
+	// ssorOmega documents the SSOR relaxation factor: the rung is symmetric
+	// Gauss–Seidel, SSOR at ω = 1, so no relaxation scaling appears in the
+	// sweeps.
+	ssorOmega = 1.0
+	// chebDegree is the Chebyshev iteration count per application: the rung
+	// applies a degree-chebDegree polynomial costing chebDegree−1 operator
+	// applications.
+	chebDegree = 4
+	// chebLoFraction sets the lower end of the Chebyshev interval, b/chebLoFraction
+	// — the standard smoothing choice that targets the upper part of the
+	// spectrum while staying positive on all of it.
+	chebLoFraction = 30.0
+	// amgOmega is the weighted-Jacobi smoothing factor of the AMG V-cycle.
+	amgOmega = 2.0 / 3.0
+)
+
+// chebCoeffs holds the Chebyshev interval coefficients for [b/chebLoFraction, b]:
+// center θ, half-width δ, σ = θ/δ, and the derived starting values. Both
+// realizations compute the iteration scalars from one shared instance, so
+// the per-step coefficients are identical floats.
+type chebCoeffs struct {
+	theta, delta, sigma float64
+	invTheta, rho0      float64
+}
+
+func newChebCoeffs(b float64) chebCoeffs {
+	a := b / chebLoFraction
+	theta := (b + a) / 2
+	delta := (b - a) / 2
+	sigma := theta / delta
+	return chebCoeffs{theta: theta, delta: delta, sigma: sigma, invTheta: 1 / theta, rho0: 1 / sigma}
+}
+
+// chebUpper returns the memoized Gershgorin upper bound of the Jacobi-scaled
+// operator D⁻¹A: max over rows of 1 + (Σ Υλ)/d. It is computed host-serially
+// from the system once, so serial and partitioned solves share the exact
+// scalar.
+func (s *USystem) chebUpper() float64 {
+	s.preMu.Lock()
+	defer s.preMu.Unlock()
+	if s.chebTop == 0 {
+		lam := s.Mobility
+		top := 1.0
+		for c := 0; c < s.U.NumCells; c++ {
+			_, trans := s.U.halfFaces(c)
+			off := 0.0
+			for _, t := range trans {
+				off += t * lam
+			}
+			if v := 1 + off/(s.Accum[c]+off); v > top {
+				top = v
+			}
+		}
+		s.chebTop = top
+	}
+	return s.chebTop
+}
+
+// ---------------------------------------------------------------------------
+// Two-level aggregation AMG: hierarchy construction (once per USystem)
+// ---------------------------------------------------------------------------
+
+// amgLevel is the two-level AMG hierarchy of one USystem: the cell →
+// aggregate map, the aggregate member lists in canonical order, and the
+// banded Cholesky factor of the Galerkin coarse matrix. It is assembled once
+// per system (USystem.amg) and shared by the serial closure and every
+// PartOperator, so all paths correct through literally the same factor.
+type amgLevel struct {
+	nAgg int
+	// bw is the coarse matrix bandwidth |I−J| over coarse couplings —
+	// aggregates are numbered in canonical (spatially local) order, which
+	// keeps it small.
+	bw int
+	// aggOf maps cell → aggregate; aggStart/aggCells list each aggregate's
+	// member cells in canonical order (the shared restriction summation
+	// order).
+	aggOf              []int32
+	aggStart, aggCells []int32
+	// pos is the canonical position of each cell (the inverse of
+	// CanonicalOrder) — kept for the part-local aggregate compilation.
+	pos []int32
+	// fac is the banded lower Cholesky factor, row-major n×(bw+1):
+	// fac[i*(bw+1) + (j−i+bw)] holds L[i][j] for j ∈ [i−bw, i].
+	fac []float64
+}
+
+// amg returns the system's memoized two-level hierarchy, building and
+// factoring it on first use.
+func (s *USystem) amg() (*amgLevel, error) {
+	s.preMu.Lock()
+	defer s.preMu.Unlock()
+	if s.amgLvl == nil && s.amgErr == nil {
+		s.amgLvl, s.amgErr = buildAMGLevel(s)
+	}
+	return s.amgLvl, s.amgErr
+}
+
+// buildAMGLevel aggregates the mesh and assembles + factors the Galerkin
+// coarse matrix.
+func buildAMGLevel(s *USystem) (*amgLevel, error) {
+	u := s.U
+	order := CanonicalOrder(u)
+	blocks := canonicalBlocks(u.NumCells)
+	lvl := &amgLevel{pos: make([]int32, u.NumCells)}
+	for k, c := range order {
+		lvl.pos[c] = int32(k)
+	}
+
+	// Greedy distance-2 aggregation in canonical order, bounded by the
+	// canonical blocks: each unassigned seed absorbs its unassigned
+	// in-block neighbors (ring 1) and their unassigned in-block neighbors
+	// (ring 2). Determinism comes from the fixed seed order (canonical) and
+	// the fixed adjacency order of each ring walk.
+	lvl.aggOf = make([]int32, u.NumCells)
+	for i := range lvl.aggOf {
+		lvl.aggOf[i] = -1
+	}
+	var ring []int32
+	nAgg := 0
+	for bi := range blocks {
+		lo, hi := int(blocks[bi]), len(order)
+		if bi+1 < len(blocks) {
+			hi = int(blocks[bi+1])
+		}
+		inBlock := func(c int32) bool {
+			p := int(lvl.pos[c])
+			return p >= lo && p < hi
+		}
+		for k := lo; k < hi; k++ {
+			c := order[k]
+			if lvl.aggOf[c] >= 0 {
+				continue
+			}
+			aid := int32(nAgg)
+			nAgg++
+			lvl.aggOf[c] = aid
+			ring = ring[:0]
+			nbrs, _ := u.halfFaces(int(c))
+			for _, nb := range nbrs {
+				if lvl.aggOf[nb] < 0 && inBlock(nb) {
+					lvl.aggOf[nb] = aid
+					ring = append(ring, nb)
+				}
+			}
+			for _, m := range ring {
+				nbrs2, _ := u.halfFaces(int(m))
+				for _, nb := range nbrs2 {
+					if lvl.aggOf[nb] < 0 && inBlock(nb) {
+						lvl.aggOf[nb] = aid
+					}
+				}
+			}
+		}
+	}
+	lvl.nAgg = nAgg
+
+	// Renumber aggregates by reverse Cuthill–McKee on the coarse face graph.
+	// Raw canonical numbering has O(n) bandwidth — the first RCB bisection
+	// plane separates spatially adjacent aggregates by half the numbering —
+	// which would make the banded factor effectively dense. RCM brings the
+	// band down to the coarse graph's natural width; the permutation is
+	// deterministic (degree then id tie-breaking, computed host-serial once)
+	// and invisible to bit-identity: every path indexes the coarse vectors
+	// through the same shared level.
+	perm := coarseRCM(u, lvl.aggOf, nAgg)
+	for c := range lvl.aggOf {
+		lvl.aggOf[c] = perm[lvl.aggOf[c]]
+	}
+
+	// Member CSR in canonical order: one canonical traversal appends each
+	// cell to its aggregate, so every member list is canonically sorted.
+	lvl.aggStart = make([]int32, nAgg+1)
+	for _, c := range order {
+		lvl.aggStart[lvl.aggOf[c]+1]++
+	}
+	for a := 0; a < nAgg; a++ {
+		lvl.aggStart[a+1] += lvl.aggStart[a]
+	}
+	lvl.aggCells = make([]int32, u.NumCells)
+	cursor := append([]int32(nil), lvl.aggStart[:nAgg]...)
+	for _, c := range order {
+		a := lvl.aggOf[c]
+		lvl.aggCells[cursor[a]] = c
+		cursor[a]++
+	}
+
+	// Coarse bandwidth from the face graph.
+	for _, f := range u.Faces {
+		d := int(lvl.aggOf[f.A] - lvl.aggOf[f.B])
+		if d < 0 {
+			d = -d
+		}
+		if d > lvl.bw {
+			lvl.bw = d
+		}
+	}
+
+	// Galerkin assembly into banded lower-symmetric storage: per cell the
+	// accumulation lands on the aggregate diagonal; per cross-aggregate face
+	// the conductance adds to both diagonals and subtracts from the coupling
+	// (a face interior to an aggregate contributes exactly zero and is
+	// skipped). Assembly order is fixed (cells, then faces), and the level is
+	// shared, so the factor is one object for all paths.
+	w := lvl.bw + 1
+	lvl.fac = make([]float64, nAgg*w)
+	at := func(i, j int32) *float64 { return &lvl.fac[int(i)*w+int(j-i)+lvl.bw] }
+	for c := 0; c < u.NumCells; c++ {
+		a := lvl.aggOf[c]
+		*at(a, a) += s.Accum[c]
+	}
+	lam := s.Mobility
+	for _, f := range u.Faces {
+		ia, ib := lvl.aggOf[f.A], lvl.aggOf[f.B]
+		if ia == ib {
+			continue
+		}
+		t := f.Trans * lam
+		*at(ia, ia) += t
+		*at(ib, ib) += t
+		if ia < ib {
+			ia, ib = ib, ia
+		}
+		*at(ia, ib) -= t
+	}
+
+	// In-place banded Cholesky (no pivoting — the Galerkin matrix of an SPD
+	// system under a full-rank piecewise-constant prolongation is SPD).
+	for i := 0; i < nAgg; i++ {
+		jmin := i - lvl.bw
+		if jmin < 0 {
+			jmin = 0
+		}
+		for j := jmin; j <= i; j++ {
+			acc := lvl.fac[i*w+j-i+lvl.bw]
+			for k := jmin; k < j; k++ {
+				acc -= lvl.fac[i*w+k-i+lvl.bw] * lvl.fac[j*w+k-j+lvl.bw]
+			}
+			if j < i {
+				lvl.fac[i*w+j-i+lvl.bw] = acc / lvl.fac[j*w+lvl.bw]
+			} else {
+				if acc <= 0 || math.IsNaN(acc) {
+					return nil, fmt.Errorf("umesh: AMG coarse matrix lost positive definiteness at aggregate %d (pivot %g)", i, acc)
+				}
+				lvl.fac[i*w+lvl.bw] = math.Sqrt(acc)
+			}
+		}
+	}
+	return lvl, nil
+}
+
+// coarseRCM computes a reverse Cuthill–McKee permutation of the aggregate
+// graph: perm[old] = new. BFS from a minimum-degree seed, neighbors visited
+// in (degree, id) order, final order reversed — the classic bandwidth
+// reducer, deterministic by construction.
+func coarseRCM(u *Mesh, aggOf []int32, nAgg int) []int32 {
+	adj := make([][]int32, nAgg)
+	seen := make(map[int64]bool, len(u.Faces))
+	for _, f := range u.Faces {
+		ia, ib := aggOf[f.A], aggOf[f.B]
+		if ia == ib {
+			continue
+		}
+		key := int64(ia)*int64(nAgg) + int64(ib)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		seen[int64(ib)*int64(nAgg)+int64(ia)] = true
+		adj[ia] = append(adj[ia], ib)
+		adj[ib] = append(adj[ib], ia)
+	}
+	byDegreeThenID := func(list []int32) {
+		sort.Slice(list, func(x, y int) bool {
+			dx, dy := len(adj[list[x]]), len(adj[list[y]])
+			if dx != dy {
+				return dx < dy
+			}
+			return list[x] < list[y]
+		})
+	}
+	for a := range adj {
+		byDegreeThenID(adj[a])
+	}
+	visited := make([]bool, nAgg)
+	rcmOrder := make([]int32, 0, nAgg)
+	for len(rcmOrder) < nAgg {
+		// Seed each component at its minimum-degree (then minimum-id)
+		// unvisited aggregate.
+		seed := int32(-1)
+		for a := int32(0); a < int32(nAgg); a++ {
+			if visited[a] {
+				continue
+			}
+			if seed < 0 || len(adj[a]) < len(adj[seed]) {
+				seed = a
+			}
+		}
+		visited[seed] = true
+		queue := []int32{seed}
+		for len(queue) > 0 {
+			a := queue[0]
+			queue = queue[1:]
+			rcmOrder = append(rcmOrder, a)
+			for _, nb := range adj[a] {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	perm := make([]int32, nAgg)
+	for k, a := range rcmOrder {
+		perm[a] = int32(nAgg - 1 - k)
+	}
+	return perm
+}
+
+// solveCoarse solves the factored coarse system L·Lᵀ·ec = rc by banded
+// forward and backward substitution — host-serial and identical on the
+// serial and partitioned paths.
+func (l *amgLevel) solveCoarse(rc, ec []float64) {
+	n, bw := l.nAgg, l.bw
+	w := bw + 1
+	fac := l.fac
+	for i := 0; i < n; i++ {
+		acc := rc[i]
+		jmin := i - bw
+		if jmin < 0 {
+			jmin = 0
+		}
+		for j := jmin; j < i; j++ {
+			acc -= fac[i*w+j-i+bw] * ec[j]
+		}
+		ec[i] = acc / fac[i*w+bw]
+	}
+	for i := n - 1; i >= 0; i-- {
+		acc := ec[i]
+		jmax := i + bw
+		if jmax > n-1 {
+			jmax = n - 1
+		}
+		for j := i + 1; j <= jmax; j++ {
+			acc -= fac[j*w+i-j+bw] * ec[j]
+		}
+		ec[i] = acc / fac[i*w+bw]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Serial realizations: solver.PrecondFactory on serialReference
+// ---------------------------------------------------------------------------
+
+// MakePrecond implements solver.PrecondFactory: it builds the requested
+// ladder rung as a slice closure whose arithmetic is, expression for
+// expression, the partitioned resident realization's — what extends the
+// serial↔partitioned bit-identity guarantee to every rung.
+func (s *serialReference) MakePrecond(kind solver.PrecondKind, diag []float64) (func(z, r []float64), error) {
+	switch kind {
+	case solver.PrecondDefault, solver.PrecondJacobi:
+		if diag == nil {
+			if kind == solver.PrecondJacobi {
+				return nil, fmt.Errorf("umesh: jacobi preconditioning needs the matrix diagonal")
+			}
+			return func(z, r []float64) { copy(z, r) }, nil
+		}
+		return solver.JacobiPrecond(diag)
+	case solver.PrecondSSOR, solver.PrecondChebyshev, solver.PrecondAMG:
+	default:
+		return nil, fmt.Errorf("umesh: unknown preconditioner kind %q", kind)
+	}
+	if diag == nil {
+		return nil, fmt.Errorf("umesh: %q preconditioning needs the matrix diagonal", kind)
+	}
+	if len(diag) != s.Sys.U.NumCells {
+		return nil, fmt.Errorf("umesh: preconditioner diagonal covers %d cells, mesh has %d", len(diag), s.Sys.U.NumCells)
+	}
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		if d == 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("umesh: zero/NaN diagonal entry at %d", i)
+		}
+		inv[i] = 1 / d
+	}
+	switch kind {
+	case solver.PrecondSSOR:
+		return s.ssorPrecond(inv, diag), nil
+	case solver.PrecondChebyshev:
+		return s.chebPrecond(inv), nil
+	default: // solver.PrecondAMG
+		lvl, err := s.Sys.amg()
+		if err != nil {
+			return nil, err
+		}
+		return s.amgPrecond(inv, lvl), nil
+	}
+}
+
+// ssorPrecond builds the serial block-SSOR closure: per canonical block, a
+// forward Gauss–Seidel sweep in canonical order, then a backward sweep with
+// the diagonal scaling fused in — M = (D+L_B)·D⁻¹·(D+L_Bᵀ) with L_B the
+// in-block strictly-lower couplings. The partitioned phaseSSOR performs the
+// same per-block sweeps (compact index = canonical position − part start),
+// so the two agree bitwise for every part count.
+func (s *serialReference) ssorPrecond(inv, d []float64) func(z, r []float64) {
+	u := s.Sys.U
+	lam := s.Sys.Mobility
+	order, blocks := s.order, s.blocks
+	pos := make([]int32, u.NumCells)
+	for k, c := range order {
+		pos[c] = int32(k)
+	}
+	return func(z, r []float64) {
+		for bi := range blocks {
+			lo, hi := int(blocks[bi]), len(order)
+			if bi+1 < len(blocks) {
+				hi = int(blocks[bi+1])
+			}
+			for k := lo; k < hi; k++ {
+				c := order[k]
+				nbrs, trans := u.halfFaces(int(c))
+				acc := 0.0
+				for idx, nb := range nbrs {
+					if p := int(pos[nb]); p >= lo && p < k {
+						acc += trans[idx] * lam * z[nb]
+					}
+				}
+				z[c] = (r[c] + acc) * inv[c]
+			}
+			for k := hi - 1; k >= lo; k-- {
+				c := order[k]
+				nbrs, trans := u.halfFaces(int(c))
+				acc := 0.0
+				for idx, nb := range nbrs {
+					if p := int(pos[nb]); p > k && p < hi {
+						acc += trans[idx] * lam * z[nb]
+					}
+				}
+				z[c] = (d[c]*z[c] + acc) * inv[c]
+			}
+		}
+	}
+}
+
+// chebPrecond builds the serial Chebyshev closure: the standard Chebyshev
+// iteration on the Jacobi-scaled operator over [b/30, b], applied as
+// chebDegree−1 host operator applications with elementwise updates. The
+// iteration scalars are computed with the same expressions the partitioned
+// driver uses, from the same shared coefficients.
+func (s *serialReference) chebPrecond(inv []float64) func(z, r []float64) {
+	cf := newChebCoeffs(s.Sys.chebUpper())
+	n := s.Sys.U.NumCells
+	w := make([]float64, n)
+	dvec := make([]float64, n)
+	h := s.UHostOperator
+	return func(z, r []float64) {
+		for i := 0; i < n; i++ {
+			zi := (inv[i] * r[i]) * cf.invTheta
+			z[i] = zi
+			dvec[i] = zi
+		}
+		rhoPrev := cf.rho0
+		for k := 1; k < chebDegree; k++ {
+			_ = h.Apply(w, z)
+			rho := 1 / (2*cf.sigma - rhoPrev)
+			c1, c2 := rho*rhoPrev, 2*rho/cf.delta
+			for i := 0; i < n; i++ {
+				di := c1*dvec[i] + c2*(inv[i]*(r[i]-w[i]))
+				dvec[i] = di
+				z[i] += di
+			}
+			rhoPrev = rho
+		}
+	}
+}
+
+// amgPrecond builds the serial AMG V-cycle closure over the shared level:
+// weighted-Jacobi pre-smooth, Galerkin coarse correction through the banded
+// factor, weighted-Jacobi post-smooth. Restriction sums members in canonical
+// order — the same order the per-part restriction phases use.
+func (s *serialReference) amgPrecond(inv []float64, lvl *amgLevel) func(z, r []float64) {
+	n := s.Sys.U.NumCells
+	w := make([]float64, n)
+	rc := make([]float64, lvl.nAgg)
+	ec := make([]float64, lvl.nAgg)
+	h := s.UHostOperator
+	aggOf := lvl.aggOf
+	return func(z, r []float64) {
+		for i := 0; i < n; i++ {
+			z[i] = amgOmega * (inv[i] * r[i])
+		}
+		_ = h.Apply(w, z)
+		for a := 0; a < lvl.nAgg; a++ {
+			acc := 0.0
+			for k := lvl.aggStart[a]; k < lvl.aggStart[a+1]; k++ {
+				c := lvl.aggCells[k]
+				acc += r[c] - w[c]
+			}
+			rc[a] = acc
+		}
+		lvl.solveCoarse(rc, ec)
+		for i := 0; i < n; i++ {
+			z[i] += ec[aggOf[i]]
+		}
+		_ = h.Apply(w, z)
+		for i := 0; i < n; i++ {
+			z[i] += amgOmega * (inv[i] * (r[i] - w[i]))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Resident realizations: solver.ResidentPrecond on PartOperator
+// ---------------------------------------------------------------------------
+
+// SetPrecond implements solver.ResidentPrecond: it installs a ladder rung as
+// the operator's resident preconditioner. Jacobi and the default route
+// through SetPrecondDiag; the block-structured rungs additionally require
+// the partition's reduction blocks to be the global canonical blocks
+// (canonical RCB of at most reductionDepth levels), which is what makes
+// their sweeps part-count independent. Installation loads the resident
+// diagonal, sizes the per-part scratch, and — for AMG — compiles the
+// part-local aggregate views over the system's shared (memoized) level.
+func (o *PartOperator) SetPrecond(kind solver.PrecondKind, diag []float64) error {
+	switch kind {
+	case solver.PrecondDefault, solver.PrecondJacobi:
+		if kind == solver.PrecondJacobi && diag == nil {
+			return fmt.Errorf("umesh: jacobi preconditioning needs the matrix diagonal")
+		}
+		return o.SetPrecondDiag(diag)
+	case solver.PrecondSSOR, solver.PrecondChebyshev, solver.PrecondAMG:
+	default:
+		return fmt.Errorf("umesh: unknown preconditioner kind %q", kind)
+	}
+	if diag == nil {
+		return fmt.Errorf("umesh: %q preconditioning needs the matrix diagonal", kind)
+	}
+	if !o.aligned {
+		return fmt.Errorf("umesh: %q preconditioning needs a canonical RCB partition of at most %d levels — the canonical blocks are its units of work", kind, reductionDepth)
+	}
+	if err := o.SetPrecondDiag(diag); err != nil {
+		return err
+	}
+	for me, op := range o.parts {
+		n := o.e.parts[me].nOwned
+		if len(op.dLoc) < n {
+			op.dLoc = make([]float64, n)
+		}
+	}
+	o.ga = diag
+	_ = o.run(o.fnSetDiag, &o.Phase.Reduce)
+	switch kind {
+	case solver.PrecondChebyshev:
+		o.cheb = newChebCoeffs(o.Sys.chebUpper())
+		for me, op := range o.parts {
+			n := o.e.parts[me].nOwned
+			if len(op.pd) < n {
+				op.pd = make([]float64, n)
+			}
+			if len(op.pw) < n {
+				op.pw = make([]float64, n)
+			}
+		}
+	case solver.PrecondAMG:
+		lvl, err := o.Sys.amg()
+		if err != nil {
+			return err
+		}
+		for me, op := range o.parts {
+			n := o.e.parts[me].nOwned
+			if len(op.pw) < n {
+				op.pw = make([]float64, n)
+			}
+		}
+		if o.amg != lvl {
+			if err := o.compileAMG(lvl); err != nil {
+				return err
+			}
+		}
+	}
+	o.preKind = kind
+	return nil
+}
+
+// phaseSetDiag loads the matrix diagonal into each part's compact layout.
+func (o *PartOperator) phaseSetDiag(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	for i := 0; i < ps.nOwned; i++ {
+		op.dLoc[i] = o.ga[ps.globalOf[i]]
+	}
+	return nil
+}
+
+// compileAMG builds the part-local views of a shared AMG level: each part's
+// aggregate id list, member CSR in local compact indices (member canonical
+// order is preserved — compact index = canonical position − part start), and
+// the owned-cell → aggregate map for prolongation. Aggregates are
+// block-bounded and parts own whole blocks, so every aggregate lands wholly
+// in one part and restriction is a disjoint write into the shared coarse
+// vector.
+func (o *PartOperator) compileAMG(lvl *amgLevel) error {
+	p := o.e.part
+	starts := make([]int32, p.NumParts+1)
+	for me, owned := range p.Owned {
+		starts[me+1] = starts[me] + int32(len(owned))
+	}
+	for _, op := range o.parts {
+		op.aggID = op.aggID[:0]
+		op.aggPtr = op.aggPtr[:0]
+		op.aggCells = op.aggCells[:0]
+	}
+	for a := int32(0); a < int32(lvl.nAgg); a++ {
+		c0 := lvl.aggCells[lvl.aggStart[a]]
+		me := p.Part[c0]
+		op := o.parts[me]
+		op.aggID = append(op.aggID, a)
+		op.aggPtr = append(op.aggPtr, int32(len(op.aggCells)))
+		for k := lvl.aggStart[a]; k < lvl.aggStart[a+1]; k++ {
+			g := lvl.aggCells[k]
+			if p.Part[g] != me {
+				return fmt.Errorf("umesh: AMG aggregate %d spans parts %d and %d — aggregation must stay block-bounded", a, me, p.Part[g])
+			}
+			op.aggCells = append(op.aggCells, lvl.pos[g]-starts[me])
+		}
+	}
+	for me, op := range o.parts {
+		op.aggPtr = append(op.aggPtr, int32(len(op.aggCells)))
+		ps := o.e.parts[me]
+		if len(op.aggOfLoc) < ps.nOwned {
+			op.aggOfLoc = make([]int32, ps.nOwned)
+		}
+		for i := 0; i < ps.nOwned; i++ {
+			op.aggOfLoc[i] = lvl.aggOf[ps.globalOf[i]]
+		}
+	}
+	if len(o.coarseR) < lvl.nAgg {
+		o.coarseR = make([]float64, lvl.nAgg)
+		o.coarseE = make([]float64, lvl.nAgg)
+	}
+	o.amg = lvl
+	return nil
+}
+
+// phaseSSOR is the resident block-SSOR application: per owned canonical
+// block, the forward sweep, then the backward sweep with the diagonal
+// scaling fused in. Couplings outside the block — including every halo
+// neighbor — are excluded, so the phase reads only part-local data and needs
+// no exchange; the sweeps are the serial closure's, expression for
+// expression, over the same blocks.
+func (o *PartOperator) phaseSSOR(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	inv, d := op.invDiag, op.dLoc
+	lam := o.Sys.Mobility
+	rows := ps.rows
+	for b := range op.blkLo {
+		lo, hi := op.blkLo[b], op.blkHi[b]
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for _, e := range rows[i] {
+				if e.li >= lo && e.li < i {
+					acc += e.t * lam * z[e.li]
+				}
+			}
+			z[i] = (r[i] + acc) * inv[i]
+		}
+		for i := hi - 1; i >= lo; i-- {
+			acc := 0.0
+			for _, e := range rows[i] {
+				if e.li > i && e.li < hi {
+					acc += e.t * lam * z[e.li]
+				}
+			}
+			z[i] = (d[i]*z[i] + acc) * inv[i]
+		}
+	}
+	return nil
+}
+
+// scratchApplyVec runs one fused resident application with the destination
+// redirected to each part's pw scratch — the in-preconditioner A·z of the
+// Chebyshev and AMG rungs. It reuses the exchange-overlapped apply phases
+// (and their communication accounting) without burning a solver vector.
+func (o *PartOperator) scratchApplyVec(x solver.Vec) {
+	o.applyDot, o.applyScratch = false, true
+	o.v2 = int(x)
+	// The phases are structurally infallible here: the exchange plans were
+	// already exercised by the solve's own applications.
+	_ = o.run(o.fnApplySend, &o.Phase.Exchange)
+	_ = o.run(o.fnApplyRecv, &o.Phase.Compute)
+	o.applyScratch = false
+	o.finishApply()
+}
+
+// chebApplyVec is the resident Chebyshev application: the init phase seeds z
+// and the direction, then chebDegree−1 rounds of scratch application plus
+// elementwise update. The iteration scalars are computed with the serial
+// closure's expressions from the shared coefficients.
+func (o *PartOperator) chebApplyVec(z, r solver.Vec) {
+	o.v1, o.v2, o.sc1 = int(z), int(r), o.cheb.invTheta
+	_ = o.run(o.fnChebInit, &o.Phase.Reduce)
+	rhoPrev := o.cheb.rho0
+	for k := 1; k < chebDegree; k++ {
+		o.scratchApplyVec(z)
+		rho := 1 / (2*o.cheb.sigma - rhoPrev)
+		o.v1, o.v2 = int(z), int(r)
+		o.sc1, o.sc2 = rho*rhoPrev, 2*rho/o.cheb.delta
+		_ = o.run(o.fnChebStep, &o.Phase.Reduce)
+		rhoPrev = rho
+	}
+}
+
+func (o *PartOperator) phaseChebInit(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	inv, pd := op.invDiag, op.pd
+	invTheta := o.sc1
+	for i := 0; i < ps.nOwned; i++ {
+		zi := (inv[i] * r[i]) * invTheta
+		z[i] = zi
+		pd[i] = zi
+	}
+	return nil
+}
+
+func (o *PartOperator) phaseChebStep(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	inv, pd, pw := op.invDiag, op.pd, op.pw
+	c1, c2 := o.sc1, o.sc2
+	for i := 0; i < ps.nOwned; i++ {
+		di := c1*pd[i] + c2*(inv[i]*(r[i]-pw[i]))
+		pd[i] = di
+		z[i] += di
+	}
+	return nil
+}
+
+// amgApplyVec is the resident AMG V-cycle: pre-smooth, scratch application,
+// per-part restriction into the shared coarse vector (disjoint writes),
+// host-serial banded coarse solve, prolongation, scratch application,
+// post-smooth — the serial closure's steps with the fine-grid work
+// partitioned.
+func (o *PartOperator) amgApplyVec(z, r solver.Vec) {
+	o.v1, o.v2 = int(z), int(r)
+	_ = o.run(o.fnAMGPre, &o.Phase.Reduce)
+	o.scratchApplyVec(z)
+	o.v1, o.v2 = int(z), int(r)
+	_ = o.run(o.fnAMGRestrict, &o.Phase.Reduce)
+	start := time.Now()
+	o.amg.solveCoarse(o.coarseR, o.coarseE)
+	o.Phase.Reduce += time.Since(start).Seconds()
+	_ = o.run(o.fnAMGProlong, &o.Phase.Reduce)
+	o.scratchApplyVec(z)
+	o.v1, o.v2 = int(z), int(r)
+	_ = o.run(o.fnAMGPost, &o.Phase.Reduce)
+}
+
+func (o *PartOperator) phaseAMGPre(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	inv := op.invDiag
+	for i := 0; i < ps.nOwned; i++ {
+		z[i] = amgOmega * (inv[i] * r[i])
+	}
+	return nil
+}
+
+func (o *PartOperator) phaseAMGRestrict(shard int) error {
+	op := o.parts[shard]
+	r, pw := op.vecs[o.v2], op.pw
+	for a := range op.aggID {
+		acc := 0.0
+		for k := op.aggPtr[a]; k < op.aggPtr[a+1]; k++ {
+			li := op.aggCells[k]
+			acc += r[li] - pw[li]
+		}
+		o.coarseR[op.aggID[a]] = acc
+	}
+	return nil
+}
+
+func (o *PartOperator) phaseAMGProlong(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	z := op.vecs[o.v1]
+	ec, agg := o.coarseE, op.aggOfLoc
+	for i := 0; i < ps.nOwned; i++ {
+		z[i] += ec[agg[i]]
+	}
+	return nil
+}
+
+func (o *PartOperator) phaseAMGPost(shard int) error {
+	ps, op := o.e.parts[shard], o.parts[shard]
+	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	inv, pw := op.invDiag, op.pw
+	for i := 0; i < ps.nOwned; i++ {
+		z[i] += amgOmega * (inv[i] * (r[i] - pw[i]))
+	}
+	return nil
+}

@@ -26,6 +26,19 @@
 // preconditioned Krylov solve per time step) is bit-identical to the serial
 // reference — residual histories, iteration counts, final state — for every
 // part and worker count; the golden regression asserts it under -race.
+//
+// A preconditioner ladder (solver.PrecondKind) runs resident under the same
+// contract: Jacobi, block-SSOR (symmetric Gauss–Seidel sweeps confined to
+// the canonical blocks), Chebyshev polynomial smoothing (fixed-degree
+// polynomial of the Jacobi-scaled operator, Gershgorin-bounded spectrum),
+// and a two-level aggregation AMG whose coarse operator — greedy in-block
+// aggregation, reverse Cuthill–McKee renumbering, Galerkin banded assembly,
+// banded Cholesky — is built once per USystem and reused across transient
+// steps. Every rung's arithmetic is a function of the canonical order only,
+// never of the partitioning, and the serial reference closures mirror the
+// resident phases expression for expression, so each rung preserves the
+// bit-identity guarantee at every part count. PartOperator.SetPrecond
+// installs a rung; serialReference.MakePrecond is its serial twin.
 package umesh
 
 import (

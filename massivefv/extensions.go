@@ -20,6 +20,21 @@ type (
 	SolverOptions = solver.Options
 	// SolverStats reports convergence.
 	SolverStats = solver.Stats
+	// PrecondKind names a rung of the preconditioner ladder; set it on
+	// SolverOptions.PrecondKind to select the rung (SolveUnstructured and
+	// the transient runners supply the diagonal themselves).
+	PrecondKind = solver.PrecondKind
+)
+
+// The preconditioner ladder, weakest to strongest by CG iteration count.
+// Jacobi works everywhere; the operator-built rungs (SSOR, Chebyshev, AMG)
+// need the unstructured operators — serial or canonically RCB-partitioned —
+// and reproduce the serial trajectory bit-for-bit on every part count.
+const (
+	PrecondJacobi    = solver.PrecondJacobi
+	PrecondSSOR      = solver.PrecondSSOR
+	PrecondChebyshev = solver.PrecondChebyshev
+	PrecondAMG       = solver.PrecondAMG
 )
 
 // NewPressureSystem freezes one implicit step of Eq. (2).
