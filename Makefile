@@ -22,17 +22,20 @@ race:
 # without paying full measurement cost (what CI runs). -run '^$$' skips the
 # unit tests, which the test target already covers.
 bench-smoke:
+	@echo "bench-smoke: GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)}"
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
 # The fast-path kernel microbenchmarks (dsd ops, faceFlux, exchange, whole
 # engine) once each — CI's guarantee that they keep compiling and running.
 # Drop -benchtime/-short for a real measurement.
 bench-kernel:
+	@echo "bench-kernel: GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)}"
 	$(GO) test -run '^$$' -bench BenchmarkKernel -benchtime 1x -short ./internal/dsd/ ./internal/core/
 
 # The partitioned unstructured engine microbenchmarks (engine step vs serial
 # sweep) once each — CI's guarantee that they keep compiling and running.
 bench-umesh:
+	@echo "bench-umesh: GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)}"
 	$(GO) test -run '^$$' -bench BenchmarkUmesh -benchtime 1x -short ./internal/umesh/
 
 # The part-resident implicit-solve microbenchmarks (resident operator
@@ -41,6 +44,7 @@ bench-umesh:
 # BenchmarkUsolvePrecond/{jacobi,ssor,chebyshev,amg}) once each — the smoke
 # run behind BENCH_usolve.json.
 bench-usolve:
+	@echo "bench-usolve: GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)}"
 	$(GO) test -run '^$$' -bench 'BenchmarkPartOperator|BenchmarkUsolve' -benchtime 1x -short ./internal/umesh/
 
 # Short native-fuzz exploration of the RCB partitioner and the radial mesh

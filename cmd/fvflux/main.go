@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jsonOut    = fs.String("json", "", "record the selected scaling, kernel, umesh or usolve experiment as JSON to this path (ignored with -experiment all)")
 		preconds   = fs.String("preconds", "", "comma-separated preconditioner rungs for -experiment usolve: jacobi,ssor,chebyshev,amg (default: the whole ladder)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this path")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile taken after the selected experiments to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +73,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("cpuprofile: %w", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Fail before the experiments run, not after: creating the file up
+		// front surfaces an unwritable path immediately.
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "fvflux: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })

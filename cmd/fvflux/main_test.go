@@ -38,6 +38,7 @@ func TestRunCLIValidation(t *testing.T) {
 		{"bad dims", []string{"-experiment", "table1", "-dims", "12x10"}, "dims"},
 		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
 		{"unwritable cpuprofile", []string{"-experiment", "table1", "-cpuprofile", "/no/such/dir/prof.out"}, "cpuprofile"},
+		{"unwritable memprofile", []string{"-experiment", "table1", "-memprofile", "/no/such/dir/heap.out"}, "memprofile"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -85,5 +86,25 @@ func TestRunCPUProfile(t *testing.T) {
 	}
 	if info.Size() == 0 {
 		t.Error("profile file is empty")
+	}
+}
+
+// TestRunMemProfile pins the -memprofile satellite: a profiled run writes a
+// non-empty pprof heap profile after the experiments finish.
+func TestRunMemProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional experiment in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-experiment", "table1", "-engine", "flat", "-dims", "4x4x2", "-apps", "1", "-memprofile", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("heap profile file is empty")
 	}
 }

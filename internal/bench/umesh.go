@@ -65,9 +65,15 @@ type UmeshScalingPoint struct {
 	// McellsPerSec is host throughput in million cell updates per second.
 	McellsPerSec float64 `json:"mcells_per_sec"`
 	// HaloWords and Messages are the total communication of the run — the
-	// §4 volume the partition ships per the precompiled plans.
+	// §4 volume the partition ships per the precompiled plans (one message
+	// per coalesced (src,dst) neighbor transfer).
 	HaloWords uint64 `json:"halo_words"`
 	Messages  uint64 `json:"messages"`
+	// Barriers and Dispatches count the run's synchronization: plan
+	// executions on the worker pool and barrier crossings inside them
+	// (0 barriers when the pool runs inline at workers=1).
+	Barriers   uint64 `json:"barriers"`
+	Dispatches uint64 `json:"dispatches"`
 	// HaloFraction is halo cells shipped per application over mesh cells —
 	// the surface-to-volume ratio of the decomposition.
 	HaloFraction float64 `json:"halo_fraction"`
@@ -166,11 +172,13 @@ func RunUmeshScaling(cfg UmeshScalingConfig) (*UmeshScaling, error) {
 		}
 		sec := res.Elapsed.Seconds()
 		pt := UmeshScalingPoint{
-			Parts:     res.NumParts,
-			Workers:   res.Workers,
-			Seconds:   sec,
-			HaloWords: res.Comm.HaloWords,
-			Messages:  res.Comm.Messages,
+			Parts:      res.NumParts,
+			Workers:    res.Workers,
+			Seconds:    sec,
+			HaloWords:  res.Comm.HaloWords,
+			Messages:   res.Comm.Messages,
+			Barriers:   res.Comm.Barriers,
+			Dispatches: res.Comm.Dispatches,
 			HaloFraction: float64(res.Comm.HaloWords) /
 				float64(cfg.Apps) / float64(u.NumCells),
 		}
@@ -204,11 +212,11 @@ func (s *UmeshScaling) Render(w io.Writer) error {
 		s.Cells, s.Faces, s.MaxDegree, s.Apps)
 	fmt.Fprintf(tw, "host: %s, NumCPU %d, GOMAXPROCS %d\n", s.GoVersion, s.NumCPU, s.GOMAXPROCS)
 	fmt.Fprintf(tw, "serial cell-based baseline: %.4f s\n", s.SerialSeconds)
-	fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tMcell/s\thalo words\tmsgs\thalo/cells")
+	fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tMcell/s\thalo words\tmsgs\tbarriers\tdispatches\thalo/cells")
 	for _, p := range s.Points {
-		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%.2f\t%d\t%d\t%.3f\n",
+		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%.2f\t%d\t%d\t%d\t%d\t%.3f\n",
 			p.Parts, p.Workers, p.Seconds, p.Speedup, p.McellsPerSec,
-			p.HaloWords, p.Messages, p.HaloFraction)
+			p.HaloWords, p.Messages, p.Barriers, p.Dispatches, p.HaloFraction)
 	}
 	fmt.Fprintf(tw, "\nbit-identical to serial: %v\n", s.BitIdentical)
 	if s.GOMAXPROCS == 1 {

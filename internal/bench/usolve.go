@@ -91,9 +91,15 @@ type UsolvePoint struct {
 	// the Krylov iterations.
 	OperatorApplications int `json:"operator_applications"`
 	// HaloWords and Messages are the run's total halo traffic (float64
-	// payloads counted as two 32-bit words each).
+	// payloads counted as two 32-bit words each; one message per coalesced
+	// (src,dst) neighbor transfer).
 	HaloWords uint64 `json:"halo_words"`
 	Messages  uint64 `json:"messages"`
+	// Barriers and Dispatches count the run's synchronization: plan
+	// executions on the worker pool and barrier crossings inside them
+	// (0 barriers when the pool runs inline at workers=1).
+	Barriers   uint64 `json:"barriers"`
+	Dispatches uint64 `json:"dispatches"`
 	// Scatters and Gathers count whole-vector global transfers — the
 	// part-resident guarantee in its observable form: one of each per time
 	// step.
@@ -259,6 +265,8 @@ func RunUsolveScaling(cfg UsolveConfig) (*UsolveScaling, error) {
 				OperatorApplications: res.OperatorApplications,
 				HaloWords:            res.Comm.HaloWords,
 				Messages:             res.Comm.Messages,
+				Barriers:             res.Comm.Barriers,
+				Dispatches:           res.Comm.Dispatches,
 				Scatters:             res.Scatters,
 				Gathers:              res.Gathers,
 				Phase:                res.Phase,
@@ -355,11 +363,12 @@ func (s *UsolveScaling) Render(w io.Writer) error {
 	}
 	for _, r := range s.Rungs {
 		fmt.Fprintf(tw, "\n%s — serial reference: %.4f s, %d CG iterations\n", r.Precond, r.SerialSeconds, r.SerialIterations)
-		fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tCG its\tapplications\thalo words\tmsgs\texch [s]\tcomp [s]\tred [s]")
+		fmt.Fprintln(tw, "parts\tworkers\ttime [s]\tspeedup\tCG its\tapplications\thalo words\tmsgs\tbarriers\tdispatches\texch [s]\tcomp [s]\tred [s]")
 		for _, p := range r.Points {
-			fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\n",
+			fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.2fx\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\n",
 				p.Parts, p.Workers, p.Seconds, p.Speedup, p.Iterations,
 				p.OperatorApplications, p.HaloWords, p.Messages,
+				p.Barriers, p.Dispatches,
 				p.Phase.Exchange, p.Phase.Compute, p.Phase.Reduce)
 		}
 	}

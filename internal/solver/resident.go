@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -9,11 +10,13 @@ import (
 // executed entirely through a VectorSpace, so every working vector lives in
 // the operator's own (partitioned) layout for the whole solve. A solve
 // scatters its inputs once (LoadVec2), gathers the solution once (StoreVec),
-// and runs every operator application, axpy and inner product as fused
-// resident phases in between — the discipline the slice path violates by
-// round-tripping each Krylov vector through global arrays per application.
+// and runs each iteration as one phase program (see program.go): the vector
+// kernels of the recurrence with the scalar bookkeeping attached as host
+// actions. A ProgramSpace operator executes the program as a single SPMD
+// plan per iteration; everything else goes through the interpreter — same
+// ops, same order, bit-identical results.
 //
-// Bit-identity discipline: each resident step evaluates exactly the
+// Bit-identity discipline: each resident op evaluates exactly the
 // expressions of the slice recurrence in the same order (the fused
 // update+dot phases sum their reductions in the operator's one fixed global
 // order), so a resident solve reproduces a slice solve over the same
@@ -45,6 +48,68 @@ const (
 	biLen  = 10
 )
 
+// cgState is the scalar state of one resident CG solve, shared between the
+// program's ops (via pointers) and its actions (via closure).
+type cgState struct {
+	k                               int
+	rz, rzNew, pap, alpha, beta, rr float64
+	normB, tol                      float64
+	st                              *Stats
+}
+
+// cgProgram is one CG iteration as a phase program. With an elementwise
+// (identity/Jacobi) preconditioner the residual update, preconditioner
+// application and both dots fuse into a single OpCGStepPre pass; the
+// operator-built rungs (SSOR/Chebyshev/AMG) keep the update and the
+// preconditioner as separate ops so a converged final iteration skips the
+// expensive preconditioner exactly like the slice recurrence does.
+func cgProgram(s *cgState, rung bool) []ProgOp {
+	alphaAct := func() (bool, error) {
+		if s.pap == 0 || math.IsNaN(s.pap) {
+			return false, fmt.Errorf("%w: pᵀAp = %v at iteration %d", ErrBreakdown, s.pap, s.k)
+		}
+		s.alpha = s.rz / s.pap
+		return false, nil
+	}
+	convAct := func() (bool, error) {
+		s.st.Iterations = s.k + 1
+		s.st.Residual = math.Sqrt(s.rr) / s.normB
+		s.st.History = append(s.st.History, s.st.Residual)
+		return s.st.Residual <= s.tol, nil
+	}
+	betaAct := func() (bool, error) {
+		if s.rz == 0 {
+			return false, fmt.Errorf("%w: rᵀz vanished at iteration %d", ErrBreakdown, s.k)
+		}
+		s.beta = s.rzNew / s.rz
+		s.rz = s.rzNew
+		return false, nil
+	}
+	if rung {
+		return []ProgOp{
+			{Kind: OpApplyDot, V1: cgAp, V2: cgP, V3: cgP, R1: &s.pap, Action: alphaAct},
+			{Kind: OpCGStep, V1: cgX, V2: cgP, V3: cgR, V4: cgAp, A1: &s.alpha, R1: &s.rr, Action: convAct},
+			{Kind: OpPrecondDot, V1: cgZ, V2: cgR, R1: &s.rzNew, Action: betaAct},
+			{Kind: OpXpby, V1: cgP, V2: cgZ, A1: &s.beta},
+		}
+	}
+	// Fused variant: the preconditioner runs even on the final converged
+	// iteration (z is scratch and rzNew goes unused then, so outputs are
+	// unchanged); in exchange the steady-state iteration is three ops.
+	fusedAct := func() (bool, error) {
+		if stop, err := convAct(); stop || err != nil {
+			return stop, err
+		}
+		return betaAct()
+	}
+	return []ProgOp{
+		{Kind: OpApplyDot, V1: cgAp, V2: cgP, V3: cgP, R1: &s.pap, Action: alphaAct},
+		{Kind: OpCGStepPre, V1: cgX, V2: cgP, V3: cgR, V4: cgAp, V5: cgZ,
+			A1: &s.alpha, R1: &s.rr, R2: &s.rzNew, Action: fusedAct},
+		{Kind: OpXpby, V1: cgP, V2: cgZ, A1: &s.beta},
+	}
+}
+
 // cgResident is preconditioned conjugate gradients with the whole working
 // set resident in the operator's layout.
 func cgResident(a VectorSpace, x, b []float64, opts Options) (*Stats, error) {
@@ -64,39 +129,106 @@ func cgResident(a VectorSpace, x, b []float64, opts Options) (*Stats, error) {
 		return nil, err
 	}
 	a.SubAxpyDotVec(cgR, cgB, 1, cgAp)
-	rz := a.PrecondDotVec(cgZ, cgR)
-	a.CopyVec(cgP, cgZ)
 	st := &Stats{}
+	s := &cgState{normB: normB, tol: opts.Tol, st: st}
+	s.rz = a.PrecondDotVec(cgZ, cgR)
+	a.CopyVec(cgP, cgZ)
+	prog, err := compileProgram(a, cgProgram(s, opts.PrecondKind.operatorBuilt()))
+	if err != nil {
+		return nil, err
+	}
 	for k := 0; k < opts.MaxIter; k++ {
-		pap, err := a.ApplyDotVec(cgAp, cgP, cgP)
+		s.k = k
+		stopped, err := prog.Run()
 		if err != nil {
+			if errors.Is(err, ErrBreakdown) {
+				a.StoreVec(x, cgX)
+				return st, err
+			}
 			return nil, err
 		}
-		if pap == 0 || math.IsNaN(pap) {
-			a.StoreVec(x, cgX)
-			return st, fmt.Errorf("%w: pᵀAp = %v at iteration %d", ErrBreakdown, pap, k)
-		}
-		alpha := rz / pap
-		rr := a.CGStepVec(cgX, alpha, cgP, cgR, cgAp)
-		st.Iterations = k + 1
-		st.Residual = math.Sqrt(rr) / normB
-		st.History = append(st.History, st.Residual)
-		if st.Residual <= opts.Tol {
+		if stopped {
 			st.Converged = true
 			a.StoreVec(x, cgX) // the solve's one gather
 			return st, nil
 		}
-		rzNew := a.PrecondDotVec(cgZ, cgR)
-		if rz == 0 {
-			a.StoreVec(x, cgX)
-			return st, fmt.Errorf("%w: rᵀz vanished at iteration %d", ErrBreakdown, k)
-		}
-		beta := rzNew / rz
-		a.XpbyVec(cgP, beta, cgZ)
-		rz = rzNew
 	}
 	a.StoreVec(x, cgX)
 	return st, fmt.Errorf("%w after %d iterations (rel residual %.3e)", ErrNotConverged, st.Iterations, st.Residual)
+}
+
+// biState is the scalar state of one resident BiCGStab solve.
+type biState struct {
+	k                                                    int
+	rho, rhoNew, beta, alpha, den, ss, omega, tt, ts, rr float64
+	normB, tol                                           float64
+	st                                                   *Stats
+	half                                                 bool // converged at the half step (after s)
+}
+
+// biProgram is one BiCGStab iteration as a phase program. The first
+// iteration copies p = r; steady iterations run the direction update with
+// β — two programs rather than one with a β=0 substitution, which would not
+// be bitwise-safe (signed zeros).
+func biProgram(s *biState, first bool) []ProgOp {
+	rhoAct := func() (bool, error) {
+		if s.rhoNew == 0 {
+			return false, fmt.Errorf("%w: ρ = 0 at iteration %d", ErrBreakdown, s.k)
+		}
+		if !first {
+			s.beta = (s.rhoNew / s.rho) * (s.alpha / s.omega)
+		}
+		s.rho = s.rhoNew
+		return false, nil
+	}
+	denAct := func() (bool, error) {
+		if s.den == 0 {
+			return false, fmt.Errorf("%w: r̂ᵀv = 0 at iteration %d", ErrBreakdown, s.k)
+		}
+		s.alpha = s.rho / s.den
+		return false, nil
+	}
+	ssAct := func() (bool, error) {
+		s.st.Iterations = s.k + 1
+		if res := math.Sqrt(s.ss) / s.normB; res <= s.tol {
+			s.st.Residual = res
+			s.st.History = append(s.st.History, res)
+			s.half = true
+			return true, nil
+		}
+		return false, nil
+	}
+	ttAct := func() (bool, error) {
+		if s.tt == 0 {
+			return false, fmt.Errorf("%w: tᵀt = 0 at iteration %d", ErrBreakdown, s.k)
+		}
+		s.omega = s.ts / s.tt
+		if s.omega == 0 {
+			return false, fmt.Errorf("%w: ω = 0 at iteration %d", ErrBreakdown, s.k)
+		}
+		return false, nil
+	}
+	rrAct := func() (bool, error) {
+		s.st.Residual = math.Sqrt(s.rr) / s.normB
+		s.st.History = append(s.st.History, s.st.Residual)
+		return s.st.Residual <= s.tol, nil
+	}
+	dir := ProgOp{Kind: OpBicgP, V1: biP, V2: biR, V3: biV, A1: &s.beta, A2: &s.omega}
+	if first {
+		dir = ProgOp{Kind: OpCopy, V1: biP, V2: biR}
+	}
+	return []ProgOp{
+		{Kind: OpDot, V1: biRHat, V2: biR, R1: &s.rhoNew, Action: rhoAct},
+		dir,
+		{Kind: OpPrecond, V1: biPh, V2: biP},
+		{Kind: OpApplyDot, V1: biV, V2: biPh, V3: biRHat, R1: &s.den, Action: denAct},
+		{Kind: OpSubAxpyDot, V1: biS, V2: biR, V3: biV, A1: &s.alpha, R1: &s.ss, Action: ssAct},
+		{Kind: OpPrecond, V1: biSh, V2: biS},
+		{Kind: OpApply, V1: biT, V2: biSh},
+		{Kind: OpDot2, V1: biT, V2: biT, V3: biS, R1: &s.tt, R2: &s.ts, Action: ttAct},
+		{Kind: OpAxpy2, V1: biX, V2: biPh, V3: biSh, A1: &s.alpha, A2: &s.omega},
+		{Kind: OpSubAxpyDot, V1: biR, V2: biS, V3: biT, A1: &s.omega, R1: &s.rr, Action: rrAct},
+	}
 }
 
 // bicgstabResident is BiCGStab with the whole working set resident in the
@@ -118,62 +250,39 @@ func bicgstabResident(a VectorSpace, x, b []float64, opts Options) (*Stats, erro
 	}
 	a.SubAxpyDotVec(biR, biB, 1, biT)
 	a.CopyVec(biRHat, biR)
-	var rho, alpha, omega float64 = 1, 1, 1
 	st := &Stats{}
+	s := &biState{rho: 1, alpha: 1, omega: 1, normB: normB, tol: opts.Tol, st: st}
+	firstProg, err := compileProgram(a, biProgram(s, true))
+	if err != nil {
+		return nil, err
+	}
+	steadyProg, err := compileProgram(a, biProgram(s, false))
+	if err != nil {
+		return nil, err
+	}
 	for k := 0; k < opts.MaxIter; k++ {
-		rhoNew := a.DotVec(biRHat, biR)
-		if rhoNew == 0 {
-			a.StoreVec(x, biX)
-			return st, fmt.Errorf("%w: ρ = 0 at iteration %d", ErrBreakdown, k)
-		}
+		s.k = k
+		prog := steadyProg
 		if k == 0 {
-			a.CopyVec(biP, biR)
-		} else {
-			beta := (rhoNew / rho) * (alpha / omega)
-			a.BicgPVec(biP, biR, biV, beta, omega)
+			prog = firstProg
 		}
-		rho = rhoNew
-		a.PrecondVec(biPh, biP)
-		den, err := a.ApplyDotVec(biV, biPh, biRHat)
+		stopped, err := prog.Run()
 		if err != nil {
+			if errors.Is(err, ErrBreakdown) {
+				a.StoreVec(x, biX)
+				return st, err
+			}
 			return nil, err
 		}
-		if den == 0 {
-			a.StoreVec(x, biX)
-			return st, fmt.Errorf("%w: r̂ᵀv = 0 at iteration %d", ErrBreakdown, k)
-		}
-		alpha = rho / den
-		ss := a.SubAxpyDotVec(biS, biR, alpha, biV)
-		st.Iterations = k + 1
-		if res := math.Sqrt(ss) / normB; res <= opts.Tol {
-			a.AxpyVec(biX, alpha, biPh)
-			st.Residual = res
-			st.History = append(st.History, res)
+		if stopped {
+			if s.half {
+				// Converged at the half step: finish x += α·p̂ before the
+				// gather (the second half of the update never ran).
+				a.AxpyVec(biX, s.alpha, biPh)
+				s.half = false
+			}
 			st.Converged = true
 			a.StoreVec(x, biX) // the solve's one gather
-			return st, nil
-		}
-		a.PrecondVec(biSh, biS)
-		if err := a.ApplyVec(biT, biSh); err != nil {
-			return nil, err
-		}
-		tt, ts := a.Dot2Vec(biT, biT, biS)
-		if tt == 0 {
-			a.StoreVec(x, biX)
-			return st, fmt.Errorf("%w: tᵀt = 0 at iteration %d", ErrBreakdown, k)
-		}
-		omega = ts / tt
-		if omega == 0 {
-			a.StoreVec(x, biX)
-			return st, fmt.Errorf("%w: ω = 0 at iteration %d", ErrBreakdown, k)
-		}
-		a.Axpy2Vec(biX, alpha, biPh, omega, biSh)
-		rr := a.SubAxpyDotVec(biR, biS, omega, biT)
-		st.Residual = math.Sqrt(rr) / normB
-		st.History = append(st.History, st.Residual)
-		if st.Residual <= opts.Tol {
-			st.Converged = true
-			a.StoreVec(x, biX)
 			return st, nil
 		}
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 // This file is the persistent partitioned unstructured engine: the one-shot
-// ComputeResidualPartitioned prototype rebuilt on the shared shard-pool
+// ComputeResidualPartitioned prototype rebuilt on the shared phase-program
 // execution layer (internal/exec), the same runtime the structured
 // core.RunFlatParallel runs on. The differences from the prototype are the
 // ones that make the path scale:
@@ -20,14 +20,17 @@ import (
 //   - compact local renumbering: a part's working set is its owned cells
 //     plus its halo cells only (O(owned+halo)), never the O(NumCells)
 //     global-sized local/seen arrays the prototype allocated per part;
-//   - precompiled exchange plans: the Partition's send/recv plans are
-//     flattened into local index arrays and contiguous halo slots at engine
-//     construction, so the steady-state exchange packs, ships and scatters
-//     through persistent buffers and allocates nothing;
-//   - a persistent worker pool and multi-application loop with the shared
-//     perturbation schedule, instead of goroutines spawned per call;
-//   - communication counters (halo words, messages) mirroring the word-level
-//     accounting the structured engines keep.
+//   - precompiled exchange plans with direct-write delivery: the Partition's
+//     send/recv plans are flattened into local index arrays and contiguous
+//     halo slots at engine construction, and each send plan additionally
+//     resolves the receiver's halo block base — the send phase writes the
+//     planned values straight into the neighbor's resident field, one
+//     coalesced region per (src, dst) pair, no buffers or channels;
+//   - precompiled application plans: each application is one exec.Plan
+//     dispatch ([fused perturb+send+interior, frontier]), not one pool
+//     round-trip per phase;
+//   - communication counters (halo words, messages, barriers, dispatches)
+//     mirroring the word-level accounting the structured engines keep.
 //
 // The residual stays bit-identical to the serial cell-based sweep: every
 // owned cell accumulates its faces in exactly the adjacency order of
@@ -65,14 +68,22 @@ func (o EngineOptions) withDefaults() EngineOptions {
 	return o
 }
 
-// CommCounters is the engine's communication accounting, the unstructured
-// mirror of the structured engines' fabric-word counting.
+// CommCounters is the engine's communication and synchronization accounting,
+// the unstructured mirror of the structured engines' fabric-word counting.
 type CommCounters struct {
-	// HaloWords is the float32 words shipped between parts.
+	// HaloWords is the 32-bit words moved between parts (float64 payloads
+	// count as two words each).
 	HaloWords uint64
-	// Messages is the discrete part-to-part messages (one per (src, dst)
-	// neighbor pair per application).
+	// Messages is the discrete part-to-part transfers (one per (src, dst)
+	// neighbor pair per exchange — the coalesced direct-write regions).
 	Messages uint64
+	// Barriers is the pool barrier crossings the work performed (one per
+	// executed plan step when workers > 1; 0 with one worker, where plans
+	// run inline with no synchronization).
+	Barriers uint64
+	// Dispatches is the orchestrator plan dispatches (one per executed
+	// plan, however many steps it carries).
+	Dispatches uint64
 }
 
 // PartResult is the outcome of one PartEngine.Run.
@@ -84,7 +95,7 @@ type PartResult struct {
 	NumCells, NumParts, Apps, Workers int
 	// Residual is the final application's residual in global cell order.
 	Residual []float64
-	// Comm is the total communication over all applications.
+	// Comm is the total communication and synchronization over the run.
 	Comm CommCounters
 	// Elapsed is the host wall-clock of the application loop (setup, load
 	// and gather excluded, matching core.Result.Elapsed).
@@ -104,35 +115,21 @@ func (r *PartResult) HostThroughput() float64 {
 	return float64(r.CellsUpdated()) / r.Elapsed.Seconds()
 }
 
-// haloMsg is one halo message: the values of the sender's planned cells, in
-// plan order. The payload is the sender's persistent buffer, valid until the
-// sender's next application — the barrier between recv+compute and the next
-// send phase guarantees the receiver is done with it by then.
-type haloMsg struct {
-	src  int
-	vals []float32
-}
-
-// sendPlan is one precompiled outgoing message: the local indices to pack
-// and the persistent payload buffer.
+// sendPlan is one precompiled outgoing transfer: the local owned indices to
+// read and the base of the receiver's contiguous halo block for this source.
+// The send phase writes pres[idx[j]] straight to the receiver's field at
+// dstBase+j — the destination ranges are disjoint between all senders and
+// from every owned range, and the step barrier orders the writes before the
+// receiver's frontier rows read them.
 type sendPlan struct {
-	dst int
-	idx []int32
-	buf []float32
+	dst     int
+	dstBase int
+	idx     []int32
 }
 
-// nbrEntry is one interleaved CSR adjacency entry: the neighbor's local
-// index and the face transmissibility, packed so a row sweep streams one
-// 16-byte record per face.
-type nbrEntry struct {
-	t  float64
-	li int32
-	_  int32
-}
-
-// recvSlot is one precompiled incoming message: halo cells are renumbered so
-// each source part's cells occupy one contiguous local range, making the
-// scatter a single copy.
+// recvSlot is one precompiled incoming transfer: halo cells are renumbered
+// so each source part's cells occupy one contiguous local range. The slots
+// define the halo layout senders resolve their dstBase against.
 type recvSlot struct {
 	src     int
 	base, n int
@@ -152,20 +149,16 @@ type partState struct {
 	rowStart      []int32   // CSR adjacency over owned cells, local indices
 	nbrLocal      []int32
 	nbrTrans      []float64
-	// rows is the interleaved per-row adjacency view ((neighbor, trans)
-	// pairs in one stream, one slice header per row) the float64 operator
-	// sweeps run on — fewer live slice headers and better cache density
-	// than parallel index/value arrays.
-	rows  [][]nbrEntry
-	sends []sendPlan
-	recvs []recvSlot
+	sends         []sendPlan
+	recvs         []recvSlot
 	// slotBySrc maps a source part id straight to its recv slot — the
-	// precompiled table that replaces the per-message linear slot search.
+	// precompiled table senders use to resolve their direct-write bases.
 	slotBySrc []int32
 	// interior lists the owned rows with no halo-cell neighbors and frontier
 	// the rest, both in compact order. Interior rows are computable before
-	// any halo message arrives, so the fused send phase evaluates them while
-	// messages are in flight; frontier rows wait for the receive.
+	// the barrier that orders the halo writes, so the fused send phase
+	// evaluates them alongside the writes; frontier rows wait for the
+	// barrier.
 	interior, frontier []int32
 	comm               CommCounters
 }
@@ -181,17 +174,27 @@ type PartEngine struct {
 
 	pool  *exec.Pool
 	parts []*partState
-	mail  []chan haloMsg
 
-	app int // current application, set before each phase dispatch
+	// split records that some part exchanges halo data or has frontier rows;
+	// otherwise each application is a single fused step.
+	split bool
 
-	// Pre-built phase closures: dispatching them through the pool allocates
-	// nothing in the steady state.
-	fnPerturb, fnSend, fnRecvCompute func(int) error
+	// planFirst/planNext are the precompiled application plans: the first
+	// application ([send+interior, frontier]) and every subsequent one (the
+	// perturbation fused into the send phase — it touches only the part's
+	// own owned cells, so it commutes with the neighbors' halo writes).
+	planFirst, planNext *exec.Plan
+
+	app int // current application, set before each plan dispatch
+
+	// Pre-built phase closures: dispatching them allocates nothing in the
+	// steady state.
+	fnSend, fnPerturbSend, fnRecvCompute func(int) error
 }
 
-// NewPartEngine compiles the partition into compact per-part states and
-// starts the worker pool.
+// NewPartEngine compiles the partition into compact per-part states,
+// resolves the direct-write exchange bases, precompiles the application
+// plans and starts the worker pool.
 func NewPartEngine(u *Mesh, p *Partition, fl physics.Fluid, opts EngineOptions) (*PartEngine, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
@@ -211,19 +214,45 @@ func NewPartEngine(u *Mesh, p *Partition, fl physics.Fluid, opts EngineOptions) 
 	}
 	e := &PartEngine{u: u, part: p, fl: fl, opts: opts}
 	e.parts = make([]*partState, p.NumParts)
-	e.mail = make([]chan haloMsg, p.NumParts)
 	for me := 0; me < p.NumParts; me++ {
 		ps, err := newPartState(u, p, me)
 		if err != nil {
 			return nil, err
 		}
 		e.parts[me] = ps
-		e.mail[me] = make(chan haloMsg, len(ps.recvs))
+	}
+	// Resolve each send plan's direct-write base against the receiver's halo
+	// layout. The partition builds sendPlan[src][dst] and recvPlan[dst][src]
+	// from the same cell list, so the planned length must match the slot.
+	for me, ps := range e.parts {
+		if len(ps.sends) > 0 || len(ps.recvs) > 0 || len(ps.frontier) > 0 {
+			e.split = true
+		}
+		for si := range ps.sends {
+			sp := &ps.sends[si]
+			ds := e.parts[sp.dst]
+			slot := int32(-1)
+			if me < len(ds.slotBySrc) {
+				slot = ds.slotBySrc[me]
+			}
+			if slot < 0 || ds.recvs[slot].n != len(sp.idx) {
+				return nil, fmt.Errorf("umesh: part %d sends %d cells to part %d but the receiver plans no matching halo block", me, len(sp.idx), sp.dst)
+			}
+			sp.dstBase = ds.recvs[slot].base
+		}
 	}
 	e.pool = exec.NewPool(opts.Workers, p.NumParts)
-	e.fnPerturb = e.phasePerturb
 	e.fnSend = e.phaseSendInterior
+	e.fnPerturbSend = e.phasePerturbSendInterior
 	e.fnRecvCompute = e.phaseRecvFrontier
+	first := []exec.Step{{Phase: e.fnSend}}
+	next := []exec.Step{{Phase: e.fnPerturbSend}}
+	if e.split {
+		first = append(first, exec.Step{Phase: e.fnRecvCompute})
+		next = append(next, exec.Step{Phase: e.fnRecvCompute})
+	}
+	e.planFirst = e.pool.NewPlan(first)
+	e.planNext = e.pool.NewPlan(next)
 	return e, nil
 }
 
@@ -239,7 +268,8 @@ func sortedKeys(m map[int][]int) []int {
 }
 
 // newPartState renumbers one part into its compact local index space and
-// precompiles its exchange plans.
+// precompiles its exchange plans (the direct-write bases are resolved by
+// NewPartEngine once every part's halo layout exists).
 func newPartState(u *Mesh, p *Partition, me int) (*partState, error) {
 	owned := p.Owned[me]
 	ps := &partState{me: me, nOwned: len(owned)}
@@ -296,10 +326,11 @@ func newPartState(u *Mesh, p *Partition, me int) (*partState, error) {
 		}
 	}
 
-	// Send plans: local owned indices to pack, persistent payload buffers.
+	// Send plans: local owned indices to read; the direct-write base into
+	// the receiver is filled in by NewPartEngine.
 	for _, dst := range sortedKeys(p.sendPlan[me]) {
 		cells := p.sendPlan[me][dst]
-		sp := sendPlan{dst: dst, idx: make([]int32, len(cells)), buf: make([]float32, len(cells))}
+		sp := sendPlan{dst: dst, idx: make([]int32, len(cells))}
 		for i, c := range cells {
 			li, ok := localOf[c]
 			if !ok || li >= int32(ps.nOwned) {
@@ -310,16 +341,7 @@ func newPartState(u *Mesh, p *Partition, me int) (*partState, error) {
 		ps.sends = append(ps.sends, sp)
 	}
 
-	entries := make([]nbrEntry, len(ps.nbrLocal))
-	for j := range ps.nbrLocal {
-		entries[j] = nbrEntry{t: ps.nbrTrans[j], li: ps.nbrLocal[j]}
-	}
-	ps.rows = make([][]nbrEntry, ps.nOwned)
-	for i := 0; i < ps.nOwned; i++ {
-		ps.rows[i] = entries[ps.rowStart[i]:ps.rowStart[i+1]]
-	}
-
-	// Receive routing table: source part → recv slot, so a message resolves
+	// Receive routing table: source part → recv slot, so a sender resolves
 	// its halo block in O(1) instead of a linear search over the slots.
 	ps.slotBySrc = make([]int32, p.NumParts)
 	for i := range ps.slotBySrc {
@@ -366,6 +388,7 @@ func (e *PartEngine) Run(pres []float32) (*PartResult, error) {
 	if len(pres) != e.u.NumCells {
 		return nil, fmt.Errorf("umesh: pressure length %d != cells %d", len(pres), e.u.NumCells)
 	}
+	b0, d0 := e.pool.Counters()
 	if err := e.pool.Run(func(shard int) error {
 		ps := e.parts[shard]
 		for i := 0; i < ps.nOwned; i++ {
@@ -404,48 +427,44 @@ func (e *PartEngine) Run(pres []float32) (*PartResult, error) {
 		return nil, err
 	}
 	// Deterministic reduction: fold per-part counters in part order, the
-	// same discipline core.summarize applies to per-PE counters.
+	// same discipline core.summarize applies to per-PE counters; the pool's
+	// synchronization counts are reported as this Run's delta.
 	for _, ps := range e.parts {
 		res.Comm.HaloWords += ps.comm.HaloWords
 		res.Comm.Messages += ps.comm.Messages
 	}
+	b1, d1 := e.pool.Counters()
+	res.Comm.Barriers = b1 - b0
+	res.Comm.Dispatches = d1 - d0
 	return res, nil
 }
 
-// step executes one application as barriered pool phases: perturb (app > 0),
-// then the fused pack+send+interior-compute phase, then receive+frontier.
-// Sends go to mailboxes buffered to the expected message count, so the send
-// phase never blocks; the barrier before recv+frontier guarantees every
-// message is already waiting, so the receive never blocks either — the pool
-// stays deadlock-free for any worker count.
+// step executes one application as one plan dispatch: the fused
+// (perturb+)send+interior step, then — only when some part exchanges halo
+// data — the frontier step after the barrier that orders the direct writes.
 func (e *PartEngine) step(app int) error {
 	e.app = app
-	if app > 0 {
-		if err := e.pool.Run(e.fnPerturb); err != nil {
-			return err
-		}
+	pl := e.planNext
+	if app == 0 {
+		pl = e.planFirst
 	}
-	if err := e.pool.Run(e.fnSend); err != nil {
-		return err
-	}
-	return e.pool.Run(e.fnRecvCompute)
+	_, err := pl.Execute()
+	return err
 }
 
-// phasePerturb applies the shared perturbation schedule to the part's owned
+// perturbOwned applies the shared perturbation schedule to the part's owned
 // cells; halo copies are refreshed by the following exchange, so the global
 // field evolves exactly as the serial sweep's does.
-func (e *PartEngine) phasePerturb(shard int) error {
-	ps := e.parts[shard]
+func (e *PartEngine) perturbOwned(ps *partState) {
 	app, amp := e.app, e.opts.PerturbAmplitude
 	for i := 0; i < ps.nOwned; i++ {
 		ps.pres[i] += mesh.PerturbDelta32(app, int(ps.globalOf[i]), amp)
 	}
-	return nil
 }
 
 // residualRows evaluates the listed owned rows in the serial sweep's
 // per-cell accumulation order. Rows write disjoint residual entries, so
-// splitting them between the send and receive phases leaves every value
+// splitting them between the send and frontier phases leaves every value
 // bit-identical to the one-pass sweep.
 func (e *PartEngine) residualRows(ps *partState, rows []int32) {
 	fl := e.fl
@@ -461,42 +480,50 @@ func (e *PartEngine) residualRows(ps *partState, rows []int32) {
 	}
 }
 
-// phaseSendInterior packs each outgoing message from the precompiled index
-// list into its persistent buffer and posts it, then — with the halo
-// messages in flight — computes every interior row (no halo neighbors). The
-// steady-state path allocates nothing.
-func (e *PartEngine) phaseSendInterior(shard int) error {
-	ps := e.parts[shard]
+// pushHalo writes the part's planned owned pressure values straight into
+// each neighbor's contiguous halo block — one coalesced region per
+// (src, dst) pair. The regions are disjoint from every owned range and from
+// each other, so the concurrent writes are race-free; the step barrier
+// orders them before the receivers' frontier rows.
+func (e *PartEngine) pushHalo(ps *partState) {
 	for si := range ps.sends {
 		sp := &ps.sends[si]
+		dst := e.parts[sp.dst].pres
+		base := sp.dstBase
 		for j, li := range sp.idx {
-			sp.buf[j] = ps.pres[li]
+			dst[base+j] = ps.pres[li]
 		}
-		e.mail[sp.dst] <- haloMsg{src: ps.me, vals: sp.buf}
-		ps.comm.HaloWords += uint64(len(sp.buf))
+		ps.comm.HaloWords += uint64(len(sp.idx))
 		ps.comm.Messages++
 	}
+}
+
+// phaseSendInterior pushes the part's halo values into the neighbors'
+// resident fields, then computes every interior row (no halo neighbors) —
+// the halo movement overlapped with the bulk of the sweep. The steady-state
+// path allocates nothing.
+func (e *PartEngine) phaseSendInterior(shard int) error {
+	ps := e.parts[shard]
+	e.pushHalo(ps)
 	e.residualRows(ps, ps.interior)
 	return nil
 }
 
-// phaseRecvFrontier drains the part's mailbox (each message resolves its
-// contiguous halo block through the precompiled src→slot table and scatters
-// as one copy), then computes the frontier rows the exchange was blocking.
+// phasePerturbSendInterior fuses the perturbation into the send phase: the
+// perturbation touches only the part's own owned cells, which no other
+// part reads or writes during this step, so it needs no barrier of its own.
+func (e *PartEngine) phasePerturbSendInterior(shard int) error {
+	ps := e.parts[shard]
+	e.perturbOwned(ps)
+	e.pushHalo(ps)
+	e.residualRows(ps, ps.interior)
+	return nil
+}
+
+// phaseRecvFrontier computes the frontier rows once the step barrier has
+// ordered every neighbor's halo write into this part's resident field.
 func (e *PartEngine) phaseRecvFrontier(shard int) error {
 	ps := e.parts[shard]
-	for range ps.recvs {
-		msg := <-e.mail[ps.me]
-		slot := int32(-1)
-		if msg.src >= 0 && msg.src < len(ps.slotBySrc) {
-			slot = ps.slotBySrc[msg.src]
-		}
-		if slot < 0 || ps.recvs[slot].n != len(msg.vals) {
-			return fmt.Errorf("umesh: part %d got unexpected halo from %d (%d values)", ps.me, msg.src, len(msg.vals))
-		}
-		r := ps.recvs[slot]
-		copy(ps.pres[r.base:r.base+r.n], msg.vals)
-	}
 	e.residualRows(ps, ps.frontier)
 	return nil
 }

@@ -1,0 +1,68 @@
+package umesh
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/physics"
+)
+
+// TestUsolveMulticoreNoSlowdown is the CI gate on the phase-program
+// executor's whole reason to exist: on a multicore host, running the
+// partitioned implicit solve with real workers must not be slower than
+// running the same partition inline. It compares parts=4×workers=4 against
+// parts=4×workers=1 (min of 3 measured runs each, after a warm-up) and
+// fails if the worker pool costs more than a 10% grace over inline — i.e.
+// if barrier overhead ate the parallelism. Skipped below 4 CPUs and under
+// -race, where instrumentation noise swamps the comparison.
+func TestUsolveMulticoreNoSlowdown(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("multicore scaling gate needs >=4 CPUs, have %d", runtime.NumCPU())
+	}
+	if raceEnabled {
+		t.Skip("timing comparison is meaningless under the race detector")
+	}
+	u, err := NewRadialMesh(DefaultRadialOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := RCB(u, 2) // 4 parts
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := physics.DefaultFluid()
+	measure := func(workers int) time.Duration {
+		opts := TransientOptions{
+			Dt: 3600, Steps: 2, Workers: workers,
+			Wells: []Well{
+				{Cell: u.WellIndex(), Rate: 2.0},
+				{Cell: u.NumCells - 1, Rate: -2.0},
+			},
+		}
+		opts.Solver.Tol = 1e-8
+		if _, err := RunTransientPartitioned(u, part, fl, opts); err != nil {
+			t.Fatalf("workers=%d warm-up: %v", workers, err)
+		}
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			runtime.GC()
+			start := time.Now()
+			if _, err := RunTransientPartitioned(u, part, fl, opts); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	inline := measure(1)
+	pooled := measure(4)
+	t.Logf("parts=4: workers=1 %v, workers=4 %v (%.2fx)", inline, pooled,
+		float64(inline)/float64(pooled))
+	if float64(pooled) > float64(inline)*1.10 {
+		t.Errorf("parts=4 workers=4 took %v vs %v at workers=1 — the worker pool is more than 10%% slower than inline",
+			pooled, inline)
+	}
+}

@@ -22,20 +22,27 @@ import (
 // exactly one initial scatter and one final gather instead of one global
 // round-trip per operator application.
 //
-// The per-iteration phase schedule minimizes barriers: each operator
-// application is one fused pack+send+interior-compute phase (interior rows
-// have no halo neighbors, so they are evaluated while the halo messages are
-// in flight) followed by one receive+frontier-compute phase; the Krylov
-// vector updates and inner products run as fused partitioned phases with
-// per-part partial reductions.
+// Execution model: every phase body exists twice — as a staged method (the
+// o.v1/o.sc1 fields are set, then one exec.Pool.Run dispatch) used by the
+// individual VectorSpace calls, and as a parameterized shard kernel captured
+// into an exec.Plan step by CompileProgram (program.go), which compiles a
+// whole Krylov iteration into one SPMD plan: one dispatch and the counted
+// minimum of barriers per iteration, with the solver's scalar recurrence
+// running inside the barriers as step actions.
 //
-// Determinism discipline: every inner product is accumulated per part in
-// compact (canonical RCB) order and folded in part order. Because each RCB
-// part owns one contiguous run of the canonical order (see CanonicalOrder),
-// that fold is the same left-to-right sum for every part count — and the
-// serial reference path reduces in the very same canonical order — so
-// partitioned solves are bit-identical across parts {1, 2, 4, 8, ... up
-// to 2^reductionDepth} × any worker count, and bit-identical to the serial
+// Halo movement is direct-write: each part's send plan carries the
+// receiver's halo block base (opSend.dstBase), and the send phase writes the
+// planned owned values straight into the neighbor's resident vector — one
+// coalesced write region per (src, dst) pair per exchange, no intermediate
+// buffers or channels. The writes land in halo ranges no other part touches,
+// and the step barrier orders them before the frontier rows read them.
+//
+// Determinism discipline: every inner product is accumulated per canonical
+// block in compact (canonical RCB) order, and the block partials are folded
+// by treeFold — a fixed binary tree that is a function of the block
+// structure only. The serial reference reduces with the identical tree, so
+// partitioned solves are bit-identical across parts {1, 2, 4, 8, ... up to
+// 2^reductionDepth} × any worker count, and bit-identical to the serial
 // solve.
 
 // DefaultPorosity is the constant porosity the unstructured pressure system
@@ -126,6 +133,51 @@ func (s *USystem) Diagonal() []float64 {
 	return d
 }
 
+// treeFold sums v by a fixed binary tree split at n/2 — a function of the
+// slice length only. It is the one reduction combiner of the solve path:
+// the serial reference and every PartOperator fold their canonical block
+// partials through it, so the summation tree is identical for every part
+// and worker count.
+func treeFold(v []float64) float64 {
+	switch len(v) {
+	case 0:
+		return 0
+	case 1:
+		return v[0]
+	case 2:
+		return v[0] + v[1]
+	}
+	mid := len(v) / 2
+	return treeFold(v[:mid]) + treeFold(v[mid:])
+}
+
+// hostFluxRow is the serial flux-row kernel: the cell's face fluxes in
+// adjacency order, with degree-4 rows (the bulk of every mesh here) summed
+// pairwise as (f0+f1)+(f2+f3) — the exact association the partitioned
+// fluxRow kernel uses, which is what keeps host and resident applications
+// bit-identical.
+// The degree-4 body is kept loop-free so it inlines into the sweep; the
+// general-degree tail lives in hostFluxRowSlow.
+func hostFluxRow(nbrs []int32, trans []float64, lam float64, x []float64, xc float64) float64 {
+	if len(nbrs) == 4 && len(trans) == 4 {
+		f0 := trans[0] * lam * (x[nbrs[0]] - xc)
+		f1 := trans[1] * lam * (x[nbrs[1]] - xc)
+		f2 := trans[2] * lam * (x[nbrs[2]] - xc)
+		f3 := trans[3] * lam * (x[nbrs[3]] - xc)
+		return (f0 + f1) + (f2 + f3)
+	}
+	return hostFluxRowSlow(nbrs, trans, lam, x, xc)
+}
+
+//go:noinline
+func hostFluxRowSlow(nbrs []int32, trans []float64, lam float64, x []float64, xc float64) float64 {
+	flux := 0.0
+	for i, nb := range nbrs {
+		flux += trans[i] * lam * (x[nb] - xc)
+	}
+	return flux
+}
+
 // UHostOperator applies the system serially in float64 — the reference the
 // partitioned operator must match bit-for-bit.
 type UHostOperator struct {
@@ -145,11 +197,7 @@ func (h *UHostOperator) Apply(dst, x []float64) error {
 	for c := 0; c < u.NumCells; c++ {
 		nbrs, trans := u.halfFaces(c)
 		xc := x[c]
-		flux := 0.0
-		for i, nb := range nbrs {
-			flux += trans[i] * lam * (x[nb] - xc)
-		}
-		dst[c] = h.Sys.Accum[c]*xc - flux
+		dst[c] = h.Sys.Accum[c]*xc - hostFluxRow(nbrs, trans, lam, x, xc)
 	}
 	return nil
 }
@@ -161,24 +209,26 @@ func (h *UHostOperator) Apply(dst, x []float64) error {
 type serialReference struct {
 	*UHostOperator
 	order  []int32
-	blocks []int32 // canonical block start offsets into order
+	blocks []int32   // canonical block start offsets into order
+	sums   []float64 // per-block partials, treeFolded
 }
 
 // newSerialReference builds the serial reference operator for a system.
 func newSerialReference(sys *USystem) *serialReference {
+	blocks := canonicalBlocks(sys.U.NumCells)
 	return &serialReference{
 		UHostOperator: &UHostOperator{Sys: sys},
 		order:         CanonicalOrder(sys.U),
-		blocks:        canonicalBlocks(sys.U.NumCells),
+		blocks:        blocks,
+		sums:          make([]float64, len(blocks)),
 	}
 }
 
 // Dot implements solver.Reducer with the canonical blocked sum: products
 // accumulate flat in canonical order within each block, block partials fold
-// flat in block order — the exact reduction every PartOperator performs, for
-// every part count.
+// through the fixed binary tree — the exact reduction every PartOperator
+// performs, for every part count.
 func (s *serialReference) Dot(a, b []float64) float64 {
-	sum := 0.0
 	for bi := range s.blocks {
 		lo, hi := int(s.blocks[bi]), len(s.order)
 		if bi+1 < len(s.blocks) {
@@ -189,32 +239,52 @@ func (s *serialReference) Dot(a, b []float64) float64 {
 			c := s.order[k]
 			acc += a[c] * b[c]
 		}
-		sum += acc
+		s.sums[bi] = acc
 	}
-	return sum
+	return treeFold(s.sums)
 }
 
-// opMsg is one float64 halo message of the operator path: the sender's
-// planned owned values, in plan order, backed by the sender's persistent
-// buffer (valid until its next application, by the same barrier argument as
-// the engine's float32 exchange).
-type opMsg struct {
-	src  int
-	vals []float64
+// nbrEntry is one interleaved CSR adjacency entry of the operator's
+// premultiplied rows: the neighbor's local index and the face conductance
+// times the frozen mobility (w = Υ·λ), packed so a row sweep streams one
+// 16-byte record per face and skips one multiply.
+type nbrEntry struct {
+	t  float64 // premultiplied weight Υ·λ
+	li int32
+	_  int32
 }
 
-// opSend is one precompiled outgoing operator message. The index list is
-// shared with the engine's float32 send plan; only the payload buffer is
-// operator-private.
+// fluxRow evaluates one premultiplied adjacency row: degree-4 rows pairwise
+// as (f0+f1)+(f2+f3), everything else flat in adjacency order — mirrored
+// exactly by hostFluxRow.
+func fluxRow(row []nbrEntry, x []float64, xc float64) float64 {
+	if len(row) == 4 {
+		f0 := row[0].t * (x[row[0].li] - xc)
+		f1 := row[1].t * (x[row[1].li] - xc)
+		f2 := row[2].t * (x[row[2].li] - xc)
+		f3 := row[3].t * (x[row[3].li] - xc)
+		return (f0 + f1) + (f2 + f3)
+	}
+	flux := 0.0
+	for _, e := range row {
+		flux += e.t * (x[e.li] - xc)
+	}
+	return flux
+}
+
+// opSend is one precompiled outgoing operator transfer: the owned local
+// indices to read and the base of the receiver's halo block for this source
+// — the send phase writes x[idx[j]] straight to the receiver's vector at
+// dstBase+j. The index list is shared with the engine's float32 send plan.
 type opSend struct {
-	dst int
-	idx []int32
-	buf []float64
+	dst     int
+	dstBase int
+	idx     []int32
 }
 
 // opPart is the operator's per-part working set: the resident Krylov
 // vectors in the part's compact local layout, the slice-path mirror, the
-// resident inverse diagonal, and persistent message buffers. Everything is
+// resident inverse diagonal, and the premultiplied adjacency. Everything is
 // O(owned+halo) per vector.
 type opPart struct {
 	// x is the slice-path local mirror (Apply on global slices).
@@ -228,34 +298,42 @@ type opPart struct {
 	// accum is the system's accumulation coefficient in the part's compact
 	// layout, so the row sweep never chases a global index.
 	accum []float64
+	// rows is the operator-owned premultiplied adjacency (w = Υ·λ) over
+	// owned rows, local indices — what every float64 row sweep streams.
+	rows  [][]nbrEntry
 	sends []opSend
 	// blkLo/blkHi/blkOut segment the part's owned range into its canonical
 	// reduction blocks (compact-index [lo, hi) → blockSums[out]): every
-	// reduction accumulates flat within a block and the host folds block
-	// partials flat in block order, the summation tree that is identical
-	// for every part count.
+	// reduction accumulates flat within a block and the block partials fold
+	// through treeFold, the summation tree that is identical for every part
+	// count.
 	blkLo, blkHi, blkOut []int32
 	comm                 CommCounters
 
 	// Preconditioner-resident state (SetPrecond): the matrix diagonal in
-	// the compact layout (SSOR's backward sweep), the Chebyshev direction
-	// vector, the scratch destination of in-preconditioner operator
-	// applications, and the part-local view of the AMG aggregates (global
-	// aggregate ids, member CSR over local indices, owned-cell → aggregate).
+	// the compact layout (SSOR's backward sweep), the precompiled SSOR
+	// triangular index lists, the Chebyshev direction vector, the scratch
+	// destination of in-preconditioner operator applications, and the
+	// part-local view of the AMG aggregates (global aggregate ids, member
+	// CSR over local indices, owned-cell → aggregate).
 	dLoc                              []float64
+	ssorLoPtr, ssorUpPtr              []int32
+	ssorLoI, ssorUpI                  []int32
+	ssorLoW, ssorUpW                  []float64
 	pd, pw                            []float64
 	aggID, aggPtr, aggCells, aggOfLoc []int32
 }
 
 // PhaseSeconds is the per-phase wall-clock breakdown of a part-resident
-// solve, accumulated on the host around each barriered phase dispatch:
+// solve, accumulated on the orchestrator around each barriered step:
 //
-//   - Exchange: the fused pack+send+interior-compute phase (the window in
-//     which halo messages are in flight, hidden behind interior rows) plus
-//     the solve's one scatter and one gather;
-//   - Compute: the receive+frontier-compute phase of each application;
-//   - Reduce: the fused vector-algebra phases (axpy/dot/preconditioner
-//     updates with their per-part partial reductions).
+//   - Exchange: whole-vector transfers between global and part layouts —
+//     the solve's one scatter (LoadVec2) and one gather (StoreVec);
+//   - Compute: the operator-application steps (interior and frontier flux
+//     rows; the per-neighbor direct-write halo pushes ride inside the
+//     interior step, overlapped with its row sweep);
+//   - Reduce: the fused vector-algebra steps (axpy/dot/preconditioner
+//     updates with their per-block partial reductions and tree folds).
 type PhaseSeconds struct {
 	Exchange float64 `json:"exchange"`
 	Compute  float64 `json:"compute"`
@@ -274,10 +352,12 @@ func (p PhaseSeconds) Total() float64 { return p.Exchange + p.Compute + p.Reduce
 
 // PartOperator is the matrix-free part-resident operator: it implements
 // solver.Operator and solver.Reducer on global slices (each Apply pays a
-// scatter and gather — the compatibility path), and solver.VectorSpace for
+// scatter and gather — the compatibility path), solver.VectorSpace for
 // part-resident solves, where the whole Krylov working set stays in the
-// parts' compact layouts and a solve scatters once and gathers once.
-// Steady-state Apply, Dot and every fused vector phase allocate nothing.
+// parts' compact layouts and a solve scatters once and gathers once, and
+// solver.ProgramSpace (program.go), which compiles a whole Krylov iteration
+// into one exec.Plan. Steady-state Apply, Dot, every fused vector phase and
+// every compiled plan execution allocate nothing.
 //
 // A PartOperator is driven by one goroutine at a time. With an RCB
 // partition of at most reductionDepth (8) bisection levels — up to 256
@@ -290,18 +370,16 @@ type PartOperator struct {
 
 	e     *PartEngine
 	parts []*opPart
-	mail  []chan opMsg
 
 	// blockSums/blockSums2 hold the canonical block partials of the current
-	// reduction (disjoint per-part writes), folded flat on the host in
-	// block order.
+	// reduction (disjoint per-part writes), treeFolded on the host.
 	blockSums, blockSums2 []float64
 
 	// Staged phase inputs (set per call; closures are pre-built so dispatch
 	// allocates nothing). ga/gb/gdst stage global slices (slice path,
 	// scatter/gather, diagonal); v1..v4 stage resident vector handles;
 	// sc1/sc2 stage scalars; applyDot arms the fused dot sweep of an
-	// application's receive phase.
+	// application's frontier phase.
 	ga, gb, gdst, diag []float64
 	v1, v2, v3, v4     int
 	sc1, sc2           float64
@@ -322,6 +400,10 @@ type PartOperator struct {
 	// canonical blocks (compileReduction) — the precondition for the
 	// block-structured rungs.
 	aligned bool
+	// split records that at least one part exchanges halo data or has
+	// frontier rows: applications then need a second (frontier) phase after
+	// the barrier that orders the halo writes. parts=1 runs single-phase.
+	split bool
 	// cheb holds the installed Chebyshev coefficients; amg the installed
 	// level with its shared coarse vectors.
 	cheb             chebCoeffs
@@ -329,6 +411,10 @@ type PartOperator struct {
 	coarseR, coarseE []float64
 
 	nVecs int
+
+	// baseBarriers/baseDispatches snapshot the pool counters at operator
+	// construction, so Comm reports this operator's own synchronization.
+	baseBarriers, baseDispatches uint64
 
 	fnSliceSend, fnSliceRecv, fnProd, fnDiag         func(int) error
 	fnLoad2, fnStore, fnSetPre                       func(int) error
@@ -341,9 +427,10 @@ type PartOperator struct {
 	// Applications counts operator applications (engine runs of the solve —
 	// the §3 "Algorithm 1 applied N times" pattern, driven by Krylov).
 	Applications int
-	// Comm accumulates halo traffic over all applications. Float64 payloads
-	// are counted as two 32-bit words each, keeping the word-level accounting
-	// comparable with the engine's float32 counters.
+	// Comm accumulates halo traffic and synchronization over all
+	// applications. Float64 payloads are counted as two 32-bit words each,
+	// keeping the word-level accounting comparable with the engine's float32
+	// counters.
 	Comm CommCounters
 	// Scatters and Gathers count whole-vector global transfers — the
 	// part-resident acceptance metric: exactly one of each per solve.
@@ -363,8 +450,9 @@ func NewPartOperator(e *PartEngine, sys *USystem) (*PartOperator, error) {
 		return nil, fmt.Errorf("umesh: operator system is not the engine's mesh")
 	}
 	o := &PartOperator{Sys: sys, e: e}
+	o.baseBarriers, o.baseDispatches = e.pool.Counters()
+	lam := sys.Mobility
 	o.parts = make([]*opPart, len(e.parts))
-	o.mail = make([]chan opMsg, len(e.parts))
 	for me, ps := range e.parts {
 		op := &opPart{
 			x:       make([]float64, ps.nOwned+ps.nHalo),
@@ -374,11 +462,23 @@ func NewPartOperator(e *PartEngine, sys *USystem) (*PartOperator, error) {
 		for i := 0; i < ps.nOwned; i++ {
 			op.accum[i] = sys.Accum[ps.globalOf[i]]
 		}
+		// Premultiplied interleaved adjacency: one entry stream, one slice
+		// header per row.
+		entries := make([]nbrEntry, len(ps.nbrLocal))
+		for j := range ps.nbrLocal {
+			entries[j] = nbrEntry{t: ps.nbrTrans[j] * lam, li: ps.nbrLocal[j]}
+		}
+		op.rows = make([][]nbrEntry, ps.nOwned)
+		for i := 0; i < ps.nOwned; i++ {
+			op.rows[i] = entries[ps.rowStart[i]:ps.rowStart[i+1]]
+		}
 		for _, sp := range ps.sends {
-			op.sends = append(op.sends, opSend{dst: sp.dst, idx: sp.idx, buf: make([]float64, len(sp.idx))})
+			op.sends = append(op.sends, opSend{dst: sp.dst, dstBase: sp.dstBase, idx: sp.idx})
 		}
 		o.parts[me] = op
-		o.mail[me] = make(chan opMsg, len(ps.recvs))
+		if len(ps.sends) > 0 || len(ps.recvs) > 0 || len(ps.frontier) > 0 {
+			o.split = true
+		}
 	}
 	o.compileReduction()
 	o.fnSliceSend = o.phaseSliceSend
@@ -480,23 +580,14 @@ func (o *PartOperator) compileReduction() {
 	}
 }
 
-// fold sums the block partials flat in block order — the canonical
-// reduction every inner product of the operator returns.
+// fold combines the block partials through the fixed binary tree — the
+// canonical reduction every inner product of the operator returns.
 func (o *PartOperator) fold() float64 {
-	s := 0.0
-	for _, v := range o.blockSums {
-		s += v
-	}
-	return s
+	return treeFold(o.blockSums)
 }
 
 func (o *PartOperator) fold2() (float64, float64) {
-	s1, s2 := 0.0, 0.0
-	for i := range o.blockSums {
-		s1 += o.blockSums[i]
-		s2 += o.blockSums2[i]
-	}
-	return s1, s2
+	return treeFold(o.blockSums), treeFold(o.blockSums2)
 }
 
 // finishApply folds the communication counters after an application.
@@ -508,38 +599,46 @@ func (o *PartOperator) finishApply() {
 		total.Messages += op.comm.Messages
 	}
 	o.Comm = total
+	o.syncCounters()
 }
 
-// packSend packs and posts every outgoing message of one part from a local
-// float64 vector (the shared first half of both application paths).
-func (o *PartOperator) packSend(ps *partState, op *opPart, x []float64) {
+// syncCounters refreshes the operator's barrier/dispatch accounting from the
+// pool's lifetime counters.
+func (o *PartOperator) syncCounters() {
+	b, d := o.e.pool.Counters()
+	o.Comm.Barriers = b - o.baseBarriers
+	o.Comm.Dispatches = d - o.baseDispatches
+}
+
+// pushHalo writes the part's planned owned values of one vector straight
+// into each neighbor's halo block of the same vector — the coalesced
+// direct-write exchange: one contiguous write region per (src, dst) pair,
+// no intermediate buffer. xv selects the resident vector; xv < 0 selects
+// the slice-path mirror. The destination ranges are disjoint between all
+// senders and from every owned range, so the concurrent writes are
+// race-free; the step barrier orders them before the frontier reads.
+func (o *PartOperator) pushHalo(op *opPart, xv int) {
+	var x []float64
+	if xv < 0 {
+		x = op.x
+	} else {
+		x = op.vecs[xv]
+	}
 	for si := range op.sends {
 		sp := &op.sends[si]
-		for j, li := range sp.idx {
-			sp.buf[j] = x[li]
+		var dst []float64
+		if xv < 0 {
+			dst = o.parts[sp.dst].x
+		} else {
+			dst = o.parts[sp.dst].vecs[xv]
 		}
-		o.mail[sp.dst] <- opMsg{src: ps.me, vals: sp.buf}
-		op.comm.HaloWords += 2 * uint64(len(sp.buf))
+		base := sp.dstBase
+		for j, li := range sp.idx {
+			dst[base+j] = x[li]
+		}
+		op.comm.HaloWords += 2 * uint64(len(sp.idx))
 		op.comm.Messages++
 	}
-}
-
-// recvHalo drains one part's mailbox into a local vector's halo blocks,
-// resolving each message through the precompiled src→slot table.
-func (o *PartOperator) recvHalo(ps *partState, x []float64) error {
-	for range ps.recvs {
-		msg := <-o.mail[ps.me]
-		slot := int32(-1)
-		if msg.src >= 0 && msg.src < len(ps.slotBySrc) {
-			slot = ps.slotBySrc[msg.src]
-		}
-		if slot < 0 || ps.recvs[slot].n != len(msg.vals) {
-			return fmt.Errorf("umesh: part %d got unexpected operator halo from %d (%d values)", ps.me, msg.src, len(msg.vals))
-		}
-		r := ps.recvs[slot]
-		copy(x[r.base:r.base+r.n], msg.vals)
-	}
-	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -547,7 +646,7 @@ func (o *PartOperator) recvHalo(ps *partState, x []float64) error {
 // ---------------------------------------------------------------------------
 
 // Apply computes dst = A·x through one partitioned engine application on
-// global slices: scatter+pack+send+interior, barrier, receive+frontier.
+// global slices: load+push+interior-compute, barrier, frontier-compute.
 // Steady state allocates nothing. Part-resident solves use ApplyVec instead,
 // which skips the per-application scatter and gather.
 func (o *PartOperator) Apply(dst, x []float64) error {
@@ -555,61 +654,54 @@ func (o *PartOperator) Apply(dst, x []float64) error {
 		return fmt.Errorf("umesh: partitioned operator size mismatch")
 	}
 	o.ga, o.gdst = x, dst
-	if err := o.run(o.fnSliceSend, &o.Phase.Exchange); err != nil {
+	if err := o.run(o.fnSliceSend, &o.Phase.Compute); err != nil {
 		return err
 	}
-	if err := o.run(o.fnSliceRecv, &o.Phase.Compute); err != nil {
-		return err
+	if o.split {
+		if err := o.run(o.fnSliceRecv, &o.Phase.Compute); err != nil {
+			return err
+		}
 	}
 	o.finishApply()
 	return nil
 }
 
 // fluxRowsGlobal evaluates the listed owned rows into the staged global
-// destination. It reads the same compact accum snapshot as the resident
-// sweeps, so the two Apply paths always evaluate the same matrix.
+// destination. It reads the same premultiplied rows as the resident sweeps,
+// so the two Apply paths always evaluate the same matrix.
 func (o *PartOperator) fluxRowsGlobal(ps *partState, op *opPart, rows []int32) {
-	lam := o.Sys.Mobility
-	adj, accum := ps.rows, op.accum
+	accum := op.accum
 	for _, i := range rows {
 		xc := op.x[i]
-		flux := 0.0
-		for _, e := range adj[i] {
-			flux += e.t * lam * (op.x[e.li] - xc)
-		}
-		o.gdst[ps.globalOf[i]] = accum[i]*xc - flux
+		o.gdst[ps.globalOf[i]] = accum[i]*xc - fluxRow(op.rows[i], op.x, xc)
 	}
 }
 
 // phaseSliceSend loads the part's owned entries from the global vector,
-// packs and posts each outgoing message, then computes the interior rows
-// while the halo messages are in flight.
+// pushes its halo values to the neighbors, then computes the interior rows.
 func (o *PartOperator) phaseSliceSend(shard int) error {
 	ps, op := o.e.parts[shard], o.parts[shard]
 	for i := 0; i < ps.nOwned; i++ {
 		op.x[i] = o.ga[ps.globalOf[i]]
 	}
-	o.packSend(ps, op, op.x)
+	o.pushHalo(op, -1)
 	o.fluxRowsGlobal(ps, op, ps.interior)
 	return nil
 }
 
-// phaseSliceRecv scatters the received halo blocks and finishes the
-// frontier rows.
+// phaseSliceRecv finishes the frontier rows once the barrier has ordered the
+// neighbors' halo writes.
 func (o *PartOperator) phaseSliceRecv(shard int) error {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	if err := o.recvHalo(ps, op.x); err != nil {
-		return err
-	}
 	o.fluxRowsGlobal(ps, op, ps.frontier)
 	return nil
 }
 
 // Dot implements solver.Reducer on global slices: each part accumulates its
 // owned products in compact (canonical) order into its persistent partial
-// slot; the host folds the slots in part order. With an RCB partition the
-// result is the canonical-order left-to-right sum for every part count.
-// Steady state allocates nothing.
+// slot; the host treeFolds the block partials. With an RCB partition the
+// result is the same fixed tree for every part count. Steady state
+// allocates nothing.
 func (o *PartOperator) Dot(a, b []float64) float64 {
 	o.ga, o.gb = a, b
 	// phaseProd cannot fail; the pool propagates no error here.
@@ -746,32 +838,36 @@ func (o *PartOperator) phaseSetPre(shard int) error {
 	return nil
 }
 
-// ApplyVec computes dst = A·x resident: fused pack+send+interior, barrier,
-// receive+frontier. No global vector is touched.
+// ApplyVec computes dst = A·x resident: fused push+interior, barrier,
+// frontier. No global vector is touched.
 func (o *PartOperator) ApplyVec(dst, x solver.Vec) error {
 	o.applyDot = false
 	o.v1, o.v2 = int(dst), int(x)
-	if err := o.run(o.fnApplySend, &o.Phase.Exchange); err != nil {
+	if err := o.run(o.fnApplySend, &o.Phase.Compute); err != nil {
 		return err
 	}
-	if err := o.run(o.fnApplyRecv, &o.Phase.Compute); err != nil {
-		return err
+	if o.split {
+		if err := o.run(o.fnApplyRecv, &o.Phase.Compute); err != nil {
+			return err
+		}
 	}
 	o.finishApply()
 	return nil
 }
 
 // ApplyDotVec computes dst = A·x and returns ⟨w, dst⟩: the inner product is
-// folded into the receive phase as a compact-order sweep, so the fused
+// folded into the frontier phase as a compact-order sweep, so the fused
 // application needs no extra barrier.
 func (o *PartOperator) ApplyDotVec(dst, x, w solver.Vec) (float64, error) {
 	o.applyDot = true
 	o.v1, o.v2, o.v3 = int(dst), int(x), int(w)
-	if err := o.run(o.fnApplySend, &o.Phase.Exchange); err != nil {
+	if err := o.run(o.fnApplySend, &o.Phase.Compute); err != nil {
 		return 0, err
 	}
-	if err := o.run(o.fnApplyRecv, &o.Phase.Compute); err != nil {
-		return 0, err
+	if o.split {
+		if err := o.run(o.fnApplyRecv, &o.Phase.Compute); err != nil {
+			return 0, err
+		}
 	}
 	o.finishApply()
 	return o.fold(), nil
@@ -780,30 +876,20 @@ func (o *PartOperator) ApplyDotVec(dst, x, w solver.Vec) (float64, error) {
 // fluxRowsLocal evaluates the listed owned rows of dst = A·x in the part's
 // local layout, in the serial adjacency order per row.
 func (o *PartOperator) fluxRowsLocal(ps *partState, op *opPart, x, dst []float64, rows []int32) {
-	lam := o.Sys.Mobility
-	adj, accum := ps.rows, op.accum
+	accum := op.accum
 	for _, i := range rows {
 		xc := x[i]
-		flux := 0.0
-		for _, e := range adj[i] {
-			flux += e.t * lam * (x[e.li] - xc)
-		}
-		dst[i] = accum[i]*xc - flux
+		dst[i] = accum[i]*xc - fluxRow(op.rows[i], x, xc)
 	}
 }
 
 // fluxRowsSeq is fluxRowsLocal over the whole owned range without the row
 // indirection — the path a part with no frontier (notably parts=1) takes.
 func (o *PartOperator) fluxRowsSeq(ps *partState, op *opPart, x, dst []float64) {
-	lam := o.Sys.Mobility
-	adj, accum := ps.rows, op.accum
+	accum := op.accum
 	for i := 0; i < ps.nOwned; i++ {
 		xc := x[i]
-		flux := 0.0
-		for _, e := range adj[i] {
-			flux += e.t * lam * (x[e.li] - xc)
-		}
-		dst[i] = accum[i]*xc - flux
+		dst[i] = accum[i]*xc - fluxRow(op.rows[i], x, xc)
 	}
 }
 
@@ -812,17 +898,12 @@ func (o *PartOperator) fluxRowsSeq(ps *partState, op *opPart, x, dst []float64) 
 // accumulated per canonical block inside the same sweep — identical values
 // and summation tree as the separate blocked sweep, one less memory pass.
 func (o *PartOperator) fluxRowsSeqDot(ps *partState, op *opPart, x, dst, w []float64) {
-	lam := o.Sys.Mobility
-	adj, accum := ps.rows, op.accum
+	accum := op.accum
 	for blk := range op.blkLo {
 		acc := 0.0
 		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
 			xc := x[i]
-			flux := 0.0
-			for _, e := range adj[i] {
-				flux += e.t * lam * (x[e.li] - xc)
-			}
-			d := accum[i]*xc - flux
+			d := accum[i]*xc - fluxRow(op.rows[i], x, xc)
 			dst[i] = d
 			acc += w[i] * d
 		}
@@ -830,52 +911,46 @@ func (o *PartOperator) fluxRowsSeqDot(ps *partState, op *opPart, x, dst, w []flo
 	}
 }
 
-// phaseApplySend packs and posts the halo messages from the resident input
-// vector, then computes the interior rows while they are in flight. A part
-// with no frontier computes everything here — fused with the inner-product
-// sweep when one is armed — leaving the receive phase trivial.
-func (o *PartOperator) phaseApplySend(shard int) error {
+// applySend is the first application phase: push the halo values of the
+// resident input vector to the neighbors, then compute the interior rows. A
+// part with no frontier computes everything here — fused with the
+// inner-product sweep when one is armed — leaving the frontier phase
+// trivial. dstv resolves through scratch to the part's preconditioner
+// scratch while a rung's internal application is running.
+func (o *PartOperator) applySend(shard, xv, dstv, wv int, withDot, scratch bool) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	x := op.vecs[o.v2]
-	dst := o.applyDst(op)
-	o.packSend(ps, op, x)
+	x := op.vecs[xv]
+	o.pushHalo(op, xv)
+	dst := op.pw
+	if !scratch {
+		dst = op.vecs[dstv]
+	}
 	switch {
 	case len(ps.frontier) > 0:
 		o.fluxRowsLocal(ps, op, x, dst, ps.interior)
-	case o.applyDot:
-		o.fluxRowsSeqDot(ps, op, x, dst, op.vecs[o.v3])
+	case withDot:
+		o.fluxRowsSeqDot(ps, op, x, dst, op.vecs[wv])
 	default:
 		o.fluxRowsSeq(ps, op, x, dst)
 	}
-	return nil
 }
 
-// applyDst resolves the current application sweep's destination: the staged
-// resident vector, or the part's preconditioner scratch while a rung's
-// internal application is running (applyScratch).
-func (o *PartOperator) applyDst(op *opPart) []float64 {
-	if o.applyScratch {
-		return op.pw
-	}
-	return op.vecs[o.v1]
-}
-
-// phaseApplyRecv scatters the received halo blocks into the input vector,
-// finishes the frontier rows, and (when armed) sweeps the fused inner
-// product in compact order.
-func (o *PartOperator) phaseApplyRecv(shard int) error {
+// applyFrontier is the second application phase: the barrier before it
+// ordered every neighbor's halo write, so it finishes the frontier rows and
+// (when armed) sweeps the fused inner product in compact order.
+func (o *PartOperator) applyFrontier(shard, xv, dstv, wv int, withDot, scratch bool) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	x := op.vecs[o.v2]
-	if err := o.recvHalo(ps, x); err != nil {
-		return err
-	}
 	if len(ps.frontier) == 0 {
-		return nil // everything (dot included) already ran in the send phase
+		return // everything (dot included) already ran in the send phase
 	}
-	dst := o.applyDst(op)
+	x := op.vecs[xv]
+	dst := op.pw
+	if !scratch {
+		dst = op.vecs[dstv]
+	}
 	o.fluxRowsLocal(ps, op, x, dst, ps.frontier)
-	if o.applyDot {
-		w := op.vecs[o.v3]
+	if withDot {
+		w := op.vecs[wv]
 		for b := range op.blkLo {
 			acc := 0.0
 			for i := op.blkLo[b]; i < op.blkHi[b]; i++ {
@@ -884,6 +959,15 @@ func (o *PartOperator) phaseApplyRecv(shard int) error {
 			o.blockSums[op.blkOut[b]] = acc
 		}
 	}
+}
+
+func (o *PartOperator) phaseApplySend(shard int) error {
+	o.applySend(shard, o.v2, o.v1, o.v3, o.applyDot, o.applyScratch)
+	return nil
+}
+
+func (o *PartOperator) phaseApplyRecv(shard int) error {
+	o.applyFrontier(shard, o.v2, o.v1, o.v3, o.applyDot, o.applyScratch)
 	return nil
 }
 
@@ -893,23 +977,26 @@ func (o *PartOperator) CopyVec(dst, src solver.Vec) {
 	_ = o.run(o.fnCopy, &o.Phase.Reduce)
 }
 
-func (o *PartOperator) phaseCopy(shard int) error {
+func (o *PartOperator) shardCopy(shard, dstv, srcv int) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	copy(op.vecs[o.v1][:ps.nOwned], op.vecs[o.v2][:ps.nOwned])
+	copy(op.vecs[dstv][:ps.nOwned], op.vecs[srcv][:ps.nOwned])
+}
+
+func (o *PartOperator) phaseCopy(shard int) error {
+	o.shardCopy(shard, o.v1, o.v2)
 	return nil
 }
 
-// DotVec returns ⟨a, b⟩ as per-part compact-order partials folded in part
-// order.
+// DotVec returns ⟨a, b⟩ as per-block compact-order partials treeFolded.
 func (o *PartOperator) DotVec(a, b solver.Vec) float64 {
 	o.v1, o.v2 = int(a), int(b)
 	_ = o.run(o.fnDot, &o.Phase.Reduce)
 	return o.fold()
 }
 
-func (o *PartOperator) phaseDot(shard int) error {
+func (o *PartOperator) shardDot(shard, av, bv int) {
 	op := o.parts[shard]
-	a, b := op.vecs[o.v1], op.vecs[o.v2]
+	a, b := op.vecs[av], op.vecs[bv]
 	for blk := range op.blkLo {
 		acc := 0.0
 		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
@@ -917,6 +1004,10 @@ func (o *PartOperator) phaseDot(shard int) error {
 		}
 		o.blockSums[op.blkOut[blk]] = acc
 	}
+}
+
+func (o *PartOperator) phaseDot(shard int) error {
+	o.shardDot(shard, o.v1, o.v2)
 	return nil
 }
 
@@ -927,9 +1018,9 @@ func (o *PartOperator) Dot2Vec(a, x, y solver.Vec) (float64, float64) {
 	return o.fold2()
 }
 
-func (o *PartOperator) phaseDot2(shard int) error {
+func (o *PartOperator) shardDot2(shard, av, xv, yv int) {
 	op := o.parts[shard]
-	a, x, y := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3]
+	a, x, y := op.vecs[av], op.vecs[xv], op.vecs[yv]
 	for blk := range op.blkLo {
 		acc1, acc2 := 0.0, 0.0
 		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
@@ -939,6 +1030,10 @@ func (o *PartOperator) phaseDot2(shard int) error {
 		o.blockSums[op.blkOut[blk]] = acc1
 		o.blockSums2[op.blkOut[blk]] = acc2
 	}
+}
+
+func (o *PartOperator) phaseDot2(shard int) error {
+	o.shardDot2(shard, o.v1, o.v2, o.v3)
 	return nil
 }
 
@@ -948,13 +1043,16 @@ func (o *PartOperator) AxpyVec(y solver.Vec, alpha float64, x solver.Vec) {
 	_ = o.run(o.fnAxpy, &o.Phase.Reduce)
 }
 
-func (o *PartOperator) phaseAxpy(shard int) error {
+func (o *PartOperator) shardAxpy(shard, yv, xv int, alpha float64) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	y, x := op.vecs[o.v1], op.vecs[o.v2]
-	alpha := o.sc1
+	y, x := op.vecs[yv], op.vecs[xv]
 	for i := 0; i < ps.nOwned; i++ {
 		y[i] += alpha * x[i]
 	}
+}
+
+func (o *PartOperator) phaseAxpy(shard int) error {
+	o.shardAxpy(shard, o.v1, o.v2, o.sc1)
 	return nil
 }
 
@@ -965,13 +1063,16 @@ func (o *PartOperator) Axpy2Vec(y solver.Vec, alpha float64, x solver.Vec, beta 
 	_ = o.run(o.fnAxpy2, &o.Phase.Reduce)
 }
 
-func (o *PartOperator) phaseAxpy2(shard int) error {
+func (o *PartOperator) shardAxpy2(shard, yv, xv, zv int, alpha, beta float64) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	y, x, z := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3]
-	alpha, beta := o.sc1, o.sc2
+	y, x, z := op.vecs[yv], op.vecs[xv], op.vecs[zv]
 	for i := 0; i < ps.nOwned; i++ {
 		y[i] += alpha*x[i] + beta*z[i]
 	}
+}
+
+func (o *PartOperator) phaseAxpy2(shard int) error {
+	o.shardAxpy2(shard, o.v1, o.v2, o.v3, o.sc1, o.sc2)
 	return nil
 }
 
@@ -981,13 +1082,16 @@ func (o *PartOperator) XpbyVec(y solver.Vec, beta float64, x solver.Vec) {
 	_ = o.run(o.fnXpby, &o.Phase.Reduce)
 }
 
-func (o *PartOperator) phaseXpby(shard int) error {
+func (o *PartOperator) shardXpby(shard, yv, xv int, beta float64) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	y, x := op.vecs[o.v1], op.vecs[o.v2]
-	beta := o.sc1
+	y, x := op.vecs[yv], op.vecs[xv]
 	for i := 0; i < ps.nOwned; i++ {
 		y[i] = x[i] + beta*y[i]
 	}
+}
+
+func (o *PartOperator) phaseXpby(shard int) error {
+	o.shardXpby(shard, o.v1, o.v2, o.sc1)
 	return nil
 }
 
@@ -998,10 +1102,9 @@ func (o *PartOperator) SubAxpyDotVec(dst, a solver.Vec, alpha float64, b solver.
 	return o.fold()
 }
 
-func (o *PartOperator) phaseSubAxpyDot(shard int) error {
+func (o *PartOperator) shardSubAxpyDot(shard, dstv, av, bv int, alpha float64) {
 	op := o.parts[shard]
-	dst, a, b := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3]
-	alpha := o.sc1
+	dst, a, b := op.vecs[dstv], op.vecs[av], op.vecs[bv]
 	for blk := range op.blkLo {
 		acc := 0.0
 		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
@@ -1011,6 +1114,10 @@ func (o *PartOperator) phaseSubAxpyDot(shard int) error {
 		}
 		o.blockSums[op.blkOut[blk]] = acc
 	}
+}
+
+func (o *PartOperator) phaseSubAxpyDot(shard int) error {
+	o.shardSubAxpyDot(shard, o.v1, o.v2, o.v3, o.sc1)
 	return nil
 }
 
@@ -1022,10 +1129,9 @@ func (o *PartOperator) CGStepVec(x solver.Vec, alpha float64, p, r, ap solver.Ve
 	return o.fold()
 }
 
-func (o *PartOperator) phaseCGStep(shard int) error {
+func (o *PartOperator) shardCGStep(shard, xv, pv, rv, apv int, alpha float64) {
 	op := o.parts[shard]
-	x, p, r, ap := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3], op.vecs[o.v4]
-	alpha := o.sc1
+	x, p, r, ap := op.vecs[xv], op.vecs[pv], op.vecs[rv], op.vecs[apv]
 	for blk := range op.blkLo {
 		acc := 0.0
 		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
@@ -1036,7 +1142,41 @@ func (o *PartOperator) phaseCGStep(shard int) error {
 		}
 		o.blockSums[op.blkOut[blk]] = acc
 	}
+}
+
+func (o *PartOperator) phaseCGStep(shard int) error {
+	o.shardCGStep(shard, o.v1, o.v2, o.v3, o.v4, o.sc1)
 	return nil
+}
+
+// shardCGStepPre is the fully fused CG tail for elementwise (identity or
+// Jacobi) preconditioners: the CG update, the residual norm, the
+// preconditioner application z = M⁻¹·r and ⟨r, z⟩, all in one pass. The
+// per-element expressions and the per-block accumulation orders are exactly
+// those of shardCGStep followed by shardPreDot, so the fusion is invisible
+// bitwise.
+func (o *PartOperator) shardCGStepPre(shard, xv, pv, rv, apv, zv int, alpha float64) {
+	op := o.parts[shard]
+	x, p, r, ap, z := op.vecs[xv], op.vecs[pv], op.vecs[rv], op.vecs[apv], op.vecs[zv]
+	inv := op.invDiag
+	usePre := o.usePre
+	for blk := range op.blkLo {
+		acc1, acc2 := 0.0, 0.0
+		for i := op.blkLo[blk]; i < op.blkHi[blk]; i++ {
+			x[i] += alpha * p[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			acc1 += ri * ri
+			zi := ri
+			if usePre {
+				zi = inv[i] * ri
+			}
+			z[i] = zi
+			acc2 += ri * zi
+		}
+		o.blockSums[op.blkOut[blk]] = acc1
+		o.blockSums2[op.blkOut[blk]] = acc2
+	}
 }
 
 // BicgPVec computes p = r + β·(p − ω·v), the BiCGStab direction update.
@@ -1045,13 +1185,16 @@ func (o *PartOperator) BicgPVec(p, r, v solver.Vec, beta, omega float64) {
 	_ = o.run(o.fnBicgP, &o.Phase.Reduce)
 }
 
-func (o *PartOperator) phaseBicgP(shard int) error {
+func (o *PartOperator) shardBicgP(shard, pv, rv, vv int, beta, omega float64) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	p, r, v := op.vecs[o.v1], op.vecs[o.v2], op.vecs[o.v3]
-	beta, omega := o.sc1, o.sc2
+	p, r, v := op.vecs[pv], op.vecs[rv], op.vecs[vv]
 	for i := 0; i < ps.nOwned; i++ {
 		p[i] = r[i] + beta*(p[i]-omega*v[i])
 	}
+}
+
+func (o *PartOperator) phaseBicgP(shard int) error {
+	o.shardBicgP(shard, o.v1, o.v2, o.v3, o.sc1, o.sc2)
 	return nil
 }
 
@@ -1073,17 +1216,21 @@ func (o *PartOperator) PrecondVec(z, r solver.Vec) {
 	}
 }
 
-func (o *PartOperator) phasePre(shard int) error {
+func (o *PartOperator) shardPre(shard, zv, rv int) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	z, r := op.vecs[zv], op.vecs[rv]
 	if !o.usePre {
 		copy(z[:ps.nOwned], r[:ps.nOwned])
-		return nil
+		return
 	}
 	inv := op.invDiag
 	for i := 0; i < ps.nOwned; i++ {
 		z[i] = inv[i] * r[i]
 	}
+}
+
+func (o *PartOperator) phasePre(shard int) error {
+	o.shardPre(shard, o.v1, o.v2)
 	return nil
 }
 
@@ -1102,9 +1249,9 @@ func (o *PartOperator) PrecondDotVec(z, r solver.Vec) float64 {
 	return o.fold()
 }
 
-func (o *PartOperator) phasePreDot(shard int) error {
+func (o *PartOperator) shardPreDot(shard, zv, rv int) {
 	op := o.parts[shard]
-	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	z, r := op.vecs[zv], op.vecs[rv]
 	inv := op.invDiag
 	for blk := range op.blkLo {
 		acc := 0.0
@@ -1123,6 +1270,10 @@ func (o *PartOperator) phasePreDot(shard int) error {
 		}
 		o.blockSums[op.blkOut[blk]] = acc
 	}
+}
+
+func (o *PartOperator) phasePreDot(shard int) error {
+	o.shardPreDot(shard, o.v1, o.v2)
 	return nil
 }
 

@@ -452,9 +452,13 @@ func (s *serialReference) MakePrecond(kind solver.PrecondKind, diag []float64) (
 // ssorPrecond builds the serial block-SSOR closure: per canonical block, a
 // forward Gauss–Seidel sweep in canonical order, then a backward sweep with
 // the diagonal scaling fused in — M = (D+L_B)·D⁻¹·(D+L_Bᵀ) with L_B the
-// in-block strictly-lower couplings. The partitioned phaseSSOR performs the
-// same per-block sweeps (compact index = canonical position − part start),
-// so the two agree bitwise for every part count.
+// in-block strictly-lower couplings. The strictly-lower and strictly-upper
+// in-block couplings are precompiled once into premultiplied (Υ·λ) index
+// lists, so the sweeps are branch-free streams instead of re-filtering every
+// neighbor by canonical position on every application. The partitioned
+// shardSSOR performs the same per-block sweeps over the identically built
+// lists (compact index = canonical position − part start), so the two agree
+// bitwise for every part count.
 func (s *serialReference) ssorPrecond(inv, d []float64) func(z, r []float64) {
 	u := s.Sys.U
 	lam := s.Sys.Mobility
@@ -463,31 +467,55 @@ func (s *serialReference) ssorPrecond(inv, d []float64) func(z, r []float64) {
 	for k, c := range order {
 		pos[c] = int32(k)
 	}
+	n := len(order)
+	loPtr := make([]int32, n+1)
+	upPtr := make([]int32, n+1)
+	var loI, upI []int32
+	var loW, upW []float64
+	for bi := range blocks {
+		lo, hi := int(blocks[bi]), n
+		if bi+1 < len(blocks) {
+			hi = int(blocks[bi+1])
+		}
+		for k := lo; k < hi; k++ {
+			c := order[k]
+			nbrs, trans := u.halfFaces(int(c))
+			for idx, nb := range nbrs {
+				p := int(pos[nb])
+				if p < lo || p >= hi {
+					continue
+				}
+				if p < k {
+					loW = append(loW, trans[idx]*lam)
+					loI = append(loI, nb)
+				} else if p > k {
+					upW = append(upW, trans[idx]*lam)
+					upI = append(upI, nb)
+				}
+			}
+			loPtr[k+1] = int32(len(loI))
+			upPtr[k+1] = int32(len(upI))
+		}
+	}
 	return func(z, r []float64) {
 		for bi := range blocks {
-			lo, hi := int(blocks[bi]), len(order)
+			lo, hi := int(blocks[bi]), n
 			if bi+1 < len(blocks) {
 				hi = int(blocks[bi+1])
 			}
 			for k := lo; k < hi; k++ {
 				c := order[k]
-				nbrs, trans := u.halfFaces(int(c))
 				acc := 0.0
-				for idx, nb := range nbrs {
-					if p := int(pos[nb]); p >= lo && p < k {
-						acc += trans[idx] * lam * z[nb]
-					}
+				for j := loPtr[k]; j < loPtr[k+1]; j++ {
+					acc += loW[j] * z[loI[j]]
 				}
 				z[c] = (r[c] + acc) * inv[c]
 			}
 			for k := hi - 1; k >= lo; k-- {
 				c := order[k]
-				nbrs, trans := u.halfFaces(int(c))
 				acc := 0.0
-				for idx, nb := range nbrs {
-					if p := int(pos[nb]); p > k && p < hi {
-						acc += trans[idx] * lam * z[nb]
-					}
+				for j := upPtr[k]; j < upPtr[k+1]; j++ {
+					acc += upW[j] * z[upI[j]]
 				}
 				z[c] = (d[c]*z[c] + acc) * inv[c]
 			}
@@ -603,6 +631,10 @@ func (o *PartOperator) SetPrecond(kind solver.PrecondKind, diag []float64) error
 	o.ga = diag
 	_ = o.run(o.fnSetDiag, &o.Phase.Reduce)
 	switch kind {
+	case solver.PrecondSSOR:
+		for _, op := range o.parts {
+			op.compileSSOR()
+		}
 	case solver.PrecondChebyshev:
 		o.cheb = newChebCoeffs(o.Sys.chebUpper())
 		for me, op := range o.parts {
@@ -694,53 +726,93 @@ func (o *PartOperator) compileAMG(lvl *amgLevel) error {
 	return nil
 }
 
-// phaseSSOR is the resident block-SSOR application: per owned canonical
+// compileSSOR precompiles the part's block-SSOR triangular structure: per
+// owned row, the strictly-lower and strictly-upper in-block couplings as
+// premultiplied (Υ·λ — the operator rows already carry the product) index
+// lists in adjacency order. The sweeps then stream the lists branch-free
+// instead of re-filtering every adjacency entry on every application —
+// same couplings, same order, same floats.
+func (op *opPart) compileSSOR() {
+	nOwned := len(op.rows)
+	if cap(op.ssorLoPtr) < nOwned+1 {
+		op.ssorLoPtr = make([]int32, nOwned+1)
+		op.ssorUpPtr = make([]int32, nOwned+1)
+	}
+	op.ssorLoPtr = op.ssorLoPtr[:nOwned+1]
+	op.ssorUpPtr = op.ssorUpPtr[:nOwned+1]
+	op.ssorLoI, op.ssorLoW = op.ssorLoI[:0], op.ssorLoW[:0]
+	op.ssorUpI, op.ssorUpW = op.ssorUpI[:0], op.ssorUpW[:0]
+	for b := range op.blkLo {
+		lo, hi := op.blkLo[b], op.blkHi[b]
+		for i := lo; i < hi; i++ {
+			for _, e := range op.rows[i] {
+				if e.li < lo || e.li >= hi {
+					continue
+				}
+				if e.li < i {
+					op.ssorLoW = append(op.ssorLoW, e.t)
+					op.ssorLoI = append(op.ssorLoI, e.li)
+				} else if e.li > i {
+					op.ssorUpW = append(op.ssorUpW, e.t)
+					op.ssorUpI = append(op.ssorUpI, e.li)
+				}
+			}
+			op.ssorLoPtr[i+1] = int32(len(op.ssorLoI))
+			op.ssorUpPtr[i+1] = int32(len(op.ssorUpI))
+		}
+	}
+}
+
+// shardSSOR is the resident block-SSOR application: per owned canonical
 // block, the forward sweep, then the backward sweep with the diagonal
-// scaling fused in. Couplings outside the block — including every halo
-// neighbor — are excluded, so the phase reads only part-local data and needs
-// no exchange; the sweeps are the serial closure's, expression for
-// expression, over the same blocks.
-func (o *PartOperator) phaseSSOR(shard int) error {
-	ps, op := o.e.parts[shard], o.parts[shard]
-	z, r := op.vecs[o.v1], op.vecs[o.v2]
+// scaling fused in, both streaming the precompiled triangular lists.
+// Couplings outside the block — including every halo neighbor — are
+// excluded, so the phase reads only part-local data and needs no exchange;
+// the sweeps are the serial closure's, expression for expression, over the
+// same blocks.
+func (o *PartOperator) shardSSOR(shard, zv, rv int) {
+	op := o.parts[shard]
+	z, r := op.vecs[zv], op.vecs[rv]
 	inv, d := op.invDiag, op.dLoc
-	lam := o.Sys.Mobility
-	rows := ps.rows
+	loPtr, loI, loW := op.ssorLoPtr, op.ssorLoI, op.ssorLoW
+	upPtr, upI, upW := op.ssorUpPtr, op.ssorUpI, op.ssorUpW
 	for b := range op.blkLo {
 		lo, hi := op.blkLo[b], op.blkHi[b]
 		for i := lo; i < hi; i++ {
 			acc := 0.0
-			for _, e := range rows[i] {
-				if e.li >= lo && e.li < i {
-					acc += e.t * lam * z[e.li]
-				}
+			for k := loPtr[i]; k < loPtr[i+1]; k++ {
+				acc += loW[k] * z[loI[k]]
 			}
 			z[i] = (r[i] + acc) * inv[i]
 		}
 		for i := hi - 1; i >= lo; i-- {
 			acc := 0.0
-			for _, e := range rows[i] {
-				if e.li > i && e.li < hi {
-					acc += e.t * lam * z[e.li]
-				}
+			for k := upPtr[i]; k < upPtr[i+1]; k++ {
+				acc += upW[k] * z[upI[k]]
 			}
 			z[i] = (d[i]*z[i] + acc) * inv[i]
 		}
 	}
+}
+
+func (o *PartOperator) phaseSSOR(shard int) error {
+	o.shardSSOR(shard, o.v1, o.v2)
 	return nil
 }
 
 // scratchApplyVec runs one fused resident application with the destination
 // redirected to each part's pw scratch — the in-preconditioner A·z of the
-// Chebyshev and AMG rungs. It reuses the exchange-overlapped apply phases
-// (and their communication accounting) without burning a solver vector.
+// Chebyshev and AMG rungs. It reuses the halo-overlapped apply phases (and
+// their communication accounting) without burning a solver vector.
 func (o *PartOperator) scratchApplyVec(x solver.Vec) {
 	o.applyDot, o.applyScratch = false, true
 	o.v2 = int(x)
 	// The phases are structurally infallible here: the exchange plans were
 	// already exercised by the solve's own applications.
-	_ = o.run(o.fnApplySend, &o.Phase.Exchange)
-	_ = o.run(o.fnApplyRecv, &o.Phase.Compute)
+	_ = o.run(o.fnApplySend, &o.Phase.Compute)
+	if o.split {
+		_ = o.run(o.fnApplyRecv, &o.Phase.Compute)
+	}
 	o.applyScratch = false
 	o.finishApply()
 }
@@ -763,29 +835,35 @@ func (o *PartOperator) chebApplyVec(z, r solver.Vec) {
 	}
 }
 
-func (o *PartOperator) phaseChebInit(shard int) error {
+func (o *PartOperator) shardChebInit(shard, zv, rv int, invTheta float64) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	z, r := op.vecs[zv], op.vecs[rv]
 	inv, pd := op.invDiag, op.pd
-	invTheta := o.sc1
 	for i := 0; i < ps.nOwned; i++ {
 		zi := (inv[i] * r[i]) * invTheta
 		z[i] = zi
 		pd[i] = zi
 	}
+}
+
+func (o *PartOperator) phaseChebInit(shard int) error {
+	o.shardChebInit(shard, o.v1, o.v2, o.sc1)
 	return nil
 }
 
-func (o *PartOperator) phaseChebStep(shard int) error {
+func (o *PartOperator) shardChebStep(shard, zv, rv int, c1, c2 float64) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	z, r := op.vecs[zv], op.vecs[rv]
 	inv, pd, pw := op.invDiag, op.pd, op.pw
-	c1, c2 := o.sc1, o.sc2
 	for i := 0; i < ps.nOwned; i++ {
 		di := c1*pd[i] + c2*(inv[i]*(r[i]-pw[i]))
 		pd[i] = di
 		z[i] += di
 	}
+}
+
+func (o *PartOperator) phaseChebStep(shard int) error {
+	o.shardChebStep(shard, o.v1, o.v2, o.sc1, o.sc2)
 	return nil
 }
 
@@ -809,19 +887,23 @@ func (o *PartOperator) amgApplyVec(z, r solver.Vec) {
 	_ = o.run(o.fnAMGPost, &o.Phase.Reduce)
 }
 
-func (o *PartOperator) phaseAMGPre(shard int) error {
+func (o *PartOperator) shardAMGPre(shard, zv, rv int) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	z, r := op.vecs[zv], op.vecs[rv]
 	inv := op.invDiag
 	for i := 0; i < ps.nOwned; i++ {
 		z[i] = amgOmega * (inv[i] * r[i])
 	}
+}
+
+func (o *PartOperator) phaseAMGPre(shard int) error {
+	o.shardAMGPre(shard, o.v1, o.v2)
 	return nil
 }
 
-func (o *PartOperator) phaseAMGRestrict(shard int) error {
+func (o *PartOperator) shardAMGRestrict(shard, rv int) {
 	op := o.parts[shard]
-	r, pw := op.vecs[o.v2], op.pw
+	r, pw := op.vecs[rv], op.pw
 	for a := range op.aggID {
 		acc := 0.0
 		for k := op.aggPtr[a]; k < op.aggPtr[a+1]; k++ {
@@ -830,25 +912,37 @@ func (o *PartOperator) phaseAMGRestrict(shard int) error {
 		}
 		o.coarseR[op.aggID[a]] = acc
 	}
+}
+
+func (o *PartOperator) phaseAMGRestrict(shard int) error {
+	o.shardAMGRestrict(shard, o.v2)
 	return nil
 }
 
-func (o *PartOperator) phaseAMGProlong(shard int) error {
+func (o *PartOperator) shardAMGProlong(shard, zv int) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	z := op.vecs[o.v1]
+	z := op.vecs[zv]
 	ec, agg := o.coarseE, op.aggOfLoc
 	for i := 0; i < ps.nOwned; i++ {
 		z[i] += ec[agg[i]]
 	}
+}
+
+func (o *PartOperator) phaseAMGProlong(shard int) error {
+	o.shardAMGProlong(shard, o.v1)
 	return nil
 }
 
-func (o *PartOperator) phaseAMGPost(shard int) error {
+func (o *PartOperator) shardAMGPost(shard, zv, rv int) {
 	ps, op := o.e.parts[shard], o.parts[shard]
-	z, r := op.vecs[o.v1], op.vecs[o.v2]
+	z, r := op.vecs[zv], op.vecs[rv]
 	inv, pw := op.invDiag, op.pw
 	for i := 0; i < ps.nOwned; i++ {
 		z[i] += amgOmega * (inv[i] * (r[i] - pw[i]))
 	}
+}
+
+func (o *PartOperator) phaseAMGPost(shard int) error {
+	o.shardAMGPost(shard, o.v1, o.v2)
 	return nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package umesh
+
+const raceEnabled = false

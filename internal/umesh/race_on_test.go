@@ -1,0 +1,7 @@
+//go:build race
+
+package umesh
+
+// raceEnabled reports whether the race detector is compiled in — timing
+// gates skip under -race, where instrumentation overhead swamps the signal.
+const raceEnabled = true

@@ -186,6 +186,7 @@ func RunTransientPartitioned(u *Mesh, p *Partition, fl physics.Fluid, opts Trans
 	}
 	res.Pressure = pres
 	if po != nil {
+		po.syncCounters() // pick up the gathers/algebra since the last apply
 		res.OperatorApplications = po.Applications
 		res.Comm = po.Comm
 		res.Scatters, res.Gathers = po.Scatters, po.Gathers
