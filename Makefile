@@ -3,11 +3,12 @@ GO ?= go
 # The engine packages the race gate covers: the goroutine-per-PE fabric, the
 # serial flat engine, the sharded parallel flat engine, the vector ISA they
 # all execute, the shared shard-pool execution layer, the partitioned
-# unstructured engine built on it, and the Krylov solvers that drive the
-# partitioned implicit path.
-RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/ ./internal/exec/ ./internal/umesh/ ./internal/solver/
+# unstructured engine built on it, the Krylov solvers that drive the
+# partitioned implicit path, and the resident-engine serving layer that
+# multiplexes concurrent requests over those solvers.
+RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/ ./internal/exec/ ./internal/umesh/ ./internal/solver/ ./internal/serve/
 
-.PHONY: build test race bench-smoke bench-kernel bench-umesh bench-usolve fuzz-smoke cover docs-check vet fmt-check ci
+.PHONY: build test race bench-smoke bench-kernel bench-umesh bench-usolve bench-serve fuzz-smoke cover docs-check vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +48,15 @@ bench-usolve:
 	@echo "bench-usolve: GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)}"
 	$(GO) test -run '^$$' -bench 'BenchmarkPartOperator|BenchmarkUsolve' -benchtime 1x -short ./internal/umesh/
 
+# The serving-layer load experiment at reduced scale: fvserve's in-process
+# selftest (cold vs warm on the benchmark scenario, bit-identity against the
+# one-shot path, a short open-loop burst). Fails if the served result ever
+# diverges from one-shot. Drop -requests/-arrival-rate for the full
+# BENCH_serve.json measurement (see docs/benchmarks.md).
+bench-serve:
+	@echo "bench-serve: GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)}"
+	$(GO) run ./cmd/fvserve -selftest -requests 30 -arrival-rate 40
+
 # Short native-fuzz exploration of the RCB partitioner and the radial mesh
 # builder (the checked-in seed corpus already runs under plain `make test`).
 # -fuzz accepts one target per invocation, hence two runs.
@@ -56,8 +66,9 @@ fuzz-smoke:
 
 # Per-package coverage gate over the solver-path packages. Floors are pinned
 # a few points under the measured numbers so genuine regressions fail while
-# rounding noise does not. Current coverage (2026-08, PR 6):
+# rounding noise does not. Current coverage (2026-08, PR 8):
 #   internal/umesh  94.5%   internal/solver 88.7%   internal/exec 95.8%
+#   internal/serve  87.5%
 cover:
 	@set -e; \
 	check() { \
@@ -70,7 +81,8 @@ cover:
 	}; \
 	check ./internal/umesh/ 88; \
 	check ./internal/solver/ 86; \
-	check ./internal/exec/ 95
+	check ./internal/exec/ 95; \
+	check ./internal/serve/ 84
 
 # Docs gate: the godoc Example functions (solver.CG, RunTransientPartitioned,
 # SolveUnstructured) execute with output verification, the architecture and
@@ -101,4 +113,4 @@ fmt-check:
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Everything the CI workflow gates on.
-ci: build vet fmt-check test race cover docs-check bench-smoke bench-kernel bench-umesh bench-usolve fuzz-smoke
+ci: build vet fmt-check test race cover docs-check bench-smoke bench-kernel bench-umesh bench-usolve bench-serve fuzz-smoke

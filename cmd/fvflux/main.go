@@ -11,6 +11,7 @@
 //	fvflux -experiment kernel -json BENCH_kernel.json
 //	fvflux -experiment umesh -json BENCH_umesh.json
 //	fvflux -experiment usolve -json BENCH_usolve.json
+//	fvflux -experiment serve -json BENCH_serve.json
 //	fvflux -experiment table2 -engine parallel -workers 8
 package main
 
@@ -32,7 +33,7 @@ import (
 // experiments is the single source of truth for -experiment values: it
 // drives the flag help, the unknown-value error, and must match the run()
 // registrations below (plus the "all" sentinel).
-var experiments = []string{"table1", "table2", "table3", "table4", "scaling", "kernel", "umesh", "usolve", "fig8", "ablations", "all"}
+var experiments = []string{"table1", "table2", "table3", "table4", "scaling", "kernel", "umesh", "usolve", "serve", "fig8", "ablations", "all"}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -55,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		apps       = fs.Int("apps", 2, "functional applications of Algorithm 1")
 		engine     = fs.String("engine", "fabric", "functional engine: fabric|flat|parallel")
 		workers    = fs.Int("workers", 0, "worker count for engine=parallel (0 = all CPUs)")
-		jsonOut    = fs.String("json", "", "record the selected scaling, kernel, umesh or usolve experiment as JSON to this path (ignored with -experiment all)")
+		jsonOut    = fs.String("json", "", "record the selected scaling, kernel, umesh, usolve or serve experiment as JSON to this path (ignored with -experiment all)")
 		preconds   = fs.String("preconds", "", "comma-separated preconditioner rungs for -experiment usolve: jacobi,ssor,chebyshev,amg (default: the whole ladder)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this path")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile taken after the selected experiments to this path")
@@ -244,6 +245,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if *experiment == "usolve" {
 			return writeJSON(stdout, *jsonOut, u.WriteJSON)
+		}
+		return nil
+	})
+	runExp("serve", func(c bench.Config) error {
+		// The serving-layer load experiment: an in-process resident-engine
+		// server measured cold vs warm, bit-checked against the one-shot
+		// path, then driven with open-loop arrivals.
+		s, err := bench.RunServeLoad(bench.ServeConfig{})
+		if err != nil {
+			return err
+		}
+		if err := s.Render(stdout); err != nil {
+			return err
+		}
+		if *experiment == "serve" {
+			return writeJSON(stdout, *jsonOut, s.WriteJSON)
 		}
 		return nil
 	})

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cliutil"
@@ -18,17 +20,33 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, exit clean
+		}
+		fmt.Fprintln(os.Stderr, "meshgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool with explicit argv and streams — the testable entry
+// the table-driven CLI tests drive.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("meshgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dimsStr = flag.String("dims", "32x32x8", "mesh size NxXNyXNz")
-		model   = flag.String("model", "ccs", "geomodel: uniform|layered|ccs")
-		seed    = flag.Uint64("seed", 0x5C2023, "heterogeneity seed")
-		out     = flag.String("o", "", "output snapshot path (omit for stats only)")
+		dimsStr = fs.String("dims", "32x32x8", "mesh size NxXNyXNz")
+		model   = fs.String("model", "ccs", "geomodel: uniform|layered|ccs")
+		seed    = fs.Uint64("seed", 0x5C2023, "heterogeneity seed")
+		out     = fs.String("o", "", "output snapshot path (omit for stats only)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	d, err := cliutil.ParseDims(*dimsStr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	opts := mesh.DefaultGeoOptions()
@@ -41,40 +59,40 @@ func main() {
 	case "ccs":
 		opts.Model = mesh.GeoCCS
 	default:
-		fatal(fmt.Errorf("unknown geomodel %q", *model))
+		return fmt.Errorf("unknown geomodel %q (want uniform, layered or ccs)", *model)
 	}
 
 	m, err := mesh.Build(d, mesh.DefaultSpacing(), opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	st := m.TransmissibilityStats()
-	fmt.Printf("geomodel %s %v (seed %#x)\n", opts.Model, d, opts.Seed)
-	fmt.Printf("cells: %d, pore volume: %.3e m3\n", d.Cells(), m.TotalPoreVolume())
-	fmt.Printf("permeability: first cell %.1f mD\n", units.ToMilliDarcy(m.Perm[0]))
-	fmt.Printf("transmissibility: %d faces, min %.3e, mean %.3e, max %.3e\n",
+	fmt.Fprintf(stdout, "geomodel %s %v (seed %#x)\n", opts.Model, d, opts.Seed)
+	fmt.Fprintf(stdout, "cells: %d, pore volume: %.3e m3\n", d.Cells(), m.TotalPoreVolume())
+	fmt.Fprintf(stdout, "permeability: first cell %.1f mD\n", units.ToMilliDarcy(m.Perm[0]))
+	fmt.Fprintf(stdout, "transmissibility: %d faces, min %.3e, mean %.3e, max %.3e\n",
 		st.NonZeroFaces, st.Min, st.Mean, st.Max)
-	fmt.Printf("pressure: max %.2f bar\n", units.ToBar(m.MaxAbsPressure()))
+	fmt.Fprintf(stdout, "pressure: max %.2f bar\n", units.ToBar(m.MaxAbsPressure()))
 
 	if *out == "" {
-		return
+		return nil
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	defer f.Close()
 	if err := m.WriteSnapshot(f); err != nil {
-		fatal(err)
+		f.Close()
+		return err
 	}
 	info, err := f.Stat()
 	if err != nil {
-		fatal(err)
+		f.Close()
+		return err
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "meshgen:", err)
-	os.Exit(1)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d bytes)\n", *out, info.Size())
+	return nil
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHelpReturnsErrHelp pins the -h contract: run surfaces flag.ErrHelp
+// (which main turns into a clean exit 0) after printing usage to stderr.
+func TestHelpReturnsErrHelp(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-model") {
+		t.Errorf("usage output missing flag docs:\n%s", stderr.String())
+	}
+}
+
+// TestRunCLIValidation drives the flag matrix: invalid values must produce
+// a usage error instead of silently defaulting.
+func TestRunCLIValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error, "" = success
+	}{
+		{"unknown model", []string{"-model", "voronoi"}, "unknown geomodel"},
+		{"empty model value", []string{"-model", ""}, "unknown geomodel"},
+		{"bad dims", []string{"-dims", "4x4"}, "dims"},
+		{"zero dim", []string{"-dims", "0x4x4"}, "positive"},
+		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"stats only", []string{"-dims", "6x5x4"}, ""},
+		{"layered model", []string{"-dims", "6x5x4", "-model", "layered"}, ""},
+		{"uniform model", []string{"-dims", "6x5x4", "-model", "uniform", "-seed", "7"}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			err := run(c.args, &stdout, &stderr)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run(%v) failed: %v", c.args, err)
+				}
+				if !strings.Contains(stdout.String(), "transmissibility") {
+					t.Errorf("run(%v) produced no stats:\n%s", c.args, stdout.String())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("run(%v) accepted, want error containing %q", c.args, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("run(%v) error %q does not contain %q", c.args, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunWritesSnapshot pins -o: the snapshot lands on disk non-empty and
+// the byte count is reported.
+func TestRunWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.fvmesh")
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-dims", "6x5x4", "-o", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("snapshot is empty")
+	}
+	if !strings.Contains(stdout.String(), "wrote "+path) {
+		t.Errorf("output does not report the write:\n%s", stdout.String())
+	}
+}
+
+// TestRunUnwritableOutput pins the error path: a bad -o path surfaces as an
+// error instead of a partial run that looks successful.
+func TestRunUnwritableOutput(t *testing.T) {
+	var stdout, stderr strings.Builder
+	path := filepath.Join(t.TempDir(), "no-such-dir", "site.fvmesh")
+	if err := run([]string{"-dims", "6x5x4", "-o", path}, &stdout, &stderr); err == nil {
+		t.Fatal("run accepted an unwritable output path")
+	}
+}

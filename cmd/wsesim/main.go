@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cliutil"
@@ -21,27 +23,44 @@ import (
 )
 
 func main() {
-	var (
-		row  = flag.Int("row", 8, "PE-row width for the Fig. 6 broadcast demo")
-		dims = flag.String("dims", "10x8x6", "mesh for the flux demo")
-		apps = flag.Int("apps", 2, "applications of Algorithm 1")
-	)
-	flag.Parse()
-
-	if err := broadcastDemo(*row); err != nil {
-		fatal(err)
-	}
-	fmt.Println()
-	if err := fluxDemo(*dims, *apps); err != nil {
-		fatal(err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, exit clean
+		}
+		fmt.Fprintln(os.Stderr, "wsesim:", err)
+		os.Exit(1)
 	}
 }
 
-func broadcastDemo(width int) error {
+// run executes the tool with explicit argv and streams — the testable entry
+// the table-driven CLI tests drive.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		row  = fs.Int("row", 8, "PE-row width for the Fig. 6 broadcast demo")
+		dims = fs.String("dims", "10x8x6", "mesh for the flux demo")
+		apps = fs.Int("apps", 2, "applications of Algorithm 1")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *apps < 1 {
+		return fmt.Errorf("-apps must be positive, got %d", *apps)
+	}
+
+	if err := broadcastDemo(stdout, *row); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout)
+	return fluxDemo(stdout, *dims, *apps)
+}
+
+func broadcastDemo(stdout io.Writer, width int) error {
 	if width < 2 {
 		return fmt.Errorf("broadcast demo needs a row of at least 2 PEs")
 	}
-	fmt.Printf("-- Fig. 6 eastward broadcast on a 1x%d PE row --\n", width)
+	fmt.Fprintf(stdout, "-- Fig. 6 eastward broadcast on a 1x%d PE row --\n", width)
 	f, err := fabric.New(fabric.Config{Width: width, Height: 1})
 	if err != nil {
 		return err
@@ -55,20 +74,20 @@ func broadcastDemo(width int) error {
 		return err
 	}
 	for x := 1; x < width; x++ {
-		fmt.Printf("PE %2d received %.0f from its western neighbor\n", x, got[x])
+		fmt.Fprintf(stdout, "PE %2d received %.0f from its western neighbor\n", x, got[x])
 	}
 	tot := f.Totals()
-	fmt.Printf("router commands applied: %d, wavelets delivered: %d, dropped: %d\n",
+	fmt.Fprintf(stdout, "router commands applied: %d, wavelets delivered: %d, dropped: %d\n",
 		tot.Commands, tot.DeliveredToPE, tot.DroppedAtStop)
 	return nil
 }
 
-func fluxDemo(dimsStr string, apps int) error {
+func fluxDemo(stdout io.Writer, dimsStr string, apps int) error {
 	d, err := cliutil.ParseDims(dimsStr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("-- flux computation on %v, %d applications --\n", d, apps)
+	fmt.Fprintf(stdout, "-- flux computation on %v, %d applications --\n", d, apps)
 	m, err := mesh.BuildDefault(d)
 	if err != nil {
 		return err
@@ -77,12 +96,12 @@ func fluxDemo(dimsStr string, apps int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("engine: %s, host time %v\n", res.Engine, res.Elapsed)
+	fmt.Fprintf(stdout, "engine: %s, host time %v\n", res.Engine, res.Elapsed)
 	if res.Interior != nil {
-		fmt.Printf("per interior cell: %s\n", res.Interior)
+		fmt.Fprintf(stdout, "per interior cell: %s\n", res.Interior)
 	}
 	if res.FabricTotals != nil {
-		fmt.Printf("fabric: %d wavelets sent from ramps, %d delivered, %d router-forwarded, %d dropped\n",
+		fmt.Fprintf(stdout, "fabric: %d wavelets sent from ramps, %d delivered, %d router-forwarded, %d dropped\n",
 			res.FabricTotals.SentFromRamp, res.FabricTotals.DeliveredToPE,
 			res.FabricTotals.Forwarded, res.FabricTotals.DroppedAtStop)
 	}
@@ -93,7 +112,7 @@ func fluxDemo(dimsStr string, apps int) error {
 			mx = a
 		}
 	}
-	fmt.Printf("residual: Σ = %.3e (mass conservation), max |r| = %.3e\n", sum, mx)
+	fmt.Fprintf(stdout, "residual: Σ = %.3e (mass conservation), max |r| = %.3e\n", sum, mx)
 	return nil
 }
 
@@ -102,9 +121,4 @@ func abs64(x float64) float64 {
 		return -x
 	}
 	return x
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wsesim:", err)
-	os.Exit(1)
 }

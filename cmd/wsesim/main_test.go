@@ -1,0 +1,73 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestHelpReturnsErrHelp pins the -h contract: run surfaces flag.ErrHelp
+// (which main turns into a clean exit 0) after printing usage to stderr.
+func TestHelpReturnsErrHelp(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-row") {
+		t.Errorf("usage output missing flag docs:\n%s", stderr.String())
+	}
+}
+
+// TestRunCLIValidation drives the flag matrix: invalid values must produce
+// a usage error instead of silently defaulting.
+func TestRunCLIValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error, "" = success
+	}{
+		{"row too small", []string{"-row", "1"}, "at least 2"},
+		{"negative row", []string{"-row", "-4"}, "at least 2"},
+		{"bad dims", []string{"-dims", "4x4"}, "dims"},
+		{"zero apps", []string{"-apps", "0"}, "positive"},
+		{"negative apps", []string{"-apps", "-2"}, "positive"},
+		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"small demo", []string{"-row", "3", "-dims", "5x4x3", "-apps", "1"}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			err := run(c.args, &stdout, &stderr)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run(%v) failed: %v", c.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("run(%v) accepted, want error containing %q", c.args, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("run(%v) error %q does not contain %q", c.args, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunReportsBothDemos pins the output contract: one invocation runs the
+// broadcast demo and the flux demo and reports the router traffic plus mass
+// conservation.
+func TestRunReportsBothDemos(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-row", "4", "-dims", "6x5x4", "-apps", "2"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"eastward broadcast", "router commands applied", "flux computation", "mass conservation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

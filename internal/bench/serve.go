@@ -1,0 +1,396 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// This file is the serving-layer load experiment: a resident-engine server
+// (internal/serve) stood up in-process, measured the way a latency SLO would
+// measure it. Three phases: a cold-start request that pays scenario
+// compilation (mesh, RCB, engine pool, preconditioner setup), warm-cache
+// probes that pay only queue + solve + render on the resident engines, and an
+// open-loop load phase (seeded exponential arrivals, requests fired on
+// schedule regardless of completions) that records sustained throughput and
+// latency quantiles under queueing, batching and admission control. The JSON
+// report (BENCH_serve.json) is the serving path's trajectory anchor; the
+// cold/warm ratio is the headline — it is the plan-compilation cost the
+// scenario cache amortizes away.
+
+// ServeConfig sizes the serving-layer load experiment.
+type ServeConfig struct {
+	// Scenario selects the compiled configuration under test. Default: the
+	// 15360-cell radial benchmark mesh, 8 RCB parts, the AMG rung at the
+	// interactive tolerance 1e-2 — the compile-heavy/solve-light shape a
+	// serving layer exists for.
+	Scenario serve.Scenario
+	// Steps is the backward-Euler step count per request (default 1).
+	Steps int
+	// WarmProbes is how many sequential warm-cache requests to measure; the
+	// reported warm latency is their median (default 5).
+	WarmProbes int
+	// Requests is the open-loop arrival count (default 60).
+	Requests int
+	// RatePerSec is the open-loop arrival rate (default 50 — above the
+	// single-core service rate, so the load phase exercises queueing and
+	// batched dispatch, not just round trips).
+	RatePerSec float64
+	// Seed seeds the exponential inter-arrival draws (default 1).
+	Seed int64
+	// Server overrides the serving options. Defaults: 2 resident engines per
+	// scenario (the cold request compiles the whole pool), queue depth 24.
+	Server serve.Options
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Scenario == (serve.Scenario{}) {
+		c.Scenario = serve.Scenario{Parts: 8, Precond: "amg", Tol: 1e-2}
+	}
+	if c.Steps == 0 {
+		c.Steps = 1
+	}
+	if c.WarmProbes == 0 {
+		c.WarmProbes = 5
+	}
+	if c.Requests == 0 {
+		c.Requests = 60
+	}
+	if c.RatePerSec == 0 {
+		c.RatePerSec = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Server.EnginesPerScenario == 0 {
+		c.Server.EnginesPerScenario = 2
+	}
+	if c.Server.QueueDepth == 0 {
+		c.Server.QueueDepth = 24
+	}
+	return c
+}
+
+// ServeLoadPhase is the open-loop phase's outcome.
+type ServeLoadPhase struct {
+	// Requests, RatePerSec and Seed echo the arrival process.
+	Requests   int     `json:"requests"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Seed       int64   `json:"seed"`
+	// Completed counts 200s; Rejected429 the admission rejections (token
+	// bucket or full queue); BatchedRequests the completions that shared a
+	// batch-mate's solve.
+	Completed       int `json:"completed"`
+	Rejected429     int `json:"rejected_429"`
+	BatchedRequests int `json:"batched_requests"`
+	// SustainedReqPerSec is completions over the span from first arrival to
+	// last completion — the throughput the server actually sustained.
+	SustainedReqPerSec float64 `json:"sustained_req_per_sec"`
+	// Latency quantiles over the completed requests (arrival-to-response).
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+	// DurationSeconds spans first arrival to last completion.
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// ServeLoad is the experiment outcome. It serializes to the BENCH_serve.json
+// baseline future PRs compare against.
+type ServeLoad struct {
+	Scenario    serve.Scenario `json:"scenario"`
+	ScenarioKey string         `json:"scenario_key"`
+	Cells       int            `json:"cells"`
+	// StepsPerRequest, EnginesPerScenario, QueueDepth and BatchMax echo the
+	// request shape and the serving knobs under test.
+	StepsPerRequest    int    `json:"steps_per_request"`
+	EnginesPerScenario int    `json:"engines_per_scenario"`
+	QueueDepth         int    `json:"queue_depth"`
+	BatchMax           int    `json:"batch_max"`
+	NumCPU             int    `json:"num_cpu"`
+	GOMAXPROCS         int    `json:"gomaxprocs"`
+	GoVersion          string `json:"go_version"`
+
+	// ColdSeconds is the cache-miss request's latency (compilation of the
+	// whole engine pool plus one solve); CompileSeconds is the server-reported
+	// compile share of it. WarmSeconds is the median warm-cache latency over
+	// WarmProbes sequential requests (WarmMinSeconds the fastest), and
+	// WarmSpeedup = ColdSeconds / WarmSeconds — the amortization headline,
+	// required ≥ 5 for the benchmark scenario.
+	ColdSeconds    float64 `json:"cold_seconds"`
+	CompileSeconds float64 `json:"compile_seconds"`
+	WarmSeconds    float64 `json:"warm_seconds"`
+	WarmMinSeconds float64 `json:"warm_min_seconds"`
+	WarmSpeedup    float64 `json:"warm_speedup"`
+
+	// BitIdentical records that the cold response, every warm (engine-reused)
+	// response, and a fresh one-shot compile-and-solve all hashed the same
+	// final pressure field; PressureSHA256 is that hash.
+	BitIdentical   bool   `json:"bit_identical"`
+	PressureSHA256 string `json:"pressure_sha256"`
+
+	Load ServeLoadPhase `json:"load"`
+	// Stats is the server's own counter block at the end of the run (cache
+	// hits/misses, admission rejections, batching, phase seconds).
+	Stats serve.StatsSnapshot `json:"stats"`
+}
+
+// serveSample is one load-phase request's outcome.
+type serveSample struct {
+	status  int
+	seconds float64
+	batched bool
+}
+
+// RunServeLoad stands up a resident-engine server in-process and measures
+// cold-start latency, warm-cache latency, bit-identity against the one-shot
+// path, and open-loop load behavior.
+func RunServeLoad(cfg ServeConfig) (*ServeLoad, error) {
+	cfg = cfg.withDefaults()
+	srv := serve.New(cfg.Server)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+	url := ts.URL + "/v1/solve"
+	client := ts.Client()
+
+	post := func(body []byte) (*serve.SolveResponse, int, float64, error) {
+		start := time.Now()
+		httpRes, err := client.Post(url, "application/json", bytes.NewReader(body))
+		sec := time.Since(start).Seconds()
+		if err != nil {
+			return nil, 0, sec, err
+		}
+		defer httpRes.Body.Close()
+		if httpRes.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, httpRes.Body)
+			return nil, httpRes.StatusCode, sec, nil
+		}
+		var res serve.SolveResponse
+		if err := json.NewDecoder(httpRes.Body).Decode(&res); err != nil {
+			return nil, httpRes.StatusCode, sec, err
+		}
+		return &res, httpRes.StatusCode, sec, nil
+	}
+
+	req := serve.SolveRequest{Scenario: cfg.Scenario, Steps: cfg.Steps}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ServeLoad{
+		Scenario:           cfg.Scenario,
+		ScenarioKey:        cfg.Scenario.Key(),
+		StepsPerRequest:    cfg.Steps,
+		EnginesPerScenario: cfg.Server.EnginesPerScenario,
+		QueueDepth:         cfg.Server.QueueDepth,
+		BatchMax:           cfg.Server.BatchMax,
+		NumCPU:             runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		GoVersion:          runtime.Version(),
+	}
+	if out.BatchMax == 0 {
+		out.BatchMax = 8 // the serve default
+	}
+
+	// Phase 1: cold start — the request that misses the cache and compiles
+	// the scenario's whole engine pool.
+	cold, status, coldSec, err := post(body)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve cold request: %w", err)
+	}
+	if cold == nil {
+		return nil, fmt.Errorf("bench: serve cold request: HTTP %d", status)
+	}
+	if cold.CacheHit {
+		return nil, fmt.Errorf("bench: serve cold request unexpectedly hit the cache")
+	}
+	out.Cells = cold.Cells
+	out.ColdSeconds = coldSec
+	out.CompileSeconds = cold.Timings.CompileSeconds
+	out.PressureSHA256 = cold.PressureSHA256
+
+	// Phase 2: warm-cache probes — sequential, so each measures one resident
+	// solve with no queueing. The engines are reused across them; their
+	// hashes must all equal the cold one.
+	warm := make([]float64, 0, cfg.WarmProbes)
+	identical := true
+	for i := 0; i < cfg.WarmProbes; i++ {
+		res, status, sec, err := post(body)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve warm probe %d: %w", i, err)
+		}
+		if res == nil {
+			return nil, fmt.Errorf("bench: serve warm probe %d: HTTP %d", i, status)
+		}
+		if !res.CacheHit {
+			return nil, fmt.Errorf("bench: serve warm probe %d missed the cache", i)
+		}
+		if res.PressureSHA256 != out.PressureSHA256 {
+			identical = false
+		}
+		warm = append(warm, sec)
+	}
+	sorted := append([]float64(nil), warm...)
+	sort.Float64s(sorted)
+	out.WarmSeconds = sorted[len(sorted)/2]
+	out.WarmMinSeconds = sorted[0]
+	if out.WarmSeconds > 0 {
+		out.WarmSpeedup = out.ColdSeconds / out.WarmSeconds
+	}
+
+	// Phase 3: bit-identity against the one-shot path — a fresh
+	// compile-and-solve with no cache and no reuse must hash identically.
+	oneShot, err := serve.OneShot(req)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve one-shot reference: %w", err)
+	}
+	if serve.PressureHash(oneShot.Pressure) != out.PressureSHA256 {
+		identical = false
+	}
+	out.BitIdentical = identical
+
+	// Phase 4: open-loop load — arrivals fire on their own schedule (seeded
+	// exponential inter-arrivals), not when the previous response lands, so
+	// the queue, the batcher and the admission gate all engage. Two well
+	// payloads alternate, so drained windows split into two batch groups.
+	variant := req
+	variant.Wells = []serve.WellSpec{{Cell: 0, Rate: 1.5}, {Cell: out.Cells - 1, Rate: -1.5}}
+	variantBody, err := json.Marshal(variant)
+	if err != nil {
+		return nil, err
+	}
+	bodies := [2][]byte{body, variantBody}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrivals := make([]time.Duration, cfg.Requests)
+	at := 0.0
+	for i := range arrivals {
+		at += rng.ExpFloat64() / cfg.RatePerSec
+		arrivals[i] = time.Duration(at * float64(time.Second))
+	}
+
+	samples := make([]serveSample, cfg.Requests)
+	var wg sync.WaitGroup
+	loadStart := time.Now()
+	var lastDone atomic64Time
+	for i := range arrivals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Until(loadStart.Add(arrivals[i])))
+			res, status, sec, err := post(bodies[i%2])
+			if err != nil {
+				samples[i] = serveSample{status: -1, seconds: sec}
+				return
+			}
+			samples[i] = serveSample{status: status, seconds: sec}
+			if res != nil {
+				samples[i].batched = res.Batched
+			}
+			lastDone.store(time.Now())
+		}(i)
+	}
+	wg.Wait()
+
+	load := ServeLoadPhase{
+		Requests:   cfg.Requests,
+		RatePerSec: cfg.RatePerSec,
+		Seed:       cfg.Seed,
+	}
+	var latencies []float64
+	for _, s := range samples {
+		switch {
+		case s.status == http.StatusOK:
+			load.Completed++
+			latencies = append(latencies, s.seconds)
+			if s.batched {
+				load.BatchedRequests++
+			}
+			if s.seconds > load.MaxSeconds {
+				load.MaxSeconds = s.seconds
+			}
+		case s.status == http.StatusTooManyRequests:
+			load.Rejected429++
+		}
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		load.P50Seconds = latencies[n/2]
+		load.P99Seconds = latencies[min(n-1, (n*99+99)/100)]
+	}
+	if t := lastDone.load(); !t.IsZero() {
+		load.DurationSeconds = t.Sub(loadStart).Seconds()
+	}
+	if load.DurationSeconds > 0 {
+		load.SustainedReqPerSec = float64(load.Completed) / load.DurationSeconds
+	}
+	out.Load = load
+	out.Stats = srv.Stats()
+	return out, nil
+}
+
+// atomic64Time is a mutex-guarded latest-completion timestamp (the load
+// goroutines race to set it; only the max matters).
+type atomic64Time struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (a *atomic64Time) store(t time.Time) {
+	a.mu.Lock()
+	if t.After(a.t) {
+		a.t = t
+	}
+	a.mu.Unlock()
+}
+
+func (a *atomic64Time) load() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.t
+}
+
+// WriteJSON writes the experiment as indented JSON — the BENCH_serve.json
+// baseline format.
+func (s *ServeLoad) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Render writes the experiment as a human-readable report.
+func (s *ServeLoad) Render(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "Resident-engine serving — %d-cell scenario (%s, parts %d, tol %.0e), %d step/request, %d engines/scenario\n",
+		s.Cells, s.Scenario.Precond, s.Scenario.Parts, s.Scenario.Tol, s.StepsPerRequest, s.EnginesPerScenario)
+	fmt.Fprintf(tw, "host: %s, NumCPU %d, GOMAXPROCS %d\n\n", s.GoVersion, s.NumCPU, s.GOMAXPROCS)
+	fmt.Fprintf(tw, "cold start (cache miss)\t%.4f s\t(compile %.4f s)\n", s.ColdSeconds, s.CompileSeconds)
+	fmt.Fprintf(tw, "warm cache (median of resident solves)\t%.4f s\t(min %.4f s)\n", s.WarmSeconds, s.WarmMinSeconds)
+	fmt.Fprintf(tw, "warm speedup\t%.1fx\t(required ≥ 5x)\n", s.WarmSpeedup)
+	fmt.Fprintf(tw, "bit-identical to one-shot (incl. after reuse)\t%v\t\n\n", s.BitIdentical)
+	l := s.Load
+	fmt.Fprintf(tw, "open loop: %d arrivals at %.0f req/s (seed %d)\n", l.Requests, l.RatePerSec, l.Seed)
+	fmt.Fprintf(tw, "completed\t%d\t(batched: %d)\n", l.Completed, l.BatchedRequests)
+	fmt.Fprintf(tw, "rejected 429\t%d\t\n", l.Rejected429)
+	fmt.Fprintf(tw, "sustained\t%.1f req/s\tover %.2f s\n", l.SustainedReqPerSec, l.DurationSeconds)
+	fmt.Fprintf(tw, "latency p50 / p99 / max\t%.4f / %.4f / %.4f s\t\n\n", l.P50Seconds, l.P99Seconds, l.MaxSeconds)
+	st := s.Stats
+	fmt.Fprintf(tw, "server counters: %d requests, %d admitted, %d completed; cache %d hit / %d miss / %d evicted; %d solves (%d batches shared %d solves)\n",
+		st.Requests, st.Admitted, st.Completed, st.CacheHits, st.CacheMisses, st.Evictions,
+		st.Solves, st.Batches, st.SharedSolves)
+	if s.GOMAXPROCS == 1 {
+		fmt.Fprintln(tw, "note: single-core host — sustained throughput is one engine's; the pool and batcher still exercise the full dispatch path")
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/umesh"
+)
+
+// job is one admitted solve request travelling through the queue: the
+// request, its batching identity, and the channel its result comes back on
+// (buffered so an engine never blocks delivering).
+type job struct {
+	req        SolveRequest
+	payloadKey string
+	enqueued   time.Time
+	done       chan jobResult
+}
+
+// jobResult is what an engine hands back for one job.
+type jobResult struct {
+	res          *umesh.TransientResult
+	err          error
+	engine       int
+	batchSize    int
+	shared       bool // solved once by a batch-mate, result shared
+	solveSeconds float64
+}
+
+// engine is one resident compiled solver plus its dispatch state: inflight
+// is 1 while a batch is executing on it (the dispatcher only hands work to
+// idle engines, so the backlog stays in the dispatcher where it can batch).
+type engine struct {
+	id       int
+	solver   *umesh.TransientSolver
+	ch       chan []*job
+	inflight atomic.Int64
+}
+
+// entry is one cached scenario: the compiled shared state, a pool of
+// resident engines, and the per-scenario queue its dispatcher drains.
+// Lifecycle: created under the cache lock with ready open; the creating
+// request compiles outside the lock and closes ready; retirement (eviction
+// or cache close) waits for the reference count to drain, closes pending,
+// and the dispatcher then shuts the engines down.
+type entry struct {
+	key string
+	scn Scenario
+
+	ready          chan struct{} // closed once compiled (err set on failure)
+	err            error
+	compileSeconds float64
+
+	engines []*engine
+	pending chan *job
+	// freed carries engine ids back to the dispatcher as batches complete
+	// (buffered to the pool size, so engines never block announcing).
+	freed chan int
+
+	refs    sync.WaitGroup // one per in-flight Acquire
+	retired atomic.Bool
+	done    chan struct{} // closed when dispatcher and engines have stopped
+}
+
+// cacheConfig is what the cache needs from the server's options.
+type cacheConfig struct {
+	capacity int
+	engines  int
+	queue    int
+	batchMax int
+	stats    *Stats
+	now      func() time.Time
+}
+
+// cache is the scenario cache: an LRU of compiled entries keyed by the
+// canonical scenario hash. A hit hands back an entry whose engines are
+// already compiled — the request skips straight to the queue; a miss
+// compiles a new entry (possibly evicting the least-recently-used one) and
+// charges the compile time to the missing request.
+type cache struct {
+	cfg cacheConfig
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // value: *entry
+	lru     *list.List               // front = most recently used
+	closed  bool
+}
+
+func newCache(cfg cacheConfig) *cache {
+	return &cache{cfg: cfg, entries: make(map[string]*list.Element), lru: list.New()}
+}
+
+// acquire resolves a scenario to a live entry, compiling on miss. The
+// returned release must be called once the request's job has completed (or
+// failed); hit reports whether the compiled engines were already resident.
+func (c *cache) acquire(scn Scenario) (e *entry, hit bool, release func(), err error) {
+	key := scn.Key()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, nil, fmt.Errorf("serve: cache is closed")
+	}
+	if el, ok := c.entries[key]; ok {
+		e = el.Value.(*entry)
+		c.lru.MoveToFront(el)
+		e.refs.Add(1)
+		c.mu.Unlock()
+		<-e.ready // compiled by the missing request (usually long closed)
+		if e.err != nil {
+			e.refs.Done()
+			return nil, true, nil, e.err
+		}
+		c.cfg.stats.CacheHits.Add(1)
+		return e, true, func() { e.refs.Done() }, nil
+	}
+	e = &entry{
+		key:     key,
+		scn:     scn.normalized(),
+		ready:   make(chan struct{}),
+		pending: make(chan *job, c.cfg.queue),
+		done:    make(chan struct{}),
+	}
+	e.refs.Add(1)
+	el := c.lru.PushFront(e)
+	c.entries[key] = el
+	var evicted *entry
+	if c.lru.Len() > c.cfg.capacity {
+		oldest := c.lru.Back()
+		evicted = oldest.Value.(*entry)
+		c.lru.Remove(oldest)
+		delete(c.entries, evicted.key)
+	}
+	c.mu.Unlock()
+	if evicted != nil {
+		c.retire(evicted)
+	}
+	c.cfg.stats.CacheMisses.Add(1)
+
+	// Compile outside the lock: concurrent requests for other scenarios
+	// proceed, concurrent requests for this one block on ready.
+	start := c.cfg.now()
+	e.err = c.compileEntry(e)
+	e.compileSeconds = time.Since(start).Seconds()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if el2, ok := c.entries[key]; ok && el2.Value.(*entry) == e {
+			c.lru.Remove(el2)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		e.refs.Done()
+		close(e.done)
+		return nil, false, nil, e.err
+	}
+	return e, false, func() { e.refs.Done() }, nil
+}
+
+// compileEntry builds the entry's shared state and engine pool and starts
+// its dispatcher.
+func (c *cache) compileEntry(e *entry) error {
+	comp, err := e.scn.compile()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < c.cfg.engines; i++ {
+		s, err := comp.newSolver()
+		if err != nil {
+			for _, eng := range e.engines {
+				eng.solver.Close()
+			}
+			return err
+		}
+		e.engines = append(e.engines, &engine{
+			id:     i,
+			solver: s,
+			// Capacity 1: the dispatcher only sends to an idle engine, so
+			// the send never blocks; queued work stays in the dispatcher's
+			// backlog where it can batch.
+			ch: make(chan []*job, 1),
+		})
+	}
+	e.freed = make(chan int, len(e.engines))
+	go c.dispatch(e)
+	return nil
+}
+
+// retire schedules an entry's shutdown: once the last in-flight reference
+// releases, the queue closes and the dispatcher drains and stops the
+// engines.
+func (c *cache) retire(e *entry) {
+	if e.retired.Swap(true) {
+		return
+	}
+	c.cfg.stats.Evictions.Add(1)
+	go func() {
+		e.refs.Wait()
+		close(e.pending)
+	}()
+}
+
+// close retires every entry and waits for their engines to stop.
+func (c *cache) close() {
+	c.mu.Lock()
+	c.closed = true
+	var all []*entry
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		all = append(all, el.Value.(*entry))
+	}
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.mu.Unlock()
+	for _, e := range all {
+		c.retire(e)
+	}
+	for _, e := range all {
+		<-e.ready
+		if e.err == nil {
+			<-e.done
+		}
+	}
+}
+
+// size reports the resident scenario count.
+func (c *cache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// dispatch is the entry's scheduler. It holds the scenario's backlog: jobs
+// drain from the queue into it, and a batch leaves it only when an engine is
+// idle — so under load the backlog is exactly where same-payload requests
+// meet and coalesce (one solve serves the whole batch, up to batchMax).
+// Engines announce completion on e.freed; dispatch hands the next batch to
+// the idle engine with the lowest id (deterministic least-loaded: busy
+// engines are never picked). It owns engine shutdown: when the queue closes
+// (retirement) and the backlog is spent, it closes the engine channels,
+// waits for them to finish, and releases the compiled solvers.
+func (c *cache) dispatch(e *entry) {
+	var engWG sync.WaitGroup
+	for _, eng := range e.engines {
+		engWG.Add(1)
+		go func(eng *engine) {
+			defer engWG.Done()
+			c.runEngine(e, eng)
+		}(eng)
+	}
+	ready := make([]bool, len(e.engines))
+	for i := range ready {
+		ready[i] = true
+	}
+	nReady := len(ready)
+	markReady := func(id int) { ready[id] = true; nReady++ }
+	var backlog []*job
+	open := true
+	for open || len(backlog) > 0 {
+		// Block until there is something to react to, then drain both
+		// channels opportunistically so one pass sees the whole window.
+		if open {
+			if len(backlog) == 0 {
+				select {
+				case j, ok := <-e.pending:
+					if !ok {
+						open = false
+					} else {
+						backlog = append(backlog, j)
+					}
+				case id := <-e.freed:
+					markReady(id)
+				}
+			}
+			for open {
+				select {
+				case j, ok := <-e.pending:
+					if !ok {
+						open = false
+					} else {
+						backlog = append(backlog, j)
+					}
+					continue
+				default:
+				}
+				break
+			}
+		}
+		for {
+			select {
+			case id := <-e.freed:
+				markReady(id)
+				continue
+			default:
+			}
+			break
+		}
+		if len(backlog) == 0 {
+			continue
+		}
+		if nReady == 0 {
+			// Every engine is busy: wait for one to free (or, while the
+			// queue is open, for more jobs to deepen the batch).
+			if open {
+				select {
+				case j, ok := <-e.pending:
+					if !ok {
+						open = false
+					} else {
+						backlog = append(backlog, j)
+					}
+				case id := <-e.freed:
+					markReady(id)
+				}
+			} else {
+				markReady(<-e.freed)
+			}
+			continue
+		}
+		group := takeGroup(&backlog, c.cfg.batchMax)
+		if len(group) > 1 {
+			c.cfg.stats.Batches.Add(1)
+			c.cfg.stats.BatchedRequests.Add(uint64(len(group)))
+			c.cfg.stats.SharedSolves.Add(uint64(len(group) - 1))
+		}
+		var eng *engine
+		for id, r := range ready {
+			if r {
+				eng = e.engines[id]
+				break
+			}
+		}
+		ready[eng.id] = false
+		nReady--
+		eng.inflight.Add(1)
+		eng.ch <- group
+	}
+	for _, eng := range e.engines {
+		close(eng.ch)
+	}
+	engWG.Wait()
+	for _, eng := range e.engines {
+		eng.solver.Close()
+	}
+	close(e.done)
+}
+
+// takeGroup removes and returns the head-of-line batch: the oldest job plus
+// every later backlog job with the same payload, up to max, preserving the
+// arrival order of what stays behind.
+func takeGroup(backlog *[]*job, max int) []*job {
+	b := *backlog
+	lead := b[0]
+	group := []*job{lead}
+	rest := b[:0]
+	for _, j := range b[1:] {
+		if len(group) < max && j.payloadKey == lead.payloadKey {
+			group = append(group, j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	*backlog = rest
+	return group
+}
+
+// runEngine executes batches on one resident engine: one Solve per batch,
+// the result fanned out to every batch member.
+func (c *cache) runEngine(e *entry, eng *engine) {
+	for batch := range eng.ch {
+		lead := batch[0]
+		start := c.cfg.now()
+		res, err := eng.solver.Solve(lead.req.transientOptions())
+		sec := time.Since(start).Seconds()
+		c.cfg.stats.Solves.Add(1)
+		c.cfg.stats.SolveSecondsTotal.add(sec)
+		for i, j := range batch {
+			j.done <- jobResult{
+				res:          res,
+				err:          err,
+				engine:       eng.id,
+				batchSize:    len(batch),
+				shared:       i > 0,
+				solveSeconds: sec,
+			}
+		}
+		eng.inflight.Add(-1)
+		e.freed <- eng.id
+	}
+}

@@ -1,0 +1,443 @@
+// Package serve is the resident-engine serving layer: a long-running
+// HTTP/JSON front end over the partitioned unstructured implicit solver that
+// keeps compiled engines (umesh.TransientSolver — PartEngine, PartOperator
+// and their phase programs) resident behind a scenario cache, so a repeat
+// request skips plan compilation entirely and pays only queue + solve +
+// render.
+//
+// Request path:
+//
+//	POST /v1/solve → admission (token bucket, 429) → bounded queue (429)
+//	  → scenario cache (hit: resident engines; miss: compile once)
+//	  → per-scenario dispatcher (identical payloads batched, one solve per
+//	    batch; least-loaded resident engine) → render (JSON)
+//
+// Determinism: a served solve runs the exact one-shot code path
+// (RunTransientPartitioned is one compile-and-solve cycle of the same
+// TransientSolver the cache keeps resident), so responses are bit-identical
+// to the equivalent CLI invocation — including after engine reuse across
+// requests, which the test suite asserts.
+//
+// Shutdown: Drain stops admission (503), waits for every admitted request
+// to complete, then retires the cache and its engines — the SIGTERM path of
+// cmd/fvserve.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/umesh"
+)
+
+// Options configures a Server. The zero value serves with the documented
+// defaults.
+type Options struct {
+	// CacheCapacity bounds the resident scenario count; the least recently
+	// used scenario is evicted (engines released once idle) beyond it.
+	// Default 4.
+	CacheCapacity int
+	// EnginesPerScenario sizes each scenario's resident engine pool —
+	// batches dispatch to the least-loaded member. Default 1.
+	EnginesPerScenario int
+	// QueueDepth bounds the admitted-but-unfinished job count; request
+	// number QueueDepth+1 is rejected with 429. Default 64.
+	QueueDepth int
+	// RatePerSec is the token-bucket refill rate of the admission gate
+	// (requests per second, sustained); 0 disables rate admission.
+	RatePerSec float64
+	// Burst is the token-bucket capacity (instantaneous excursion above the
+	// sustained rate). Default: QueueDepth when rate admission is on.
+	Burst int
+	// BatchMax bounds how many queued same-scenario requests one dispatch
+	// window drains into a batch. Default 8.
+	BatchMax int
+	// MaxCells rejects scenarios whose mesh would exceed this many cells
+	// before compiling anything. Default 1<<20; negative disables.
+	MaxCells int
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 4
+	}
+	if o.EnginesPerScenario == 0 {
+		o.EnginesPerScenario = 1
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.Burst == 0 {
+		o.Burst = o.QueueDepth
+	}
+	if o.BatchMax == 0 {
+		o.BatchMax = 8
+	}
+	if o.MaxCells == 0 {
+		o.MaxCells = 1 << 20
+	}
+	if o.MaxCells < 0 {
+		o.MaxCells = 0
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// WellSpec is one constant-rate well of a request (positive injects).
+type WellSpec struct {
+	Cell int     `json:"cell"`
+	Rate float64 `json:"rate"`
+}
+
+// SolveRequest is the POST /v1/solve body: which compiled scenario to run
+// on, and the per-request inputs the resident engine is re-aimed at.
+type SolveRequest struct {
+	Scenario Scenario `json:"scenario"`
+	// Wells drive the flow; empty selects the scenario's default pair
+	// (inject at the well cell, produce at the last cell, ±2 kg/s).
+	Wells []WellSpec `json:"wells,omitempty"`
+	// Steps is the backward-Euler step count (default 1).
+	Steps int `json:"steps,omitempty"`
+	// ReturnPressure includes the full final pressure field in the response
+	// (the SHA-256 of its raw bits is always included).
+	ReturnPressure bool `json:"return_pressure,omitempty"`
+}
+
+// payloadKey identifies the solve-relevant request payload — requests with
+// equal keys on the same scenario can share one solve.
+func (r SolveRequest) payloadKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps=%d", r.Steps)
+	for _, w := range r.Wells {
+		fmt.Fprintf(&b, "|%d:%g", w.Cell, w.Rate)
+	}
+	return b.String()
+}
+
+// transientOptions maps the per-request inputs onto the compiled template
+// (zero fields defer to it).
+func (r SolveRequest) transientOptions() umesh.TransientOptions {
+	opts := umesh.TransientOptions{Steps: r.Steps}
+	if opts.Steps == 0 {
+		opts.Steps = 1
+	}
+	for _, w := range r.Wells {
+		opts.Wells = append(opts.Wells, umesh.Well{Cell: w.Cell, Rate: w.Rate})
+	}
+	return opts
+}
+
+// StepReport is one step's summary in a response.
+type StepReport struct {
+	Iterations int     `json:"iterations"`
+	Residual   float64 `json:"residual"`
+	MaxDeltaP  float64 `json:"max_delta_p"`
+	MassError  float64 `json:"mass_error"`
+}
+
+// Timings is the per-request wall-clock breakdown.
+type Timings struct {
+	// QueueSeconds spans enqueue to solved (queue wait plus the batch's
+	// solve); SolveSeconds is the engine solve alone; CompileSeconds is the
+	// scenario compilation this request paid (0 on a cache hit);
+	// RenderSeconds is response marshalling.
+	QueueSeconds   float64 `json:"queue_seconds"`
+	CompileSeconds float64 `json:"compile_seconds"`
+	SolveSeconds   float64 `json:"solve_seconds"`
+	RenderSeconds  float64 `json:"render_seconds"`
+	TotalSeconds   float64 `json:"total_seconds"`
+}
+
+// SolveResponse is the POST /v1/solve response body.
+type SolveResponse struct {
+	ScenarioKey string `json:"scenario_key"`
+	Cells       int    `json:"cells"`
+	// CacheHit reports whether the scenario's engines were already resident;
+	// Batched whether this request shared a batch-mate's solve; Engine which
+	// resident engine served it; BatchSize the batch it rode in.
+	CacheHit  bool `json:"cache_hit"`
+	Batched   bool `json:"batched"`
+	Engine    int  `json:"engine"`
+	BatchSize int  `json:"batch_size"`
+
+	Steps      []StepReport `json:"steps"`
+	Iterations int          `json:"iterations"`
+	// PressureSHA256 hashes the final field's raw float64 bits — the
+	// bit-identity probe; Pressure is included when requested.
+	PressureSHA256 string    `json:"pressure_sha256"`
+	Pressure       []float64 `json:"pressure,omitempty"`
+
+	Timings Timings `json:"timings"`
+}
+
+// errorResponse is every non-200 body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// tokenBucket is the admission gate: capacity burst, refill rate tokens/sec.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: now}
+	b.tokens = b.burst
+	b.last = now()
+	return b
+}
+
+// allow takes one token if available. A zero rate admits everything.
+func (b *tokenBucket) allow() bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	b.tokens += t.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Server is the resident-engine serving layer. Create one with New, mount
+// Handler on an http.Server, and Drain it on shutdown.
+type Server struct {
+	opts  Options
+	cache *cache
+	admit *tokenBucket
+	stats Stats
+
+	queued   atomic.Int64
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	mux *http.ServeMux
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{opts: opts}
+	s.admit = newTokenBucket(opts.RatePerSec, opts.Burst, opts.Now)
+	s.cache = newCache(cacheConfig{
+		capacity: opts.CacheCapacity,
+		engines:  opts.EnginesPerScenario,
+		queue:    opts.QueueDepth,
+		batchMax: opts.BatchMax,
+		stats:    &s.stats,
+		now:      opts.Now,
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.stats.snapshot()
+	snap.ResidentScenarios = s.cache.size()
+	return snap
+}
+
+// Drain gracefully shuts the serving layer down: new requests are rejected
+// with 503, every admitted request runs to completion, then the scenario
+// cache retires and every resident engine is released. Safe to call once.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.inflight.Wait()
+	s.cache.close()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) reject(w http.ResponseWriter, code int, c *atomic.Uint64, format string, args ...any) {
+	c.Add(1)
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := s.opts.Now()
+	s.stats.Requests.Add(1)
+
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req SolveRequest
+	if err := dec.Decode(&req); err != nil {
+		s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid, "bad request body: %v", err)
+		return
+	}
+	if err := req.Scenario.Validate(s.opts.MaxCells); err != nil {
+		s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid, "%v", err)
+		return
+	}
+	if req.Steps < 0 {
+		s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid, "serve: steps must be non-negative, got %d", req.Steps)
+		return
+	}
+	cells := req.Scenario.cellEstimate()
+	for _, well := range req.Wells {
+		if well.Cell < 0 || well.Cell >= cells {
+			s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid,
+				"serve: well cell %d outside the scenario's %d-cell mesh", well.Cell, cells)
+			return
+		}
+	}
+
+	// Admission: count the request as in-flight before checking the drain
+	// flag, so Drain's wait cannot miss it; reject-and-release if draining.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, &s.stats.RejectedDraining, "serve: draining")
+		return
+	}
+	if !s.admit.allow() {
+		w.Header().Set("Retry-After", "1")
+		s.reject(w, http.StatusTooManyRequests, &s.stats.RejectedRate, "serve: admission rate exceeded")
+		return
+	}
+	if n := s.queued.Add(1); n > int64(s.opts.QueueDepth) {
+		s.queued.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		s.reject(w, http.StatusTooManyRequests, &s.stats.RejectedQueue,
+			"serve: queue full (%d jobs)", s.opts.QueueDepth)
+		return
+	}
+	defer s.queued.Add(-1)
+	s.stats.Admitted.Add(1)
+
+	entry, hit, release, err := s.cache.acquire(req.Scenario)
+	if err != nil {
+		s.stats.Failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	defer release()
+	compileSeconds := 0.0
+	if !hit {
+		compileSeconds = entry.compileSeconds
+		s.stats.CompileSecondsTotal.add(compileSeconds)
+	}
+
+	j := &job{
+		req:        req,
+		payloadKey: req.payloadKey(),
+		enqueued:   s.opts.Now(),
+		done:       make(chan jobResult, 1),
+	}
+	entry.pending <- j
+	jr := <-j.done
+	queueSeconds := time.Since(j.enqueued).Seconds()
+	s.stats.QueueSecondsTotal.add(queueSeconds)
+	if jr.err != nil {
+		s.stats.Failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: jr.err.Error()})
+		return
+	}
+
+	renderStart := s.opts.Now()
+	resp := &SolveResponse{
+		ScenarioKey:    entry.key,
+		Cells:          len(jr.res.Pressure),
+		CacheHit:       hit,
+		Batched:        jr.shared,
+		Engine:         jr.engine,
+		BatchSize:      jr.batchSize,
+		PressureSHA256: pressureHash(jr.res.Pressure),
+	}
+	for _, st := range jr.res.Steps {
+		resp.Steps = append(resp.Steps, StepReport{
+			Iterations: st.Iterations,
+			Residual:   st.Residual,
+			MaxDeltaP:  st.MaxDeltaP,
+			MassError:  st.MassError,
+		})
+		resp.Iterations += st.Iterations
+	}
+	if req.ReturnPressure {
+		resp.Pressure = jr.res.Pressure
+	}
+	resp.Timings = Timings{
+		QueueSeconds:   queueSeconds,
+		CompileSeconds: compileSeconds,
+		SolveSeconds:   jr.solveSeconds,
+	}
+	body, err := json.Marshal(resp)
+	renderSeconds := time.Since(renderStart).Seconds()
+	s.stats.RenderSecondsTotal.add(renderSeconds)
+	if err != nil {
+		s.stats.Failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	resp.Timings.RenderSeconds = renderSeconds
+	resp.Timings.TotalSeconds = time.Since(start).Seconds()
+	// Re-marshal with the finished timings: the first marshal measured the
+	// render cost, this one (identical layout, two floats filled in) is what
+	// ships.
+	body, _ = json.Marshal(resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	s.stats.Completed.Add(1)
+}
+
+// pressureHash is the bit-identity probe: SHA-256 over the field's raw
+// little-endian float64 bits.
+func pressureHash(p []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range p {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

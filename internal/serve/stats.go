@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// atomicSeconds accumulates float64 seconds with a CAS loop, so hot-path
+// timing never takes a lock.
+type atomicSeconds struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicSeconds) add(sec float64) {
+	for {
+		old := a.bits.Load()
+		cur := math.Float64frombits(old)
+		if a.bits.CompareAndSwap(old, math.Float64bits(cur+sec)) {
+			return
+		}
+	}
+}
+
+func (a *atomicSeconds) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// Stats is the serving layer's counter block. Everything is atomic: the
+// handlers, the admission gate, the cache and the engines all bump it
+// concurrently, and /v1/stats snapshots it without stopping the world.
+type Stats struct {
+	// Request accounting: every POST /v1/solve increments Requests; exactly
+	// one of Admitted / RejectedRate / RejectedQueue / RejectedDraining /
+	// RejectedInvalid follows.
+	Requests         atomic.Uint64
+	Admitted         atomic.Uint64
+	RejectedRate     atomic.Uint64 // token bucket empty → 429
+	RejectedQueue    atomic.Uint64 // bounded queue full → 429
+	RejectedDraining atomic.Uint64 // drain in progress → 503
+	RejectedInvalid  atomic.Uint64 // bad JSON / bad scenario → 400
+	Completed        atomic.Uint64
+	Failed           atomic.Uint64
+
+	// Scenario cache accounting.
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+	Evictions   atomic.Uint64
+
+	// Batched dispatch accounting: Solves counts engine solves;
+	// Batches/BatchedRequests/SharedSolves count multi-request groups whose
+	// members shared one solve.
+	Solves          atomic.Uint64
+	Batches         atomic.Uint64
+	BatchedRequests atomic.Uint64
+	SharedSolves    atomic.Uint64
+
+	// Accumulated request-phase wall-clock (seconds across all requests).
+	QueueSecondsTotal   atomicSeconds
+	CompileSecondsTotal atomicSeconds
+	SolveSecondsTotal   atomicSeconds
+	RenderSecondsTotal  atomicSeconds
+}
+
+// StatsSnapshot is the JSON form of the counters — the /v1/stats response
+// body and the block BENCH_serve.json embeds.
+type StatsSnapshot struct {
+	Requests         uint64 `json:"requests"`
+	Admitted         uint64 `json:"admitted"`
+	RejectedRate     uint64 `json:"rejected_rate"`
+	RejectedQueue    uint64 `json:"rejected_queue"`
+	RejectedDraining uint64 `json:"rejected_draining"`
+	RejectedInvalid  uint64 `json:"rejected_invalid"`
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+
+	CacheHits         uint64 `json:"cache_hits"`
+	CacheMisses       uint64 `json:"cache_misses"`
+	Evictions         uint64 `json:"evictions"`
+	ResidentScenarios int    `json:"resident_scenarios"`
+
+	Solves          uint64 `json:"solves"`
+	Batches         uint64 `json:"batches"`
+	BatchedRequests uint64 `json:"batched_requests"`
+	SharedSolves    uint64 `json:"shared_solves"`
+
+	QueueSecondsTotal   float64 `json:"queue_seconds_total"`
+	CompileSecondsTotal float64 `json:"compile_seconds_total"`
+	SolveSecondsTotal   float64 `json:"solve_seconds_total"`
+	RenderSecondsTotal  float64 `json:"render_seconds_total"`
+}
+
+// snapshot captures the counters.
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Requests:         s.Requests.Load(),
+		Admitted:         s.Admitted.Load(),
+		RejectedRate:     s.RejectedRate.Load(),
+		RejectedQueue:    s.RejectedQueue.Load(),
+		RejectedDraining: s.RejectedDraining.Load(),
+		RejectedInvalid:  s.RejectedInvalid.Load(),
+		Completed:        s.Completed.Load(),
+		Failed:           s.Failed.Load(),
+
+		CacheHits:   s.CacheHits.Load(),
+		CacheMisses: s.CacheMisses.Load(),
+		Evictions:   s.Evictions.Load(),
+
+		Solves:          s.Solves.Load(),
+		Batches:         s.Batches.Load(),
+		BatchedRequests: s.BatchedRequests.Load(),
+		SharedSolves:    s.SharedSolves.Load(),
+
+		QueueSecondsTotal:   s.QueueSecondsTotal.load(),
+		CompileSecondsTotal: s.CompileSecondsTotal.load(),
+		SolveSecondsTotal:   s.SolveSecondsTotal.load(),
+		RenderSecondsTotal:  s.RenderSecondsTotal.load(),
+	}
+}

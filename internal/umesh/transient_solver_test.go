@@ -1,0 +1,108 @@
+package umesh
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/physics"
+	"repro/internal/solver"
+)
+
+// TestTransientSolverReuseBitIdentical is the engine-reuse golden test the
+// serving layer leans on: a compiled TransientSolver must reproduce the
+// one-shot path bit-for-bit on every Solve, including after solving a
+// different request in between (all per-request state resets).
+func TestTransientSolverReuseBitIdentical(t *testing.T) {
+	u, opts := transientFixture(t)
+	fl := physics.DefaultFluid()
+	for _, kind := range []solver.PrecondKind{solver.PrecondJacobi, solver.PrecondAMG} {
+		copts := opts
+		copts.Solver.PrecondKind = kind
+		part, err := RCB(u, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunTransientPartitioned(u, part, fl, copts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := NewTransientSolver(u, part, fl, copts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ts.Close()
+		if ts.CompileSeconds <= 0 {
+			t.Errorf("%s: no compile time recorded", kind)
+		}
+		other := TransientOptions{
+			Steps: 1,
+			Wells: []Well{{Cell: 0, Rate: 1.5}, {Cell: u.NumCells - 1, Rate: -1.5}},
+		}
+		// Solve the template request, then a different one, then the template
+		// again: the third run is the reuse probe.
+		for run := 0; run < 3; run++ {
+			req := TransientOptions{Steps: copts.Steps, Wells: copts.Wells}
+			if run == 1 {
+				req = other
+				if _, err := ts.Solve(req); err != nil {
+					t.Fatalf("%s run %d: %v", kind, run, err)
+				}
+				continue
+			}
+			got, err := ts.Solve(req)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", kind, run, err)
+			}
+			if len(got.Steps) != len(want.Steps) {
+				t.Fatalf("%s run %d: %d steps, want %d", kind, run, len(got.Steps), len(want.Steps))
+			}
+			for s := range want.Steps {
+				if got.Steps[s].Iterations != want.Steps[s].Iterations {
+					t.Fatalf("%s run %d step %d: %d iterations, one-shot took %d",
+						kind, run, s, got.Steps[s].Iterations, want.Steps[s].Iterations)
+				}
+				for k := range want.Steps[s].History {
+					if got.Steps[s].History[k] != want.Steps[s].History[k] {
+						t.Fatalf("%s run %d step %d: residual history[%d] diverged", kind, run, s, k)
+					}
+				}
+			}
+			for i := range want.Pressure {
+				if got.Pressure[i] != want.Pressure[i] {
+					t.Fatalf("%s run %d: pressure[%d] = %g, one-shot %g",
+						kind, run, i, got.Pressure[i], want.Pressure[i])
+				}
+			}
+			if got.OperatorApplications != want.OperatorApplications ||
+				got.Comm.HaloWords != want.Comm.HaloWords {
+				t.Errorf("%s run %d: counters are not per-request deltas: %d apps / %d halo words, one-shot %d / %d",
+					kind, run, got.OperatorApplications, got.Comm.HaloWords,
+					want.OperatorApplications, want.Comm.HaloWords)
+			}
+		}
+	}
+}
+
+// TestTransientSolverRequestValidation pins the resident API's error
+// contract: Dt is frozen into the plan, a closed solver refuses work.
+func TestTransientSolverRequestValidation(t *testing.T) {
+	u, opts := transientFixture(t)
+	fl := physics.DefaultFluid()
+	ts, err := NewTransientSolver(u, nil, fl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Solve(TransientOptions{Dt: opts.Dt * 2, Steps: 1, Wells: opts.Wells}); err == nil ||
+		!strings.Contains(err.Error(), "compiled step") {
+		t.Errorf("mismatched Dt accepted: %v", err)
+	}
+	if _, err := ts.Solve(TransientOptions{Steps: 1, Wells: []Well{{Cell: u.NumCells, Rate: 1}}}); err == nil {
+		t.Error("out-of-range request well accepted")
+	}
+	ts.Close()
+	ts.Close() // idempotent
+	if _, err := ts.Solve(TransientOptions{Steps: 1, Wells: opts.Wells}); err == nil ||
+		!strings.Contains(err.Error(), "closed") {
+		t.Errorf("closed solver accepted work: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ package massivefv
 
 import (
 	"repro/internal/refflux"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/solver"
 	"repro/internal/umesh"
@@ -220,3 +221,35 @@ func UnstructuredResidual(u *UMesh, part *UPartition, fl Fluid, p []float32) ([]
 	}
 	return umesh.ComputeResidualPartitioned(u, part, fl, p)
 }
+
+// Resident-engine serving (the fvserve daemon's library surface).
+type (
+	// UTransientSolver is the compile-once / solve-many form of the
+	// partitioned implicit path: plan compilation happens in
+	// NewTransientSolver, every Solve re-aims the resident engine at a new
+	// request without recompiling.
+	UTransientSolver = umesh.TransientSolver
+	// ServeOptions configures a resident-engine Server.
+	ServeOptions = serve.Options
+	// ServeScenario selects a compiled-engine configuration (the scenario
+	// cache key's preimage).
+	ServeScenario = serve.Scenario
+	// ServeRequest is the POST /v1/solve body.
+	ServeRequest = serve.SolveRequest
+	// ServeResponse is the POST /v1/solve response body.
+	ServeResponse = serve.SolveResponse
+	// ServeStats is the serving layer's counter snapshot.
+	ServeStats = serve.StatsSnapshot
+)
+
+// NewTransientSolver compiles a resident transient solver: the engine
+// fvserve keeps warm behind its scenario cache. A nil partition compiles the
+// serial reference path.
+func NewTransientSolver(u *UMesh, part *UPartition, fl Fluid, opts UTransientOptions) (*UTransientSolver, error) {
+	return umesh.NewTransientSolver(u, part, fl, opts)
+}
+
+// NewServer builds the resident-engine serving layer: a scenario cache of
+// compiled engines behind admission control and batched least-loaded
+// dispatch. Mount Handler on an http.Server and Drain on shutdown.
+func NewServer(opts ServeOptions) *serve.Server { return serve.New(opts) }
