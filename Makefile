@@ -4,9 +4,10 @@ GO ?= go
 # serial flat engine, the sharded parallel flat engine, the vector ISA they
 # all execute, the shared shard-pool execution layer, the partitioned
 # unstructured engine built on it, the Krylov solvers that drive the
-# partitioned implicit path, and the resident-engine serving layer that
-# multiplexes concurrent requests over those solvers.
-RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/ ./internal/exec/ ./internal/umesh/ ./internal/solver/ ./internal/serve/
+# partitioned implicit path, the resident-engine serving layer that
+# multiplexes concurrent requests over those solvers, and the open-loop
+# load generator that fires concurrent shot goroutines at it.
+RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/ ./internal/exec/ ./internal/umesh/ ./internal/solver/ ./internal/serve/ ./internal/loadgen/
 
 .PHONY: build test race bench-smoke bench-kernel bench-umesh bench-usolve bench-serve fuzz-smoke cover docs-check vet fmt-check ci
 
@@ -49,10 +50,12 @@ bench-usolve:
 	$(GO) test -run '^$$' -bench 'BenchmarkPartOperator|BenchmarkUsolve' -benchtime 1x -short ./internal/umesh/
 
 # The serving-layer load experiment at reduced scale: fvserve's in-process
-# selftest (cold vs warm on the benchmark scenario, bit-identity against the
-# one-shot path, a short open-loop burst). Fails if the served result ever
-# diverges from one-shot. Drop -requests/-arrival-rate for the full
-# BENCH_serve.json measurement (see docs/benchmarks.md).
+# selftest (cold vs warm vs memoized on the benchmark scenario, bit-identity
+# against the one-shot path, a short open-loop mixed-workload burst). Fails
+# if the served result ever diverges from one-shot, or if the memoized
+# repeat of the cold payload triggers a new engine solve. Drop
+# -requests/-arrival-rate for the full BENCH_serve.json measurement (see
+# docs/benchmarks.md).
 bench-serve:
 	@echo "bench-serve: GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)}"
 	$(GO) run ./cmd/fvserve -selftest -requests 30 -arrival-rate 40
@@ -66,9 +69,9 @@ fuzz-smoke:
 
 # Per-package coverage gate over the solver-path packages. Floors are pinned
 # a few points under the measured numbers so genuine regressions fail while
-# rounding noise does not. Current coverage (2026-08, PR 8):
+# rounding noise does not. Current coverage (2026-08, PR 9):
 #   internal/umesh  94.5%   internal/solver 88.7%   internal/exec 95.8%
-#   internal/serve  87.5%
+#   internal/serve  91.5%   internal/loadgen 96.7%
 cover:
 	@set -e; \
 	check() { \
@@ -82,7 +85,8 @@ cover:
 	check ./internal/umesh/ 88; \
 	check ./internal/solver/ 86; \
 	check ./internal/exec/ 95; \
-	check ./internal/serve/ 84
+	check ./internal/serve/ 87; \
+	check ./internal/loadgen/ 92
 
 # Docs gate: the godoc Example functions (solver.CG, RunTransientPartitioned,
 # SolveUnstructured) execute with output verification, the architecture and

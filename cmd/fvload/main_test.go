@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+)
+
+// TestHelpReturnsErrHelp pins the -h contract: run surfaces flag.ErrHelp
+// (which main turns into a clean exit 0) after printing usage to stderr.
+func TestHelpReturnsErrHelp(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	for _, want := range []string{"-target", "-spec", "-requests", "-json"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("usage output missing %s:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestRunCLIValidation drives the flag matrix: invalid invocations must
+// fail before any HTTP traffic.
+func TestRunCLIValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error
+	}{
+		{"no target", nil, "-target is required"},
+		{"negative requests", []string{"-target", "http://x", "-requests", "-1"}, "-requests must be non-negative"},
+		{"negative rate", []string{"-target", "http://x", "-rate", "-1"}, "-rate must be non-negative"},
+		{"zero timeout", []string{"-target", "http://x", "-timeout", "0s"}, "-timeout must be positive"},
+		{"missing spec file", []string{"-target", "http://x", "-spec", "/does/not/exist.json"}, "no such file"},
+		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			err := run(c.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) accepted, want error containing %q", c.args, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("run(%v) error %q does not contain %q", c.args, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunBadSpecFile pins spec parsing and validation errors.
+func TestRunBadSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"requests":5,"rate_per_sec":10,"items":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-target", "http://x", "-spec", garbage}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "parsing") {
+		t.Errorf("garbage spec: err = %v, want parse error", err)
+	}
+	if err := run([]string{"-target", "http://x", "-spec", invalid}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "workload item") {
+		t.Errorf("invalid spec: err = %v, want validation error", err)
+	}
+}
+
+// TestRunUnreachableTarget pins the health pre-check: a dead target fails
+// fast instead of firing a storm of errors.
+func TestRunUnreachableTarget(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-target", "http://127.0.0.1:1", "-requests", "3", "-timeout", "2s"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "health check") {
+		t.Errorf("err = %v, want health-check failure", err)
+	}
+}
+
+// TestRunEndToEnd drives fvload against an in-process serve server exactly
+// as it would a remote daemon: the run completes, the memo shows up in the
+// report, and -json records the target, spec and report.
+func TestRunEndToEnd(t *testing.T) {
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "workload.json")
+	spec := loadgen.Spec{
+		Requests:   12,
+		RatePerSec: 200,
+		Seed:       4,
+		Items: []loadgen.Item{
+			{Name: "steps1", Weight: 2, Body: json.RawMessage(`{"scenario":{"rings":6,"sectors":8,"parts":2},"steps":1}`)},
+			{Name: "steps2", Weight: 1, Body: json.RawMessage(`{"scenario":{"rings":6,"sectors":8,"parts":2},"steps":2}`)},
+		},
+	}
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(specPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "report.json")
+
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-target", ts.URL, "-spec", specPath, "-json", jsonPath}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstdout: %s", err, stdout.String())
+	}
+	var rep report
+	recorded, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recorded, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != ts.URL {
+		t.Errorf("recorded target %q, want %q", rep.Target, ts.URL)
+	}
+	if rep.Report.Completed != spec.Requests || rep.Report.Errors != 0 {
+		t.Errorf("completed %d / errors %d, want %d / 0", rep.Report.Completed, rep.Report.Errors, spec.Requests)
+	}
+	// 12 arrivals over 2 distinct payloads: at most 2 engine solves if the
+	// memo coalesced perfectly; at minimum every repeat past the first pair
+	// memo-hit or batched. The memo must show up in the report.
+	if rep.Report.MemoHits+rep.Report.BatchedRequests < spec.Requests-2 {
+		t.Errorf("memo hits %d + batched %d over %d requests: memo not engaged",
+			rep.Report.MemoHits, rep.Report.BatchedRequests, spec.Requests)
+	}
+	if len(rep.Report.PerItem) != 2 {
+		t.Errorf("per-item breakdown has %d entries, want 2", len(rep.Report.PerItem))
+	}
+	if !strings.Contains(stdout.String(), "memo hits") {
+		t.Errorf("text report missing memo hits:\n%s", stdout.String())
+	}
+	st := srv.Stats()
+	if st.MemoHits == 0 {
+		t.Error("server counted no memo hits under a repeating workload")
+	}
+}
+
+// TestRunOverridesSpec pins that -requests/-rate/-seed override spec values.
+func TestRunOverridesSpec(t *testing.T) {
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "workload.json")
+	specJSON := `{"requests":500,"rate_per_sec":1,"seed":1,"items":[{"name":"a","body":{"scenario":{"rings":6,"sectors":8,"parts":2}}}]}`
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "report.json")
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-target", ts.URL, "-spec", specPath,
+		"-requests", "5", "-rate", "500", "-seed", "42", "-json", jsonPath}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep report
+	recorded, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recorded, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spec.Requests != 5 || rep.Spec.RatePerSec != 500 || rep.Spec.Seed != 42 {
+		t.Errorf("overrides not applied: %+v", rep.Spec)
+	}
+}

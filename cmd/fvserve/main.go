@@ -47,13 +47,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		addr     = fs.String("addr", ":8080", "listen address")
-		cacheCap = fs.Int("cache", 4, "resident scenario cache capacity (LRU beyond it)")
+		cacheCap = fs.Int("cache", serve.DefaultCacheCapacity, "resident scenario cache capacity (LRU beyond it)")
 		engines  = fs.Int("engines", 2, "resident engines per scenario (least-loaded dispatch)")
-		queue    = fs.Int("queue", 64, "admitted-job bound; requests beyond it get 429")
+		queue    = fs.Int("queue", serve.DefaultQueueDepth, "admitted-job bound; requests beyond it get 429")
 		rate     = fs.Float64("rate", 0, "admission rate limit [req/s], token bucket (0 = off)")
 		burst    = fs.Int("burst", 0, "token-bucket burst (default: the queue depth)")
-		batch    = fs.Int("batch", 8, "max same-scenario requests batched into one dispatch window")
-		maxCells = fs.Int("max-cells", 1<<20, "largest admissible scenario in cells (<=0 disables)")
+		batch    = fs.Int("batch", serve.DefaultBatchMax, "max same-scenario requests batched into one dispatch window")
+		maxCells = fs.Int("max-cells", serve.DefaultMaxCells, "largest admissible scenario in cells (<=0 disables)")
+		memoCap  = fs.Int("memo", serve.DefaultMemoCapacity, "result-memo capacity, completed responses by (scenario, payload) (<=0 disables)")
 		selftest = fs.Bool("selftest", false, "run the serving load experiment in-process and exit")
 		jsonPath = fs.String("json", "", "selftest: write the BENCH_serve.json report here")
 		requests = fs.Int("requests", 0, "selftest: open-loop arrival count (0 = experiment default)")
@@ -94,9 +95,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Burst:              *burst,
 		BatchMax:           *batch,
 		MaxCells:           *maxCells,
+		MemoCapacity:       *memoCap,
 	}
 	if *maxCells <= 0 {
 		opts.MaxCells = -1
+	}
+	if *memoCap <= 0 {
+		opts.MemoCapacity = -1
 	}
 	if *selftest {
 		return runSelftest(opts, *jsonPath, *requests, *arrivals, stdout)
@@ -125,6 +130,9 @@ func runSelftest(opts serve.Options, jsonPath string, requests int, arrivalRate 
 	}
 	if res.WarmSpeedup < 5 {
 		fmt.Fprintf(stdout, "warning: warm speedup %.1fx below the 5x target\n", res.WarmSpeedup)
+	}
+	if res.MemoSpeedup < 20 {
+		fmt.Fprintf(stdout, "warning: memo speedup %.1fx below the 20x target\n", res.MemoSpeedup)
 	}
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)

@@ -5,28 +5,30 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
+	"repro/internal/loadgen"
 	"repro/internal/serve"
 )
 
 // This file is the serving-layer load experiment: a resident-engine server
 // (internal/serve) stood up in-process, measured the way a latency SLO would
-// measure it. Three phases: a cold-start request that pays scenario
-// compilation (mesh, RCB, engine pool, preconditioner setup), warm-cache
-// probes that pay only queue + solve + render on the resident engines, and an
-// open-loop load phase (seeded exponential arrivals, requests fired on
-// schedule regardless of completions) that records sustained throughput and
-// latency quantiles under queueing, batching and admission control. The JSON
-// report (BENCH_serve.json) is the serving path's trajectory anchor; the
-// cold/warm ratio is the headline — it is the plan-compilation cost the
-// scenario cache amortizes away.
+// measure it. Phases: a cold-start request that pays scenario compilation
+// (mesh, RCB, engine pool, preconditioner setup), warm-cache probes that pay
+// one resident solve each (memoization bypassed), memo probes that repeat
+// the cold payload and must be served from the result memo without a single
+// new engine solve, a bit-identity check against the one-shot path, and an
+// open-loop load phase driven through internal/loadgen — the same seeded
+// arrival/quantile engine cmd/fvload uses against a remote daemon — over a
+// mixed workload (short and long jobs, memoizable and not) so the SJF
+// scheduler, the batcher and the memo all engage. The JSON report
+// (BENCH_serve.json) is the serving path's trajectory anchor; the cold/warm
+// ratio is the compile-amortization headline, warm/memo the solve-
+// amortization one.
 
 // ServeConfig sizes the serving-layer load experiment.
 type ServeConfig struct {
@@ -38,7 +40,8 @@ type ServeConfig struct {
 	// Steps is the backward-Euler step count per request (default 1).
 	Steps int
 	// WarmProbes is how many sequential warm-cache requests to measure; the
-	// reported warm latency is their median (default 5).
+	// reported warm latency is their median (default 5). The memo phase runs
+	// the same number of probes.
 	WarmProbes int
 	// Requests is the open-loop arrival count (default 60).
 	Requests int
@@ -49,7 +52,8 @@ type ServeConfig struct {
 	// Seed seeds the exponential inter-arrival draws (default 1).
 	Seed int64
 	// Server overrides the serving options. Defaults: 2 resident engines per
-	// scenario (the cold request compiles the whole pool), queue depth 24.
+	// scenario (the cold request compiles the whole pool), queue depth 24;
+	// everything else the serve package's own defaults.
 	Server serve.Options
 }
 
@@ -81,41 +85,21 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	return c
 }
 
-// ServeLoadPhase is the open-loop phase's outcome.
-type ServeLoadPhase struct {
-	// Requests, RatePerSec and Seed echo the arrival process.
-	Requests   int     `json:"requests"`
-	RatePerSec float64 `json:"rate_per_sec"`
-	Seed       int64   `json:"seed"`
-	// Completed counts 200s; Rejected429 the admission rejections (token
-	// bucket or full queue); BatchedRequests the completions that shared a
-	// batch-mate's solve.
-	Completed       int `json:"completed"`
-	Rejected429     int `json:"rejected_429"`
-	BatchedRequests int `json:"batched_requests"`
-	// SustainedReqPerSec is completions over the span from first arrival to
-	// last completion — the throughput the server actually sustained.
-	SustainedReqPerSec float64 `json:"sustained_req_per_sec"`
-	// Latency quantiles over the completed requests (arrival-to-response).
-	P50Seconds float64 `json:"p50_seconds"`
-	P99Seconds float64 `json:"p99_seconds"`
-	MaxSeconds float64 `json:"max_seconds"`
-	// DurationSeconds spans first arrival to last completion.
-	DurationSeconds float64 `json:"duration_seconds"`
-}
-
 // ServeLoad is the experiment outcome. It serializes to the BENCH_serve.json
 // baseline future PRs compare against.
 type ServeLoad struct {
 	Scenario    serve.Scenario `json:"scenario"`
 	ScenarioKey string         `json:"scenario_key"`
 	Cells       int            `json:"cells"`
-	// StepsPerRequest, EnginesPerScenario, QueueDepth and BatchMax echo the
-	// request shape and the serving knobs under test.
+	// StepsPerRequest, EnginesPerScenario, QueueDepth, BatchMax and
+	// MemoCapacity echo the request shape and the serving knobs under test
+	// (defaults resolved by serve.Options.WithDefaults, so bench cannot
+	// drift from the serving layer).
 	StepsPerRequest    int    `json:"steps_per_request"`
 	EnginesPerScenario int    `json:"engines_per_scenario"`
 	QueueDepth         int    `json:"queue_depth"`
 	BatchMax           int    `json:"batch_max"`
+	MemoCapacity       int    `json:"memo_capacity"`
 	NumCPU             int    `json:"num_cpu"`
 	GOMAXPROCS         int    `json:"gomaxprocs"`
 	GoVersion          string `json:"go_version"`
@@ -123,37 +107,43 @@ type ServeLoad struct {
 	// ColdSeconds is the cache-miss request's latency (compilation of the
 	// whole engine pool plus one solve); CompileSeconds is the server-reported
 	// compile share of it. WarmSeconds is the median warm-cache latency over
-	// WarmProbes sequential requests (WarmMinSeconds the fastest), and
-	// WarmSpeedup = ColdSeconds / WarmSeconds — the amortization headline,
-	// required ≥ 5 for the benchmark scenario.
+	// WarmProbes sequential engine solves (WarmMinSeconds the fastest), and
+	// WarmSpeedup = ColdSeconds / WarmSeconds — the compile-amortization
+	// headline, required ≥ 5 for the benchmark scenario.
 	ColdSeconds    float64 `json:"cold_seconds"`
 	CompileSeconds float64 `json:"compile_seconds"`
 	WarmSeconds    float64 `json:"warm_seconds"`
 	WarmMinSeconds float64 `json:"warm_min_seconds"`
 	WarmSpeedup    float64 `json:"warm_speedup"`
 
-	// BitIdentical records that the cold response, every warm (engine-reused)
-	// response, and a fresh one-shot compile-and-solve all hashed the same
-	// final pressure field; PressureSHA256 is that hash.
+	// MemoSeconds is the median latency of memo-served repeats of the cold
+	// payload (MemoMinSeconds the fastest) — no engine runs at all — and
+	// MemoSpeedup = WarmSeconds / MemoSeconds, the solve-amortization
+	// headline, required ≥ 20 for the benchmark scenario. The memo phase
+	// fails outright if the server's Solves counter moves.
+	MemoSeconds    float64 `json:"memo_seconds"`
+	MemoMinSeconds float64 `json:"memo_min_seconds"`
+	MemoSpeedup    float64 `json:"memo_speedup"`
+
+	// BitIdentical records that the cold response, every warm
+	// (engine-reused) response, every memo-served response, and a fresh
+	// one-shot compile-and-solve all hashed the same final pressure field;
+	// PressureSHA256 is that hash.
 	BitIdentical   bool   `json:"bit_identical"`
 	PressureSHA256 string `json:"pressure_sha256"`
 
-	Load ServeLoadPhase `json:"load"`
+	// Load is the open-loop phase: a loadgen report over the mixed workload
+	// (memoizable short jobs, memo-bypassing short and long jobs).
+	Load loadgen.Report `json:"load"`
 	// Stats is the server's own counter block at the end of the run (cache
-	// hits/misses, admission rejections, batching, phase seconds).
+	// hits/misses, memo hits, scheduler decisions, admission rejections,
+	// batching, phase seconds).
 	Stats serve.StatsSnapshot `json:"stats"`
 }
 
-// serveSample is one load-phase request's outcome.
-type serveSample struct {
-	status  int
-	seconds float64
-	batched bool
-}
-
 // RunServeLoad stands up a resident-engine server in-process and measures
-// cold-start latency, warm-cache latency, bit-identity against the one-shot
-// path, and open-loop load behavior.
+// cold-start latency, warm-cache latency, memo-hit latency, bit-identity
+// against the one-shot path, and open-loop load behavior.
 func RunServeLoad(cfg ServeConfig) (*ServeLoad, error) {
 	cfg = cfg.withDefaults()
 	srv := serve.New(cfg.Server)
@@ -187,24 +177,29 @@ func RunServeLoad(cfg ServeConfig) (*ServeLoad, error) {
 	if err != nil {
 		return nil, err
 	}
+	noMemo := req
+	noMemo.NoMemo = true
+	noMemoBody, err := json.Marshal(noMemo)
+	if err != nil {
+		return nil, err
+	}
 
+	eff := cfg.Server.WithDefaults()
 	out := &ServeLoad{
 		Scenario:           cfg.Scenario,
 		ScenarioKey:        cfg.Scenario.Key(),
 		StepsPerRequest:    cfg.Steps,
-		EnginesPerScenario: cfg.Server.EnginesPerScenario,
-		QueueDepth:         cfg.Server.QueueDepth,
-		BatchMax:           cfg.Server.BatchMax,
+		EnginesPerScenario: eff.EnginesPerScenario,
+		QueueDepth:         eff.QueueDepth,
+		BatchMax:           eff.BatchMax,
+		MemoCapacity:       eff.MemoCapacity,
 		NumCPU:             runtime.NumCPU(),
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		GoVersion:          runtime.Version(),
 	}
-	if out.BatchMax == 0 {
-		out.BatchMax = 8 // the serve default
-	}
 
 	// Phase 1: cold start — the request that misses the cache and compiles
-	// the scenario's whole engine pool.
+	// the scenario's whole engine pool. It also seeds the result memo.
 	cold, status, coldSec, err := post(body)
 	if err != nil {
 		return nil, fmt.Errorf("bench: serve cold request: %w", err)
@@ -220,13 +215,13 @@ func RunServeLoad(cfg ServeConfig) (*ServeLoad, error) {
 	out.CompileSeconds = cold.Timings.CompileSeconds
 	out.PressureSHA256 = cold.PressureSHA256
 
-	// Phase 2: warm-cache probes — sequential, so each measures one resident
-	// solve with no queueing. The engines are reused across them; their
-	// hashes must all equal the cold one.
+	// Phase 2: warm-cache probes — sequential, memo bypassed, so each
+	// measures one resident solve with no queueing. The engines are reused
+	// across them; their hashes must all equal the cold one.
 	warm := make([]float64, 0, cfg.WarmProbes)
 	identical := true
 	for i := 0; i < cfg.WarmProbes; i++ {
-		res, status, sec, err := post(body)
+		res, status, sec, err := post(noMemoBody)
 		if err != nil {
 			return nil, fmt.Errorf("bench: serve warm probe %d: %w", i, err)
 		}
@@ -236,6 +231,9 @@ func RunServeLoad(cfg ServeConfig) (*ServeLoad, error) {
 		if !res.CacheHit {
 			return nil, fmt.Errorf("bench: serve warm probe %d missed the cache", i)
 		}
+		if res.MemoHit {
+			return nil, fmt.Errorf("bench: serve warm probe %d hit the memo despite no_memo", i)
+		}
 		if res.PressureSHA256 != out.PressureSHA256 {
 			identical = false
 		}
@@ -243,13 +241,44 @@ func RunServeLoad(cfg ServeConfig) (*ServeLoad, error) {
 	}
 	sorted := append([]float64(nil), warm...)
 	sort.Float64s(sorted)
-	out.WarmSeconds = sorted[len(sorted)/2]
+	out.WarmSeconds = loadgen.Quantile(sorted, 0.50)
 	out.WarmMinSeconds = sorted[0]
 	if out.WarmSeconds > 0 {
 		out.WarmSpeedup = out.ColdSeconds / out.WarmSeconds
 	}
 
-	// Phase 3: bit-identity against the one-shot path — a fresh
+	// Phase 3: memo probes — the cold payload again, now memoized. Every
+	// response must be a memo hit on the cold solve's bits, and the server's
+	// engine-solve counter must not move at all.
+	solvesBefore := srv.Stats().Solves
+	memoLat := make([]float64, 0, cfg.WarmProbes)
+	for i := 0; i < cfg.WarmProbes; i++ {
+		res, status, sec, err := post(body)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve memo probe %d: %w", i, err)
+		}
+		if res == nil {
+			return nil, fmt.Errorf("bench: serve memo probe %d: HTTP %d", i, status)
+		}
+		if !res.MemoHit {
+			return nil, fmt.Errorf("bench: serve memo probe %d missed the memo", i)
+		}
+		if res.PressureSHA256 != out.PressureSHA256 {
+			identical = false
+		}
+		memoLat = append(memoLat, sec)
+	}
+	if solvesAfter := srv.Stats().Solves; solvesAfter != solvesBefore {
+		return nil, fmt.Errorf("bench: memo probes triggered %d engine solves, want 0", solvesAfter-solvesBefore)
+	}
+	sort.Float64s(memoLat)
+	out.MemoSeconds = loadgen.Quantile(memoLat, 0.50)
+	out.MemoMinSeconds = memoLat[0]
+	if out.MemoSeconds > 0 {
+		out.MemoSpeedup = out.WarmSeconds / out.MemoSeconds
+	}
+
+	// Phase 4: bit-identity against the one-shot path — a fresh
 	// compile-and-solve with no cache and no reuse must hash identically.
 	oneShot, err := serve.OneShot(req)
 	if err != nil {
@@ -260,105 +289,68 @@ func RunServeLoad(cfg ServeConfig) (*ServeLoad, error) {
 	}
 	out.BitIdentical = identical
 
-	// Phase 4: open-loop load — arrivals fire on their own schedule (seeded
-	// exponential inter-arrivals), not when the previous response lands, so
-	// the queue, the batcher and the admission gate all engage. Two well
-	// payloads alternate, so drained windows split into two batch groups.
-	variant := req
-	variant.Wells = []serve.WellSpec{{Cell: 0, Rate: 1.5}, {Cell: out.Cells - 1, Rate: -1.5}}
-	variantBody, err := json.Marshal(variant)
+	// Phase 5: open-loop load — arrivals fire on their own schedule through
+	// the shared loadgen engine, so the queue, the batcher, the admission
+	// gate and the SJF scheduler all engage. The mix is heterogeneous on
+	// purpose: memoizable short jobs (served from the memo), memo-bypassing
+	// short jobs and 3x-longer well jobs, so the scheduler sees real cost
+	// spread and the batcher sees repeated payloads.
+	spec, err := serveLoadSpec(cfg, out.Cells)
 	if err != nil {
 		return nil, err
 	}
-	bodies := [2][]byte{body, variantBody}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	arrivals := make([]time.Duration, cfg.Requests)
-	at := 0.0
-	for i := range arrivals {
-		at += rng.ExpFloat64() / cfg.RatePerSec
-		arrivals[i] = time.Duration(at * float64(time.Second))
-	}
-
-	samples := make([]serveSample, cfg.Requests)
-	var wg sync.WaitGroup
-	loadStart := time.Now()
-	var lastDone atomic64Time
-	for i := range arrivals {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			time.Sleep(time.Until(loadStart.Add(arrivals[i])))
-			res, status, sec, err := post(bodies[i%2])
-			if err != nil {
-				samples[i] = serveSample{status: -1, seconds: sec}
-				return
-			}
-			samples[i] = serveSample{status: status, seconds: sec}
-			if res != nil {
-				samples[i].batched = res.Batched
-			}
-			lastDone.store(time.Now())
-		}(i)
-	}
-	wg.Wait()
-
-	load := ServeLoadPhase{
-		Requests:   cfg.Requests,
-		RatePerSec: cfg.RatePerSec,
-		Seed:       cfg.Seed,
-	}
-	var latencies []float64
-	for _, s := range samples {
-		switch {
-		case s.status == http.StatusOK:
-			load.Completed++
-			latencies = append(latencies, s.seconds)
-			if s.batched {
-				load.BatchedRequests++
-			}
-			if s.seconds > load.MaxSeconds {
-				load.MaxSeconds = s.seconds
-			}
-		case s.status == http.StatusTooManyRequests:
-			load.Rejected429++
+	driver := loadgen.Driver{Post: func(it loadgen.Item) loadgen.PostResult {
+		res, status, _, err := post(it.Body)
+		if err != nil {
+			return loadgen.PostResult{Err: err}
 		}
+		r := loadgen.PostResult{Status: status}
+		if res != nil {
+			r.Batched = res.Batched
+			r.MemoHit = res.MemoHit
+		}
+		return r
+	}}
+	rep, err := driver.Run(spec)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve load phase: %w", err)
 	}
-	sort.Float64s(latencies)
-	if n := len(latencies); n > 0 {
-		load.P50Seconds = latencies[n/2]
-		load.P99Seconds = latencies[min(n-1, (n*99+99)/100)]
-	}
-	if t := lastDone.load(); !t.IsZero() {
-		load.DurationSeconds = t.Sub(loadStart).Seconds()
-	}
-	if load.DurationSeconds > 0 {
-		load.SustainedReqPerSec = float64(load.Completed) / load.DurationSeconds
-	}
-	out.Load = load
+	out.Load = *rep
 	out.Stats = srv.Stats()
 	return out, nil
 }
 
-// atomic64Time is a mutex-guarded latest-completion timestamp (the load
-// goroutines race to set it; only the max matters).
-type atomic64Time struct {
-	mu sync.Mutex
-	t  time.Time
-}
-
-func (a *atomic64Time) store(t time.Time) {
-	a.mu.Lock()
-	if t.After(a.t) {
-		a.t = t
+// serveLoadSpec is the load phase's workload mix: the memoizable cold
+// payload against short and long memo-bypassing well jobs.
+func serveLoadSpec(cfg ServeConfig, cells int) (loadgen.Spec, error) {
+	base := serve.SolveRequest{Scenario: cfg.Scenario, Steps: cfg.Steps}
+	wells := []serve.WellSpec{{Cell: 0, Rate: 1.5}, {Cell: cells - 1, Rate: -1.5}}
+	short := base
+	short.Wells = wells
+	short.NoMemo = true
+	long := short
+	long.Steps = 3 * cfg.Steps
+	spec := loadgen.Spec{
+		Requests:   cfg.Requests,
+		RatePerSec: cfg.RatePerSec,
+		Seed:       cfg.Seed,
 	}
-	a.mu.Unlock()
-}
-
-func (a *atomic64Time) load() time.Time {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.t
+	for _, it := range []struct {
+		name   string
+		weight int
+		req    serve.SolveRequest
+	}{
+		{"memoized", 2, base},
+		{"short-wells", 2, short},
+		{"long-wells", 1, long},
+	} {
+		b, err := json.Marshal(it.req)
+		if err != nil {
+			return loadgen.Spec{}, err
+		}
+		spec.Items = append(spec.Items, loadgen.Item{Name: it.name, Weight: it.weight, Body: b})
+	}
+	return spec, nil
 }
 
 // WriteJSON writes the experiment as indented JSON — the BENCH_serve.json
@@ -378,17 +370,25 @@ func (s *ServeLoad) Render(w io.Writer) error {
 	fmt.Fprintf(tw, "cold start (cache miss)\t%.4f s\t(compile %.4f s)\n", s.ColdSeconds, s.CompileSeconds)
 	fmt.Fprintf(tw, "warm cache (median of resident solves)\t%.4f s\t(min %.4f s)\n", s.WarmSeconds, s.WarmMinSeconds)
 	fmt.Fprintf(tw, "warm speedup\t%.1fx\t(required ≥ 5x)\n", s.WarmSpeedup)
-	fmt.Fprintf(tw, "bit-identical to one-shot (incl. after reuse)\t%v\t\n\n", s.BitIdentical)
+	fmt.Fprintf(tw, "memo hit (median, no engine)\t%.4f s\t(min %.4f s)\n", s.MemoSeconds, s.MemoMinSeconds)
+	fmt.Fprintf(tw, "memo speedup over warm\t%.1fx\t(required ≥ 20x)\n", s.MemoSpeedup)
+	fmt.Fprintf(tw, "bit-identical to one-shot (incl. reuse + memo)\t%v\t\n\n", s.BitIdentical)
 	l := s.Load
 	fmt.Fprintf(tw, "open loop: %d arrivals at %.0f req/s (seed %d)\n", l.Requests, l.RatePerSec, l.Seed)
-	fmt.Fprintf(tw, "completed\t%d\t(batched: %d)\n", l.Completed, l.BatchedRequests)
-	fmt.Fprintf(tw, "rejected 429\t%d\t\n", l.Rejected429)
+	fmt.Fprintf(tw, "completed\t%d\t(batched %d, memo hits %d)\n", l.Completed, l.BatchedRequests, l.MemoHits)
+	fmt.Fprintf(tw, "rejected 429\t%d\t(errors %d)\n", l.Rejected429, l.Errors)
 	fmt.Fprintf(tw, "sustained\t%.1f req/s\tover %.2f s\n", l.SustainedReqPerSec, l.DurationSeconds)
-	fmt.Fprintf(tw, "latency p50 / p99 / max\t%.4f / %.4f / %.4f s\t\n\n", l.P50Seconds, l.P99Seconds, l.MaxSeconds)
+	fmt.Fprintf(tw, "latency p50 / p99 / max\t%.4f / %.4f / %.4f s\t\n", l.P50Seconds, l.P99Seconds, l.MaxSeconds)
+	for _, it := range l.PerItem {
+		fmt.Fprintf(tw, "  item %s\t%d sent, %d completed\tp50 %.4f s, memo %d\n",
+			it.Name, it.Sent, it.Completed, it.P50Seconds, it.MemoHits)
+	}
+	fmt.Fprintln(tw)
 	st := s.Stats
-	fmt.Fprintf(tw, "server counters: %d requests, %d admitted, %d completed; cache %d hit / %d miss / %d evicted; %d solves (%d batches shared %d solves)\n",
+	fmt.Fprintf(tw, "server counters: %d requests, %d admitted, %d completed; cache %d hit / %d miss / %d evicted; memo %d hits (%d resident); %d solves (%d batches shared %d solves); sched %d decisions / %d reorders / %d aged picks\n",
 		st.Requests, st.Admitted, st.Completed, st.CacheHits, st.CacheMisses, st.Evictions,
-		st.Solves, st.Batches, st.SharedSolves)
+		st.MemoHits, st.MemoEntries, st.Solves, st.Batches, st.SharedSolves,
+		st.SchedDecisions, st.SchedReorders, st.SchedAgedPicks)
 	if s.GOMAXPROCS == 1 {
 		fmt.Fprintln(tw, "note: single-core host — sustained throughput is one engine's; the pool and batcher still exercise the full dispatch path")
 	}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestRunServeLoadSmall drives the whole serving experiment on the small
+// 48-cell scenario: every phase completes, the memo probes are served
+// without a new engine solve, bit-identity holds across cold, warm, memo
+// and one-shot, and the load phase accounts for every arrival.
+func TestRunServeLoadSmall(t *testing.T) {
+	cfg := ServeConfig{
+		Scenario:   serve.Scenario{Rings: 6, Sectors: 8, Parts: 2},
+		WarmProbes: 3,
+		Requests:   20,
+		RatePerSec: 200,
+		Server:     serve.Options{QueueDepth: 64},
+	}
+	res, err := RunServeLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells != 48 {
+		t.Errorf("Cells = %d, want 48", res.Cells)
+	}
+	if !res.BitIdentical {
+		t.Error("bit identity lost across cold/warm/memo/one-shot")
+	}
+	if res.MemoSeconds <= 0 || res.MemoSpeedup <= 0 {
+		t.Errorf("memo phase empty: %g s, %gx", res.MemoSeconds, res.MemoSpeedup)
+	}
+	if res.Stats.MemoHits < uint64(cfg.WarmProbes) {
+		t.Errorf("MemoHits = %d, want ≥ %d (every memo probe)", res.Stats.MemoHits, cfg.WarmProbes)
+	}
+	if res.Stats.SchedDecisions == 0 {
+		t.Error("load phase recorded no scheduler decisions")
+	}
+	l := res.Load
+	if l.Completed+l.Rejected429+l.Errors != cfg.Requests {
+		t.Errorf("load accounting off: %d + %d + %d != %d",
+			l.Completed, l.Rejected429, l.Errors, cfg.Requests)
+	}
+	if l.Errors != 0 {
+		t.Errorf("load phase had %d errors", l.Errors)
+	}
+	if len(l.PerItem) != 3 {
+		t.Errorf("per-item breakdown has %d entries, want 3", len(l.PerItem))
+	}
+	// BatchMax was left zero in the config: the report must echo the serve
+	// default, not a bench-local copy of it.
+	if res.BatchMax != serve.DefaultBatchMax || res.MemoCapacity != serve.DefaultMemoCapacity {
+		t.Errorf("knob echo drifted from serve defaults: batch %d, memo %d", res.BatchMax, res.MemoCapacity)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"memo hit", "memo speedup", "sched"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, sb.String())
+		}
+	}
+}

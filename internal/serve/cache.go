@@ -54,6 +54,12 @@ type entry struct {
 	err            error
 	compileSeconds float64
 
+	// cells is the compiled mesh's real cell count — what well indices are
+	// validated against; cost is the scenario's online solve-cost estimate
+	// the SJF dispatcher orders by.
+	cells int
+	cost  *costModel
+
 	engines []*engine
 	pending chan *job
 	// freed carries engine ids back to the dispatcher as batches complete
@@ -143,7 +149,7 @@ func (c *cache) acquire(scn Scenario) (e *entry, hit bool, release func(), err e
 	// proceed, concurrent requests for this one block on ready.
 	start := c.cfg.now()
 	e.err = c.compileEntry(e)
-	e.compileSeconds = time.Since(start).Seconds()
+	e.compileSeconds = c.cfg.now().Sub(start).Seconds()
 	close(e.ready)
 	if e.err != nil {
 		c.mu.Lock()
@@ -166,6 +172,8 @@ func (c *cache) compileEntry(e *entry) error {
 	if err != nil {
 		return err
 	}
+	e.cells = comp.u.NumCells
+	e.cost = newCostModel(comp.u.NumCells, e.scn.Precond)
 	for i := 0; i < c.cfg.engines; i++ {
 		s, err := comp.newSolver()
 		if err != nil {
@@ -232,14 +240,18 @@ func (c *cache) size() int {
 }
 
 // dispatch is the entry's scheduler. It holds the scenario's backlog: jobs
-// drain from the queue into it, and a batch leaves it only when an engine is
-// idle — so under load the backlog is exactly where same-payload requests
-// meet and coalesce (one solve serves the whole batch, up to batchMax).
-// Engines announce completion on e.freed; dispatch hands the next batch to
-// the idle engine with the lowest id (deterministic least-loaded: busy
-// engines are never picked). It owns engine shutdown: when the queue closes
-// (retirement) and the backlog is spent, it closes the engine channels,
-// waits for them to finish, and releases the compiled solvers.
+// drain from the queue into it in arrival order, and a batch leaves it only
+// when an engine is idle — so under load the backlog is exactly where
+// same-payload requests meet and coalesce (one solve serves the whole
+// batch, up to batchMax). Batch selection is shortest-job-first over the
+// scenario's cost estimate with an aging credit (selectGroup): the cheapest
+// waiting job leads the batch, long jobs age their way to the front instead
+// of starving, and equal priorities resolve by arrival order so replays are
+// stable. Engines announce completion on e.freed; dispatch hands the next
+// batch to the idle engine with the lowest id (deterministic least-loaded:
+// busy engines are never picked). It owns engine shutdown: when the queue
+// closes (retirement) and the backlog is spent, it closes the engine
+// channels, waits for them to finish, and releases the compiled solvers.
 func (c *cache) dispatch(e *entry) {
 	var engWG sync.WaitGroup
 	for _, eng := range e.engines {
@@ -318,7 +330,14 @@ func (c *cache) dispatch(e *entry) {
 			}
 			continue
 		}
-		group := takeGroup(&backlog, c.cfg.batchMax)
+		group, reordered, aged := selectGroup(&backlog, c.cfg.batchMax, e.cost.estimate, c.cfg.now())
+		c.cfg.stats.SchedDecisions.Add(1)
+		if reordered {
+			c.cfg.stats.SchedReorders.Add(1)
+		}
+		if aged {
+			c.cfg.stats.SchedAgedPicks.Add(1)
+		}
 		if len(group) > 1 {
 			c.cfg.stats.Batches.Add(1)
 			c.cfg.stats.BatchedRequests.Add(uint64(len(group)))
@@ -346,35 +365,18 @@ func (c *cache) dispatch(e *entry) {
 	close(e.done)
 }
 
-// takeGroup removes and returns the head-of-line batch: the oldest job plus
-// every later backlog job with the same payload, up to max, preserving the
-// arrival order of what stays behind.
-func takeGroup(backlog *[]*job, max int) []*job {
-	b := *backlog
-	lead := b[0]
-	group := []*job{lead}
-	rest := b[:0]
-	for _, j := range b[1:] {
-		if len(group) < max && j.payloadKey == lead.payloadKey {
-			group = append(group, j)
-		} else {
-			rest = append(rest, j)
-		}
-	}
-	*backlog = rest
-	return group
-}
-
 // runEngine executes batches on one resident engine: one Solve per batch,
-// the result fanned out to every batch member.
+// the result fanned out to every batch member, the observed cost folded
+// back into the scenario's estimate.
 func (c *cache) runEngine(e *entry, eng *engine) {
 	for batch := range eng.ch {
 		lead := batch[0]
 		start := c.cfg.now()
 		res, err := eng.solver.Solve(lead.req.transientOptions())
-		sec := time.Since(start).Seconds()
+		sec := c.cfg.now().Sub(start).Seconds()
 		c.cfg.stats.Solves.Add(1)
 		c.cfg.stats.SolveSecondsTotal.add(sec)
+		e.cost.observe(sec, lead.req.effectiveSteps())
 		for i, j := range batch {
 			j.done <- jobResult{
 				res:          res,

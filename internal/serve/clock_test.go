@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for driving the injected Options.Now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestTimingsUseInjectedClock is the clock-bug regression: with a frozen
+// injected clock, every reported duration must be exactly zero. Any code
+// path still on time.Since would mix a wall-clock now into a fake-clock
+// start and report hours, so a zero here pins that all serve timings derive
+// from Options.Now.
+func TestTimingsUseInjectedClock(t *testing.T) {
+	clock := newFakeClock()
+	s, ts := newTestServer(t, Options{Now: clock.Now})
+	for _, body := range []string{
+		testBody(""),               // cold: compile + solve
+		testBody(""),               // memo hit
+		testBody(`"steps":2`),      // warm engine solve
+		testBody(`"no_memo":true`), // engine solve behind a populated memo
+	} {
+		var resp SolveResponse
+		if code := postSolve(t, ts, body, &resp); code != http.StatusOK {
+			t.Fatalf("status %d for %s", code, body)
+		}
+		if resp.Timings != (Timings{}) {
+			t.Errorf("frozen clock, nonzero timings for %s: %+v", body, resp.Timings)
+		}
+		if resp.MemoSolveSeconds != 0 {
+			t.Errorf("frozen clock, nonzero memo provenance for %s: %g", body, resp.MemoSolveSeconds)
+		}
+	}
+	st := s.Stats()
+	if st.QueueSecondsTotal != 0 || st.CompileSecondsTotal != 0 ||
+		st.SolveSecondsTotal != 0 || st.RenderSecondsTotal != 0 {
+		t.Errorf("frozen clock, nonzero accumulated seconds: %+v", st)
+	}
+}
+
+// TestTokenBucketRefill pins the admission bucket on a fake clock: the burst
+// drains, refill is proportional to elapsed fake time, and the cap holds.
+func TestTokenBucketRefill(t *testing.T) {
+	clock := newFakeClock()
+	b := newTokenBucket(2, 2, clock.Now) // 2 tokens/s, burst 2
+	if !b.allow() || !b.allow() {
+		t.Fatal("burst tokens not available")
+	}
+	if b.allow() {
+		t.Fatal("empty bucket admitted a request")
+	}
+	clock.Advance(500 * time.Millisecond) // refills exactly one token
+	if !b.allow() {
+		t.Fatal("refilled token not available")
+	}
+	if b.allow() {
+		t.Fatal("bucket over-refilled")
+	}
+}
+
+// TestTokenBucketBurstCap pins the cap: idling far longer than burst/rate
+// still leaves at most burst tokens.
+func TestTokenBucketBurstCap(t *testing.T) {
+	clock := newFakeClock()
+	b := newTokenBucket(10, 3, clock.Now)
+	clock.Advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("burst token %d not available", i)
+		}
+	}
+	if b.allow() {
+		t.Error("bucket exceeded its burst cap after idling")
+	}
+}
+
+// TestTokenBucketZeroRateBypass pins that a zero rate disables rate
+// admission entirely — the frozen clock would never refill anything.
+func TestTokenBucketZeroRateBypass(t *testing.T) {
+	clock := newFakeClock()
+	b := newTokenBucket(0, 0, clock.Now)
+	for i := 0; i < 100; i++ {
+		if !b.allow() {
+			t.Fatalf("zero-rate bucket rejected request %d", i)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestMemoHitSkipsEngine pins the memo contract end to end: an identical
+// repeat request is served from the result memo — same bits, no engine, no
+// new solve — with the original solve's cost as provenance.
+func TestMemoHitSkipsEngine(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	var first, repeat SolveResponse
+	if code := postSolve(t, ts, testBody(`"steps":2`), &first); code != http.StatusOK {
+		t.Fatalf("first request: status %d", code)
+	}
+	if first.MemoHit {
+		t.Error("first request reported a memo hit")
+	}
+	if code := postSolve(t, ts, testBody(`"steps":2`), &repeat); code != http.StatusOK {
+		t.Fatalf("repeat request: status %d", code)
+	}
+	if !repeat.MemoHit {
+		t.Fatal("repeat request missed the memo")
+	}
+	if repeat.Engine != -1 {
+		t.Errorf("memo hit reports engine %d, want -1 (no engine involved)", repeat.Engine)
+	}
+	if repeat.PressureSHA256 != first.PressureSHA256 {
+		t.Errorf("memo-served hash %s != original %s", repeat.PressureSHA256, first.PressureSHA256)
+	}
+	if len(repeat.Steps) != 2 || repeat.Iterations != first.Iterations {
+		t.Errorf("memo-served solve report diverged: %d steps / %d iterations, want 2 / %d",
+			len(repeat.Steps), repeat.Iterations, first.Iterations)
+	}
+	if repeat.MemoSolveSeconds != first.Timings.SolveSeconds {
+		t.Errorf("memo provenance %g s != original solve %g s", repeat.MemoSolveSeconds, first.Timings.SolveSeconds)
+	}
+	if repeat.Timings.SolveSeconds != 0 || repeat.Timings.QueueSeconds != 0 {
+		t.Errorf("memo hit reports engine-path timings: %+v", repeat.Timings)
+	}
+	st := s.Stats()
+	if st.Solves != 1 {
+		t.Errorf("Solves = %d, want 1 (repeat must not touch an engine)", st.Solves)
+	}
+	if st.MemoHits != 1 {
+		t.Errorf("MemoHits = %d, want 1", st.MemoHits)
+	}
+	if st.MemoEntries != 1 {
+		t.Errorf("MemoEntries = %d, want 1", st.MemoEntries)
+	}
+}
+
+// TestMemoSingleFlight pins coalescing: N concurrent identical cold requests
+// share the leader's one solve — everyone lands on the same bits and the
+// engines run exactly once.
+func TestMemoSingleFlight(t *testing.T) {
+	s, ts := newTestServer(t, Options{QueueDepth: 64})
+	const n = 8
+	hashes := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp SolveResponse
+			if code := postSolve(t, ts, testBody(`"steps":2`), &resp); code == http.StatusOK {
+				hashes[i] = resp.PressureSHA256
+			}
+		}(i)
+	}
+	wg.Wait()
+	want := hashes[0]
+	for i, h := range hashes {
+		if h == "" {
+			t.Fatalf("request %d did not complete", i)
+		}
+		if h != want {
+			t.Fatalf("request %d diverged: %s vs %s", i, h, want)
+		}
+	}
+	st := s.Stats()
+	if st.Solves != 1 {
+		t.Errorf("Solves = %d, want 1 (single flight)", st.Solves)
+	}
+	if st.MemoHits != n-1 {
+		t.Errorf("MemoHits = %d, want %d", st.MemoHits, n-1)
+	}
+}
+
+// TestMemoEviction pins the bound: capacity 1 means the second payload
+// evicts the first, and repeating the first pays a fresh solve.
+func TestMemoEviction(t *testing.T) {
+	s, ts := newTestServer(t, Options{MemoCapacity: 1})
+	a, b := testBody(`"steps":1`), testBody(`"steps":2`)
+	for _, body := range []string{a, b, a} {
+		if code := postSolve(t, ts, body, nil); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+	}
+	st := s.Stats()
+	if st.Solves != 3 {
+		t.Errorf("Solves = %d, want 3 (evicted payload re-solves)", st.Solves)
+	}
+	if st.MemoHits != 0 {
+		t.Errorf("MemoHits = %d, want 0", st.MemoHits)
+	}
+	if st.MemoEntries != 1 {
+		t.Errorf("MemoEntries = %d, want 1", st.MemoEntries)
+	}
+}
+
+// TestMemoDisabled pins the off switch: negative capacity disables
+// memoization entirely.
+func TestMemoDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Options{MemoCapacity: -1})
+	for i := 0; i < 2; i++ {
+		var resp SolveResponse
+		if code := postSolve(t, ts, testBody(""), &resp); code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		if resp.MemoHit {
+			t.Errorf("request %d memo-hit with memoization disabled", i)
+		}
+	}
+	st := s.Stats()
+	if st.Solves != 2 || st.MemoHits != 0 || st.MemoEntries != 0 {
+		t.Errorf("disabled memo leaked state: %d solves / %d hits / %d entries",
+			st.Solves, st.MemoHits, st.MemoEntries)
+	}
+}
+
+// TestMemoAbandonOnRejection pins the failure path: a leader shed downstream
+// of the memo (compiled-mesh well bound) abandons its slot, so the identical
+// repeat is rejected afresh instead of hanging on a never-published entry.
+func TestMemoAbandonOnRejection(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	bad := testBody(`"wells":[{"cell":48,"rate":2}]`)
+	for i := 0; i < 2; i++ {
+		if code := postSolve(t, ts, bad, nil); code != http.StatusBadRequest {
+			t.Fatalf("attempt %d: status %d, want 400", i, code)
+		}
+	}
+	st := s.Stats()
+	if st.RejectedInvalid != 2 {
+		t.Errorf("RejectedInvalid = %d, want 2", st.RejectedInvalid)
+	}
+	if st.MemoEntries != 0 {
+		t.Errorf("MemoEntries = %d, want 0 (abandoned slots must not linger)", st.MemoEntries)
+	}
+}

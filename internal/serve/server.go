@@ -3,20 +3,30 @@
 // keeps compiled engines (umesh.TransientSolver — PartEngine, PartOperator
 // and their phase programs) resident behind a scenario cache, so a repeat
 // request skips plan compilation entirely and pays only queue + solve +
-// render.
+// render — and keeps completed results behind a bounded memo, so an
+// identical repeat request skips the engines too.
 //
 // Request path:
 //
 //	POST /v1/solve → admission (token bucket, 429) → bounded queue (429)
+//	  → result memo (hit: completed response, no engine; concurrent
+//	    identical misses coalesce on one solve — single flight)
 //	  → scenario cache (hit: resident engines; miss: compile once)
-//	  → per-scenario dispatcher (identical payloads batched, one solve per
-//	    batch; least-loaded resident engine) → render (JSON)
+//	  → per-scenario dispatcher (shortest-job-first over an online cost
+//	    estimate with an aging credit; identical payloads batched, one
+//	    solve per batch; least-loaded resident engine) → render (JSON)
 //
 // Determinism: a served solve runs the exact one-shot code path
 // (RunTransientPartitioned is one compile-and-solve cycle of the same
 // TransientSolver the cache keeps resident), so responses are bit-identical
 // to the equivalent CLI invocation — including after engine reuse across
-// requests, which the test suite asserts.
+// requests and when served from the result memo, which the test suite
+// asserts.
+//
+// Clocks: every duration the layer reports (Timings, the *SecondsTotal
+// stats) derives from the injected Options.Now — never from time.Since —
+// so tests and replays can drive the layer on a fake clock and read sane
+// numbers.
 //
 // Shutdown: Drain stops admission (503), waits for every admitted request
 // to complete, then retires the cache and its engines — the SIGTERM path of
@@ -39,18 +49,31 @@ import (
 	"repro/internal/umesh"
 )
 
+// Defaults for the zero-valued Options fields. Exported so the other ends
+// of the system (bench configs, CLI flag tables) echo the serving layer's
+// effective configuration instead of restating the numbers and drifting.
+const (
+	DefaultCacheCapacity      = 4
+	DefaultEnginesPerScenario = 1
+	DefaultQueueDepth         = 64
+	DefaultBatchMax           = 8
+	DefaultMaxCells           = 1 << 20
+	DefaultMemoCapacity       = 64
+)
+
 // Options configures a Server. The zero value serves with the documented
 // defaults.
 type Options struct {
 	// CacheCapacity bounds the resident scenario count; the least recently
 	// used scenario is evicted (engines released once idle) beyond it.
-	// Default 4.
+	// Default DefaultCacheCapacity.
 	CacheCapacity int
 	// EnginesPerScenario sizes each scenario's resident engine pool —
-	// batches dispatch to the least-loaded member. Default 1.
+	// batches dispatch to the least-loaded member. Default
+	// DefaultEnginesPerScenario.
 	EnginesPerScenario int
 	// QueueDepth bounds the admitted-but-unfinished job count; request
-	// number QueueDepth+1 is rejected with 429. Default 64.
+	// number QueueDepth+1 is rejected with 429. Default DefaultQueueDepth.
 	QueueDepth int
 	// RatePerSec is the token-bucket refill rate of the admission gate
 	// (requests per second, sustained); 0 disables rate admission.
@@ -59,36 +82,51 @@ type Options struct {
 	// sustained rate). Default: QueueDepth when rate admission is on.
 	Burst int
 	// BatchMax bounds how many queued same-scenario requests one dispatch
-	// window drains into a batch. Default 8.
+	// window drains into a batch. Default DefaultBatchMax.
 	BatchMax int
 	// MaxCells rejects scenarios whose mesh would exceed this many cells
-	// before compiling anything. Default 1<<20; negative disables.
+	// before compiling anything. Default DefaultMaxCells; negative disables.
 	MaxCells int
-	// Now overrides the clock (tests). Default time.Now.
+	// MemoCapacity bounds the result memo — completed responses keyed by
+	// (scenario, payload), served without touching an engine. Default
+	// DefaultMemoCapacity; negative disables memoization.
+	MemoCapacity int
+	// Now overrides the clock (tests, replays). Every duration the layer
+	// reports derives from it. Default time.Now.
 	Now func() time.Time
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns the options with every zero field replaced by its
+// documented default — exactly the configuration New serves under. Exported
+// so benchmarks and CLIs report the effective knobs instead of restating
+// the defaults.
+func (o Options) WithDefaults() Options {
 	if o.CacheCapacity == 0 {
-		o.CacheCapacity = 4
+		o.CacheCapacity = DefaultCacheCapacity
 	}
 	if o.EnginesPerScenario == 0 {
-		o.EnginesPerScenario = 1
+		o.EnginesPerScenario = DefaultEnginesPerScenario
 	}
 	if o.QueueDepth == 0 {
-		o.QueueDepth = 64
+		o.QueueDepth = DefaultQueueDepth
 	}
 	if o.Burst == 0 {
 		o.Burst = o.QueueDepth
 	}
 	if o.BatchMax == 0 {
-		o.BatchMax = 8
+		o.BatchMax = DefaultBatchMax
 	}
 	if o.MaxCells == 0 {
-		o.MaxCells = 1 << 20
+		o.MaxCells = DefaultMaxCells
 	}
 	if o.MaxCells < 0 {
 		o.MaxCells = 0
+	}
+	if o.MemoCapacity == 0 {
+		o.MemoCapacity = DefaultMemoCapacity
+	}
+	if o.MemoCapacity < 0 {
+		o.MemoCapacity = 0
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -114,13 +152,25 @@ type SolveRequest struct {
 	// ReturnPressure includes the full final pressure field in the response
 	// (the SHA-256 of its raw bits is always included).
 	ReturnPressure bool `json:"return_pressure,omitempty"`
+	// NoMemo bypasses result memoization: the solve always runs on an
+	// engine and its result is not stored. Benchmarks use it to measure the
+	// engine path behind a populated memo.
+	NoMemo bool `json:"no_memo,omitempty"`
+}
+
+// effectiveSteps is the step count the engine will run (0 defaults to 1).
+func (r SolveRequest) effectiveSteps() int {
+	if r.Steps == 0 {
+		return 1
+	}
+	return r.Steps
 }
 
 // payloadKey identifies the solve-relevant request payload — requests with
-// equal keys on the same scenario can share one solve.
+// equal keys on the same scenario can share one solve (and one memo slot).
 func (r SolveRequest) payloadKey() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "steps=%d", r.Steps)
+	fmt.Fprintf(&b, "steps=%d", r.effectiveSteps())
 	for _, w := range r.Wells {
 		fmt.Fprintf(&b, "|%d:%g", w.Cell, w.Rate)
 	}
@@ -130,10 +180,7 @@ func (r SolveRequest) payloadKey() string {
 // transientOptions maps the per-request inputs onto the compiled template
 // (zero fields defer to it).
 func (r SolveRequest) transientOptions() umesh.TransientOptions {
-	opts := umesh.TransientOptions{Steps: r.Steps}
-	if opts.Steps == 0 {
-		opts.Steps = 1
-	}
+	opts := umesh.TransientOptions{Steps: r.effectiveSteps()}
 	for _, w := range r.Wells {
 		opts.Wells = append(opts.Wells, umesh.Well{Cell: w.Cell, Rate: w.Rate})
 	}
@@ -148,12 +195,14 @@ type StepReport struct {
 	MassError  float64 `json:"mass_error"`
 }
 
-// Timings is the per-request wall-clock breakdown.
+// Timings is the per-request wall-clock breakdown, derived from the
+// injected clock.
 type Timings struct {
 	// QueueSeconds spans enqueue to solved (queue wait plus the batch's
 	// solve); SolveSeconds is the engine solve alone; CompileSeconds is the
 	// scenario compilation this request paid (0 on a cache hit);
-	// RenderSeconds is response marshalling.
+	// RenderSeconds is response marshalling. All zero on a memo hit — no
+	// engine was involved.
 	QueueSeconds   float64 `json:"queue_seconds"`
 	CompileSeconds float64 `json:"compile_seconds"`
 	SolveSeconds   float64 `json:"solve_seconds"`
@@ -167,11 +216,17 @@ type SolveResponse struct {
 	Cells       int    `json:"cells"`
 	// CacheHit reports whether the scenario's engines were already resident;
 	// Batched whether this request shared a batch-mate's solve; Engine which
-	// resident engine served it; BatchSize the batch it rode in.
+	// resident engine served it (-1 on a memo hit — none did); BatchSize the
+	// batch it rode in.
 	CacheHit  bool `json:"cache_hit"`
 	Batched   bool `json:"batched"`
 	Engine    int  `json:"engine"`
 	BatchSize int  `json:"batch_size"`
+	// MemoHit reports the response was served from the result memo;
+	// MemoSolveSeconds is the memoized solve's original cost — the timing
+	// provenance of a response no engine touched.
+	MemoHit          bool    `json:"memo_hit,omitempty"`
+	MemoSolveSeconds float64 `json:"memo_solve_seconds,omitempty"`
 
 	Steps      []StepReport `json:"steps"`
 	Iterations int          `json:"iterations"`
@@ -230,6 +285,7 @@ func (b *tokenBucket) allow() bool {
 type Server struct {
 	opts  Options
 	cache *cache
+	memo  *memo
 	admit *tokenBucket
 	stats Stats
 
@@ -242,9 +298,10 @@ type Server struct {
 
 // New builds a Server.
 func New(opts Options) *Server {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	s := &Server{opts: opts}
 	s.admit = newTokenBucket(opts.RatePerSec, opts.Burst, opts.Now)
+	s.memo = newMemo(opts.MemoCapacity)
 	s.cache = newCache(cacheConfig{
 		capacity: opts.CacheCapacity,
 		engines:  opts.EnginesPerScenario,
@@ -267,6 +324,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Stats() StatsSnapshot {
 	snap := s.stats.snapshot()
 	snap.ResidentScenarios = s.cache.size()
+	snap.MemoEntries = s.memo.size()
 	return snap
 }
 
@@ -322,11 +380,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid, "serve: steps must be non-negative, got %d", req.Steps)
 		return
 	}
-	cells := req.Scenario.cellEstimate()
+	// Negative well cells can never be valid; the upper bound is checked
+	// against the compiled mesh's real cell count after the cache resolves
+	// (cellEstimate is only the pre-compile MaxCells bound).
 	for _, well := range req.Wells {
-		if well.Cell < 0 || well.Cell >= cells {
+		if well.Cell < 0 {
 			s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid,
-				"serve: well cell %d outside the scenario's %d-cell mesh", well.Cell, cells)
+				"serve: well cell %d is negative", well.Cell)
 			return
 		}
 	}
@@ -354,6 +414,38 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer s.queued.Add(-1)
 	s.stats.Admitted.Add(1)
 
+	// Result memoization: a completed identical request is served straight
+	// from the memo (no engine); concurrent identical misses coalesce on
+	// the leader's solve — single flight.
+	var (
+		mkey          memoKey
+		ment          *memoEntry
+		memoLeader    bool
+		memoPublished bool
+	)
+	if s.memo != nil && !req.NoMemo {
+		mkey = memoKey{scenario: req.Scenario.Key(), payload: req.payloadKey()}
+		for {
+			ment, memoLeader = s.memo.acquire(mkey)
+			if memoLeader {
+				break
+			}
+			<-ment.ready
+			if ment.err == nil {
+				s.stats.MemoHits.Add(1)
+				s.renderAndSend(w, start, memoResponse(req, mkey, ment))
+				return
+			}
+			// The leader abandoned (failed or was rejected downstream);
+			// retry — this round may make us the leader.
+		}
+		defer func() {
+			if !memoPublished {
+				s.memo.abandon(mkey, ment)
+			}
+		}()
+	}
+
 	entry, hit, release, err := s.cache.acquire(req.Scenario)
 	if err != nil {
 		s.stats.Failed.Add(1)
@@ -366,6 +458,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		compileSeconds = entry.compileSeconds
 		s.stats.CompileSecondsTotal.add(compileSeconds)
 	}
+	// Validate well cells against the compiled mesh, not the estimate —
+	// the estimate is exact for the radial family today, but the compiled
+	// count is the one the engine will index with.
+	for _, well := range req.Wells {
+		if well.Cell >= entry.cells {
+			s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid,
+				"serve: well cell %d outside the compiled %d-cell mesh", well.Cell, entry.cells)
+			return
+		}
+	}
 
 	j := &job{
 		req:        req,
@@ -375,7 +477,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	entry.pending <- j
 	jr := <-j.done
-	queueSeconds := time.Since(j.enqueued).Seconds()
+	queueSeconds := s.opts.Now().Sub(j.enqueued).Seconds()
 	s.stats.QueueSecondsTotal.add(queueSeconds)
 	if jr.err != nil {
 		s.stats.Failed.Add(1)
@@ -383,7 +485,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	renderStart := s.opts.Now()
 	resp := &SolveResponse{
 		ScenarioKey:    entry.key,
 		Cells:          len(jr.res.Pressure),
@@ -393,15 +494,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		BatchSize:      jr.batchSize,
 		PressureSHA256: pressureHash(jr.res.Pressure),
 	}
-	for _, st := range jr.res.Steps {
-		resp.Steps = append(resp.Steps, StepReport{
-			Iterations: st.Iterations,
-			Residual:   st.Residual,
-			MaxDeltaP:  st.MaxDeltaP,
-			MassError:  st.MassError,
-		})
-		resp.Iterations += st.Iterations
-	}
+	fillSteps(resp, jr.res)
 	if req.ReturnPressure {
 		resp.Pressure = jr.res.Pressure
 	}
@@ -410,8 +503,50 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		CompileSeconds: compileSeconds,
 		SolveSeconds:   jr.solveSeconds,
 	}
+	if memoLeader {
+		s.memo.publish(mkey, ment, jr.res, jr.solveSeconds)
+		memoPublished = true
+	}
+	s.renderAndSend(w, start, resp)
+}
+
+// fillSteps copies a result's per-step reports into the response.
+func fillSteps(resp *SolveResponse, res *umesh.TransientResult) {
+	for _, st := range res.Steps {
+		resp.Steps = append(resp.Steps, StepReport{
+			Iterations: st.Iterations,
+			Residual:   st.Residual,
+			MaxDeltaP:  st.MaxDeltaP,
+			MassError:  st.MassError,
+		})
+		resp.Iterations += st.Iterations
+	}
+}
+
+// memoResponse renders a memo entry as a completed response: the stored
+// steps, hash and solve provenance; no engine, batch or cache involvement.
+func memoResponse(req SolveRequest, key memoKey, e *memoEntry) *SolveResponse {
+	resp := &SolveResponse{
+		ScenarioKey:      key.scenario,
+		Cells:            len(e.res.Pressure),
+		Engine:           -1,
+		MemoHit:          true,
+		MemoSolveSeconds: e.solveSeconds,
+		PressureSHA256:   e.hash,
+	}
+	fillSteps(resp, e.res)
+	if req.ReturnPressure {
+		resp.Pressure = e.res.Pressure
+	}
+	return resp
+}
+
+// renderAndSend marshals the response, measures the render on the injected
+// clock, fills the closing timings in, and ships the body.
+func (s *Server) renderAndSend(w http.ResponseWriter, start time.Time, resp *SolveResponse) {
+	renderStart := s.opts.Now()
 	body, err := json.Marshal(resp)
-	renderSeconds := time.Since(renderStart).Seconds()
+	renderSeconds := s.opts.Now().Sub(renderStart).Seconds()
 	s.stats.RenderSecondsTotal.add(renderSeconds)
 	if err != nil {
 		s.stats.Failed.Add(1)
@@ -419,7 +554,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Timings.RenderSeconds = renderSeconds
-	resp.Timings.TotalSeconds = time.Since(start).Seconds()
+	resp.Timings.TotalSeconds = s.opts.Now().Sub(start).Seconds()
 	// Re-marshal with the finished timings: the first marshal measured the
 	// render cost, this one (identical layout, two floats filled in) is what
 	// ships.

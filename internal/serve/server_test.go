@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -64,7 +65,6 @@ func TestSolveRejectsInvalid(t *testing.T) {
 		{"unknown precond", `{"scenario":{"precond":"ilu"}}`},
 		{"parts not power of two", `{"scenario":{"rings":6,"sectors":8,"parts":3}}`},
 		{"negative steps", testBody(`"steps":-1`)},
-		{"well outside mesh", testBody(`"wells":[{"cell":48,"rate":2}]`)},
 		{"negative well cell", testBody(`"wells":[{"cell":-1,"rate":2}]`)},
 	}
 	for _, c := range cases {
@@ -96,6 +96,32 @@ func TestSolveMaxCellsBound(t *testing.T) {
 	}
 }
 
+// TestWellValidationAgainstCompiledMesh pins the post-compile well bound:
+// well indices are checked against the compiled mesh's real cell count (48
+// here), not the pre-compile estimate — the last valid cell solves, the
+// first out-of-range one is a 400 that names the compiled count.
+func TestWellValidationAgainstCompiledMesh(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	if code := postSolve(t, ts, testBody(`"wells":[{"cell":47,"rate":2}]`), nil); code != http.StatusOK {
+		t.Fatalf("well at last cell: status %d, want 200", code)
+	}
+	var errBody map[string]any
+	if code := postSolve(t, ts, testBody(`"wells":[{"cell":48,"rate":2}]`), &errBody); code != http.StatusBadRequest {
+		t.Fatalf("well past last cell: status %d, want 400", code)
+	}
+	msg, _ := errBody["error"].(string)
+	if !strings.Contains(msg, "48-cell") {
+		t.Errorf("rejection does not name the compiled cell count: %q", msg)
+	}
+	st := s.Stats()
+	if st.CacheMisses != 1 {
+		t.Errorf("CacheMisses = %d, want 1 (both requests share one compile)", st.CacheMisses)
+	}
+	if st.RejectedInvalid != 1 {
+		t.Errorf("RejectedInvalid = %d, want 1", st.RejectedInvalid)
+	}
+}
+
 // TestSolveColdThenWarm pins the cache contract end to end: the first
 // request misses and pays compilation, the repeat hits, skips it, and lands
 // on the same bits.
@@ -105,6 +131,8 @@ func TestSolveColdThenWarm(t *testing.T) {
 	if code := postSolve(t, ts, testBody(""), &cold); code != http.StatusOK {
 		t.Fatalf("cold request: status %d", code)
 	}
+	// no_memo on the repeat: this test pins the scenario cache, so the
+	// request must reach the engines instead of the result memo.
 	if cold.CacheHit {
 		t.Error("first request reported a cache hit")
 	}
@@ -117,7 +145,7 @@ func TestSolveColdThenWarm(t *testing.T) {
 	if cold.Iterations == 0 || len(cold.Steps) != 1 {
 		t.Errorf("cold response carries no solve report: %+v", cold)
 	}
-	if code := postSolve(t, ts, testBody(""), &warm); code != http.StatusOK {
+	if code := postSolve(t, ts, testBody(`"no_memo":true`), &warm); code != http.StatusOK {
 		t.Fatalf("warm request: status %d", code)
 	}
 	if !warm.CacheHit {
@@ -310,9 +338,12 @@ func TestDrainGraceful(t *testing.T) {
 // TestCacheEviction pins the LRU bound: capacity 1 means a second scenario
 // evicts the first, and re-requesting the first recompiles it.
 func TestCacheEviction(t *testing.T) {
+	// no_memo throughout: eviction is about the scenario cache, and the
+	// result memo outlives evicted engines by design — a memoized repeat
+	// would never recompile.
 	s, ts := newTestServer(t, Options{CacheCapacity: 1})
-	a := testBody("")
-	b := `{"scenario":{"rings":6,"sectors":8,"parts":1}}`
+	a := testBody(`"no_memo":true`)
+	b := `{"scenario":{"rings":6,"sectors":8,"parts":1},"no_memo":true}`
 	if code := postSolve(t, ts, a, nil); code != http.StatusOK {
 		t.Fatalf("scenario A: status %d", code)
 	}
@@ -352,7 +383,7 @@ func TestConcurrentSameScenario(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
-					bytes.NewReader([]byte(testBody(`"steps":2`))))
+					bytes.NewReader([]byte(testBody(`"steps":2,"no_memo":true`))))
 				if err != nil {
 					return
 				}

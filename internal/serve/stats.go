@@ -27,9 +27,11 @@ func (a *atomicSeconds) load() float64 { return math.Float64frombits(a.bits.Load
 // handlers, the admission gate, the cache and the engines all bump it
 // concurrently, and /v1/stats snapshots it without stopping the world.
 type Stats struct {
-	// Request accounting: every POST /v1/solve increments Requests; exactly
-	// one of Admitted / RejectedRate / RejectedQueue / RejectedDraining /
-	// RejectedInvalid follows.
+	// Request accounting: every POST /v1/solve increments Requests, then
+	// exactly one of Admitted / RejectedRate / RejectedQueue /
+	// RejectedDraining / RejectedInvalid. One exception: well indices are
+	// validated against the compiled mesh, which exists only past admission,
+	// so a request shed there counts both Admitted and RejectedInvalid.
 	Requests         atomic.Uint64
 	Admitted         atomic.Uint64
 	RejectedRate     atomic.Uint64 // token bucket empty → 429
@@ -43,6 +45,19 @@ type Stats struct {
 	CacheHits   atomic.Uint64
 	CacheMisses atomic.Uint64
 	Evictions   atomic.Uint64
+
+	// Result-memo accounting: MemoHits counts responses served from the
+	// result memo (completed or by joining an in-flight leader's solve)
+	// without a fresh engine dispatch of their own.
+	MemoHits atomic.Uint64
+
+	// Scheduler accounting: SchedDecisions counts dispatch selections;
+	// SchedReorders those where SJF picked a job other than the oldest;
+	// SchedAgedPicks those where the aging credit overrode a strictly
+	// cheaper estimate.
+	SchedDecisions atomic.Uint64
+	SchedReorders  atomic.Uint64
+	SchedAgedPicks atomic.Uint64
 
 	// Batched dispatch accounting: Solves counts engine solves;
 	// Batches/BatchedRequests/SharedSolves count multi-request groups whose
@@ -76,6 +91,13 @@ type StatsSnapshot struct {
 	Evictions         uint64 `json:"evictions"`
 	ResidentScenarios int    `json:"resident_scenarios"`
 
+	MemoHits    uint64 `json:"memo_hits"`
+	MemoEntries int    `json:"memo_entries"`
+
+	SchedDecisions uint64 `json:"sched_decisions"`
+	SchedReorders  uint64 `json:"sched_reorders"`
+	SchedAgedPicks uint64 `json:"sched_aged_picks"`
+
 	Solves          uint64 `json:"solves"`
 	Batches         uint64 `json:"batches"`
 	BatchedRequests uint64 `json:"batched_requests"`
@@ -102,6 +124,12 @@ func (s *Stats) snapshot() StatsSnapshot {
 		CacheHits:   s.CacheHits.Load(),
 		CacheMisses: s.CacheMisses.Load(),
 		Evictions:   s.Evictions.Load(),
+
+		MemoHits: s.MemoHits.Load(),
+
+		SchedDecisions: s.SchedDecisions.Load(),
+		SchedReorders:  s.SchedReorders.Load(),
+		SchedAgedPicks: s.SchedAgedPicks.Load(),
 
 		Solves:          s.Solves.Load(),
 		Batches:         s.Batches.Load(),
