@@ -5,11 +5,13 @@ GO ?= go
 # all execute, the shared shard-pool execution layer, the partitioned
 # unstructured engine built on it, the Krylov solvers that drive the
 # partitioned implicit path, the resident-engine serving layer that
-# multiplexes concurrent requests over those solvers, and the open-loop
-# load generator that fires concurrent shot goroutines at it.
-RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/ ./internal/exec/ ./internal/umesh/ ./internal/solver/ ./internal/serve/ ./internal/loadgen/
+# multiplexes concurrent requests over those solvers, the open-loop
+# load generator that fires concurrent shot goroutines at it, and the
+# fault-injection package whose chaos suite hammers the serving layer's
+# failure domains (panic recovery, deadlines, forced drains) concurrently.
+RACE_PKGS = ./internal/core/ ./internal/fabric/ ./internal/dsd/ ./internal/exec/ ./internal/umesh/ ./internal/solver/ ./internal/serve/ ./internal/loadgen/ ./internal/faultinject/
 
-.PHONY: build test race bench-smoke bench-kernel bench-umesh bench-usolve bench-serve fuzz-smoke cover docs-check vet fmt-check ci
+.PHONY: build test race bench-smoke bench-kernel bench-umesh bench-usolve bench-serve chaos-smoke fuzz-smoke cover docs-check vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -60,6 +62,13 @@ bench-serve:
 	@echo "bench-serve: GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)}"
 	$(GO) run ./cmd/fvserve -selftest -requests 30 -arrival-rate 40
 
+# The chaos suite under the race detector: a live serving stack through a
+# seeded plan of engine panics, stalls and forced breakdowns, asserting
+# ≥ 99% availability for the non-faulted requests, bit-identical hashes on
+# every success, and a healthy daemon at the end.
+chaos-smoke:
+	$(GO) test -race -run TestChaos -count=1 ./internal/faultinject/
+
 # Short native-fuzz exploration of the RCB partitioner and the radial mesh
 # builder (the checked-in seed corpus already runs under plain `make test`).
 # -fuzz accepts one target per invocation, hence two runs.
@@ -69,9 +78,9 @@ fuzz-smoke:
 
 # Per-package coverage gate over the solver-path packages. Floors are pinned
 # a few points under the measured numbers so genuine regressions fail while
-# rounding noise does not. Current coverage (2026-08, PR 9):
-#   internal/umesh  94.5%   internal/solver 88.7%   internal/exec 95.8%
-#   internal/serve  91.5%   internal/loadgen 96.7%
+# rounding noise does not. Current coverage (2026-08, PR 10):
+#   internal/umesh  94.7%   internal/solver 89.7%   internal/exec 95.8%
+#   internal/serve  90.8%   internal/loadgen 97.3%  internal/faultinject 86.8%
 cover:
 	@set -e; \
 	check() { \
@@ -85,8 +94,9 @@ cover:
 	check ./internal/umesh/ 88; \
 	check ./internal/solver/ 86; \
 	check ./internal/exec/ 95; \
-	check ./internal/serve/ 87; \
-	check ./internal/loadgen/ 92
+	check ./internal/serve/ 88; \
+	check ./internal/loadgen/ 92; \
+	check ./internal/faultinject/ 82
 
 # Docs gate: the godoc Example functions (solver.CG, RunTransientPartitioned,
 # SolveUnstructured) execute with output verification, the architecture and
@@ -117,4 +127,4 @@ fmt-check:
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Everything the CI workflow gates on.
-ci: build vet fmt-check test race cover docs-check bench-smoke bench-kernel bench-umesh bench-usolve bench-serve fuzz-smoke
+ci: build vet fmt-check test race cover docs-check bench-smoke bench-kernel bench-umesh bench-usolve bench-serve chaos-smoke fuzz-smoke

@@ -26,9 +26,12 @@
 //	  ]
 //	}
 //
-// -requests, -rate and -seed override the spec's values when set. Without
-// -spec, the default workload drives the 15360-cell benchmark scenario with
-// a mixed payload (default wells / explicit wells / 3-step).
+// -requests, -rate and -seed override the spec's values when set, as do
+// -retries and -retry-backoff for the retry policy: rejected shots (429,
+// 503, transport failure) re-fire with seeded exponential backoff, never
+// waiting less than the server's Retry-After advice. Without -spec, the
+// default workload drives the 15360-cell benchmark scenario with a mixed
+// payload (default wells / explicit wells / 3-step).
 package main
 
 import (
@@ -40,6 +43,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -96,6 +100,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Int64("seed", 0, "override the spec's arrival seed")
 		jsonPath = fs.String("json", "", "write the JSON report here")
 		timeout  = fs.Duration("timeout", 120*time.Second, "per-request HTTP timeout")
+		retries  = fs.Int("retries", -1, "override the spec's max retries per shot on 429/503/transport failure (-1 = spec value)")
+		backoff  = fs.Float64("retry-backoff", 0, "override the spec's retry backoff base [s] (0 = spec value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +117,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *timeout <= 0 {
 		return fmt.Errorf("-timeout must be positive, got %v", *timeout)
+	}
+	if *retries < -1 {
+		return fmt.Errorf("-retries must be -1 (spec value) or non-negative, got %d", *retries)
+	}
+	if *backoff < 0 {
+		return fmt.Errorf("-retry-backoff must be non-negative, got %g", *backoff)
 	}
 
 	spec := defaultSpec()
@@ -132,6 +144,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *seed != 0 {
 		spec.Seed = *seed
+	}
+	if *retries >= 0 {
+		spec.MaxRetries = *retries
+	}
+	if *backoff > 0 {
+		spec.RetryBackoffSeconds = *backoff
 	}
 	if err := spec.Validate(); err != nil {
 		return err
@@ -203,7 +221,10 @@ func newPoster(client *http.Client, url string) loadgen.Poster {
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			io.Copy(io.Discard, resp.Body)
-			return loadgen.PostResult{Status: resp.StatusCode}
+			return loadgen.PostResult{
+				Status:            resp.StatusCode,
+				RetryAfterSeconds: parseRetryAfter(resp.Header.Get("Retry-After")),
+			}
 		}
 		var m solveMarkers
 		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
@@ -213,12 +234,26 @@ func newPoster(client *http.Client, url string) loadgen.Poster {
 	}
 }
 
+// parseRetryAfter reads the delay-seconds form of a Retry-After header (the
+// only form fvserve emits); anything unparsable means no advice.
+func parseRetryAfter(v string) float64 {
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.ParseFloat(v, 64)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return sec
+}
+
 // render writes the human-readable report.
 func render(w io.Writer, rep *loadgen.Report) error {
 	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "completed\t%d\t(batched %d, memo hits %d)\n", rep.Completed, rep.BatchedRequests, rep.MemoHits)
 	fmt.Fprintf(tw, "rejected 429\t%d\t\n", rep.Rejected429)
 	fmt.Fprintf(tw, "errors\t%d\t\n", rep.Errors)
+	fmt.Fprintf(tw, "retries\t%d\t(%d shots gave up)\n", rep.Retries, rep.GaveUp)
 	fmt.Fprintf(tw, "sustained\t%.1f req/s\tover %.2f s\n", rep.SustainedReqPerSec, rep.DurationSeconds)
 	fmt.Fprintf(tw, "latency p50 / p99 / max\t%.4f / %.4f / %.4f s\t\n", rep.P50Seconds, rep.P99Seconds, rep.MaxSeconds)
 	for _, it := range rep.PerItem {

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/loadgen"
@@ -42,6 +44,8 @@ func TestRunCLIValidation(t *testing.T) {
 		{"negative rate", []string{"-target", "http://x", "-rate", "-1"}, "-rate must be non-negative"},
 		{"zero timeout", []string{"-target", "http://x", "-timeout", "0s"}, "-timeout must be positive"},
 		{"missing spec file", []string{"-target", "http://x", "-spec", "/does/not/exist.json"}, "no such file"},
+		{"retries below -1", []string{"-target", "http://x", "-retries", "-2"}, "-retries must be -1"},
+		{"negative retry backoff", []string{"-target", "http://x", "-retry-backoff", "-0.5"}, "-retry-backoff must be non-negative"},
 		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
 	}
 	for _, c := range cases {
@@ -153,6 +157,82 @@ func TestRunEndToEnd(t *testing.T) {
 	st := srv.Stats()
 	if st.MemoHits == 0 {
 		t.Error("server counted no memo hits under a repeating workload")
+	}
+}
+
+// TestParseRetryAfter pins the header parsing: delay-seconds in, advice
+// out; garbage and negatives mean no advice.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"", 0}, {"4", 4}, {"2.5", 2.5}, {"-3", 0}, {"soon", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRunRetriesFlakyTarget drives fvload against a target that 429s each
+// payload's first attempt: with -retries the shots re-fire (honoring the
+// advertised Retry-After of 0-ish via backoff) and the run completes with
+// the retry accounting in the report.
+func TestRunRetriesFlakyTarget(t *testing.T) {
+	var mu sync.Mutex
+	seen := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		seen++
+		// Shed the first 4 posts — every shot's first attempt, since the
+		// 1 s Retry-After pushes all retries far past the ~10 ms arrival
+		// window.
+		reject := seen <= 4
+		mu.Unlock()
+		if reject {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"shed"}`))
+			return
+		}
+		w.Write([]byte(`{"batched":false,"memo_hit":false}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	var stdout, stderr strings.Builder
+	err := run([]string{"-target", ts.URL, "-requests", "4", "-rate", "500",
+		"-retries", "3", "-retry-backoff", "0.01", "-json", jsonPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstdout: %s", err, stdout.String())
+	}
+	var rep report
+	recorded, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recorded, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spec.MaxRetries != 3 || rep.Spec.RetryBackoffSeconds != 0.01 {
+		t.Errorf("retry overrides not recorded: %+v", rep.Spec)
+	}
+	if rep.Report.Completed != 4 || rep.Report.GaveUp != 0 {
+		t.Errorf("completed %d / gave_up %d, want 4 / 0", rep.Report.Completed, rep.Report.GaveUp)
+	}
+	if rep.Report.Retries < 4 {
+		t.Errorf("retries = %d, want >= 4 (every shot's first attempt was shed)", rep.Report.Retries)
+	}
+	if !strings.Contains(stdout.String(), "retries") {
+		t.Errorf("text report missing retry line:\n%s", stdout.String())
 	}
 }
 

@@ -6,10 +6,15 @@
 // queue + solve + render. Admission control (token bucket + bounded queue)
 // sheds overload with 429s; SIGTERM/SIGINT drains gracefully: in-flight
 // requests complete, new ones get 503, then the engines are released.
+// -deadline bounds every solve that carries no deadline_ms of its own
+// (expired solves stop at the next Krylov iteration boundary and answer
+// 504); -drain-timeout bounds the shutdown drain, force-cancelling whatever
+// is still solving past it so a wedged request cannot hang the exit.
 //
 // Usage:
 //
 //	fvserve -addr :8080 -cache 4 -engines 2 -queue 64 -rate 40
+//	fvserve -addr :8080 -deadline 30s -drain-timeout 10s
 //	fvserve -selftest -json BENCH_serve.json
 package main
 
@@ -55,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batch    = fs.Int("batch", serve.DefaultBatchMax, "max same-scenario requests batched into one dispatch window")
 		maxCells = fs.Int("max-cells", serve.DefaultMaxCells, "largest admissible scenario in cells (<=0 disables)")
 		memoCap  = fs.Int("memo", serve.DefaultMemoCapacity, "result-memo capacity, completed responses by (scenario, payload) (<=0 disables)")
+		deadline = fs.Duration("deadline", 0, "default solve deadline; requests past it answer 504 (0 = unbounded)")
+		drainTO  = fs.Duration("drain-timeout", 0, "shutdown drain bound; in-flight solves past it are force-cancelled (0 = wait forever)")
 		selftest = fs.Bool("selftest", false, "run the serving load experiment in-process and exit")
 		jsonPath = fs.String("json", "", "selftest: write the BENCH_serve.json report here")
 		requests = fs.Int("requests", 0, "selftest: open-loop arrival count (0 = experiment default)")
@@ -87,6 +94,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *arrivals < 0 {
 		return fmt.Errorf("-arrival-rate must be non-negative, got %g", *arrivals)
 	}
+	if *deadline < 0 {
+		return fmt.Errorf("-deadline must be non-negative, got %v", *deadline)
+	}
+	if *drainTO < 0 {
+		return fmt.Errorf("-drain-timeout must be non-negative, got %v", *drainTO)
+	}
 	opts := serve.Options{
 		CacheCapacity:      *cacheCap,
 		EnginesPerScenario: *engines,
@@ -96,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		BatchMax:           *batch,
 		MaxCells:           *maxCells,
 		MemoCapacity:       *memoCap,
+		DefaultDeadline:    *deadline,
 	}
 	if *maxCells <= 0 {
 		opts.MaxCells = -1
@@ -106,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *selftest {
 		return runSelftest(opts, *jsonPath, *requests, *arrivals, stdout)
 	}
-	return serveDaemon(*addr, opts, stdout)
+	return serveDaemon(*addr, opts, *drainTO, stdout)
 }
 
 // runSelftest runs the serving load experiment against an in-process server
@@ -127,6 +141,15 @@ func runSelftest(opts serve.Options, jsonPath string, requests int, arrivalRate 
 	}
 	if !res.BitIdentical {
 		return fmt.Errorf("selftest: served solve diverged from the one-shot reference (hash mismatch)")
+	}
+	if c := res.Chaos; c != nil {
+		if c.AvailabilityNonFaulted < 0.99 {
+			return fmt.Errorf("selftest: chaos availability %.4f below the 0.99 gate (%d collateral failures)",
+				c.AvailabilityNonFaulted, c.Collateral)
+		}
+		if !c.BitIdentical {
+			return fmt.Errorf("selftest: chaos-phase success diverged from the fault-free reference (hash mismatch)")
+		}
 	}
 	if res.WarmSpeedup < 5 {
 		fmt.Fprintf(stdout, "warning: warm speedup %.1fx below the 5x target\n", res.WarmSpeedup)
@@ -150,8 +173,10 @@ func runSelftest(opts serve.Options, jsonPath string, requests int, arrivalRate 
 
 // serveDaemon runs the HTTP server until SIGTERM/SIGINT, then drains: the
 // listener closes, in-flight requests run to completion, late requests get
-// 503, and the resident engines are released.
-func serveDaemon(addr string, opts serve.Options, stdout io.Writer) error {
+// 503, and the resident engines are released. A positive drainTimeout
+// bounds the drain — solves still running past it are force-cancelled at
+// their next iteration boundary, so a wedged solve cannot hang shutdown.
+func serveDaemon(addr string, opts serve.Options, drainTimeout time.Duration, stdout io.Writer) error {
 	s := serve.New(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -173,7 +198,7 @@ func serveDaemon(addr string, opts serve.Options, stdout io.Writer) error {
 	fmt.Fprintln(stdout, "fvserve: draining (in-flight requests complete, new ones get 503)")
 	drained := make(chan struct{})
 	go func() {
-		s.Drain()
+		s.DrainWithin(drainTimeout)
 		close(drained)
 	}()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// The chaos phase stands up a second server over the same scenario and
+// drives it through a seeded fault plan — panics, stalls and breakdowns
+// injected into engine solves — recording the availability contract the
+// failure domains guarantee: fault-struck requests fail with typed errors,
+// everything else completes bit-identically, and the daemon ends healthy.
+// The plan derives from the experiment seed, so the phase replays.
+
+// ChaosResult is the chaos block of BENCH_serve.json.
+type ChaosResult struct {
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	// Faulted counts requests struck directly by an injected fault (panic
+	// 500s, breakdown 422s); Collateral counts any other failure — requests
+	// the faults were NOT aimed at (the availability gate's numerator
+	// excludes Faulted, so collateral is what erodes it).
+	Faulted    int `json:"faulted"`
+	Collateral int `json:"collateral"`
+
+	// Fired fault counts, from the plan's own ledger.
+	PanicsFired     int `json:"panics_fired"`
+	StallsFired     int `json:"stalls_fired"`
+	BreakdownsFired int `json:"breakdowns_fired"`
+
+	// Server-side failure-domain counters.
+	EnginePanics    uint64 `json:"engine_panics"`
+	EngineRestarts  uint64 `json:"engine_restarts"`
+	CancelledSolves uint64 `json:"cancelled_solves"`
+
+	// AvailabilityNonFaulted = Completed / (Requests − Faulted); the
+	// recorded gate is ≥ 0.99. BitIdentical records that every completed
+	// response hashed identically to the fault-free reference.
+	AvailabilityNonFaulted float64 `json:"availability_non_faulted"`
+	BitIdentical           bool    `json:"bit_identical"`
+}
+
+// chaosWorkers is the concurrent client count of the chaos phase.
+const chaosWorkers = 4
+
+// runChaosPhase fires cfg.ChaosRequests copies of the reference payload at
+// a fault-injected server and scores the availability contract against
+// refHash (the fault-free pressure hash of the same payload).
+func runChaosPhase(cfg ServeConfig, body []byte, refHash string) (*ChaosResult, error) {
+	n := cfg.ChaosRequests
+	// One fault of each kind per ~13 requests, spread over every solve the
+	// run performs (each request solves cfg.Steps steps).
+	nFaults := n / 13
+	if nFaults < 1 {
+		nFaults = 1
+	}
+	plan := faultinject.RandomPlan(cfg.Seed, n*cfg.Steps, nFaults, nFaults, nFaults, 20*time.Millisecond, nil)
+
+	opts := cfg.Server
+	// Isolation knobs: one engine and no batching so every request is its
+	// own solve (fault ordinals line up with requests), no memo so every
+	// request actually reaches an engine, no admission gate so rejections
+	// cannot masquerade as fault collateral.
+	opts.EnginesPerScenario = 1
+	opts.BatchMax = 1
+	opts.MemoCapacity = -1
+	opts.QueueDepth = 2 * n
+	opts.RatePerSec = 0
+	opts.DefaultDeadline = 30 * time.Second
+	opts.SolveHook = plan.Hook()
+	srv := serve.New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+	client := ts.Client()
+
+	type reply struct {
+		status int
+		hash   string
+		errMsg string
+	}
+	replies := make([]reply, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < chaosWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				resp, err := client.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					replies[i] = reply{status: -1, errMsg: err.Error()}
+					continue
+				}
+				var out struct {
+					PressureSHA256 string `json:"pressure_sha256"`
+					Error          string `json:"error"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if decErr != nil {
+					replies[i] = reply{status: resp.StatusCode, errMsg: "undecodable body: " + decErr.Error()}
+					continue
+				}
+				replies[i] = reply{status: resp.StatusCode, hash: out.PressureSHA256, errMsg: out.Error}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	res := &ChaosResult{Requests: n, BitIdentical: true}
+	for i, r := range replies {
+		switch {
+		case r.status == http.StatusOK:
+			res.Completed++
+			if r.hash != refHash {
+				res.BitIdentical = false
+			}
+		case strings.Contains(r.errMsg, "panicked") || strings.Contains(r.errMsg, "breakdown"):
+			res.Faulted++
+		default:
+			res.Collateral++
+			if r.status <= 0 {
+				return nil, fmt.Errorf("bench: chaos request %d got no HTTP response: %s", i, r.errMsg)
+			}
+		}
+	}
+	fired := plan.Counts()
+	res.PanicsFired = fired.Panics
+	res.StallsFired = fired.Stalls
+	res.BreakdownsFired = fired.Breakdowns
+	if nonFaulted := res.Requests - res.Faulted; nonFaulted > 0 {
+		res.AvailabilityNonFaulted = float64(res.Completed) / float64(nonFaulted)
+	}
+	st := srv.Stats()
+	res.EnginePanics = st.EnginePanics
+	res.EngineRestarts = st.EngineRestarts
+	res.CancelledSolves = st.CancelledSolves
+	return res, nil
+}

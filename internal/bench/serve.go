@@ -51,6 +51,10 @@ type ServeConfig struct {
 	RatePerSec float64
 	// Seed seeds the exponential inter-arrival draws (default 1).
 	Seed int64
+	// ChaosRequests sizes the fault-injection phase: that many copies of the
+	// reference payload against a second, fault-injected server (default 40;
+	// negative disables the phase). The fault plan derives from Seed.
+	ChaosRequests int
 	// Server overrides the serving options. Defaults: 2 resident engines per
 	// scenario (the cold request compiles the whole pool), queue depth 24;
 	// everything else the serve package's own defaults.
@@ -75,6 +79,9 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.ChaosRequests == 0 {
+		c.ChaosRequests = 40
 	}
 	if c.Server.EnginesPerScenario == 0 {
 		c.Server.EnginesPerScenario = 2
@@ -135,6 +142,10 @@ type ServeLoad struct {
 	// Load is the open-loop phase: a loadgen report over the mixed workload
 	// (memoizable short jobs, memo-bypassing short and long jobs).
 	Load loadgen.Report `json:"load"`
+	// Chaos is the fault-injection phase: a seeded plan of panics, stalls
+	// and breakdowns against a second server, scored on availability of the
+	// non-faulted requests (gate ≥ 0.99) and bit-identity of every success.
+	Chaos *ChaosResult `json:"chaos,omitempty"`
 	// Stats is the server's own counter block at the end of the run (cache
 	// hits/misses, memo hits, scheduler decisions, admission rejections,
 	// batching, phase seconds).
@@ -317,6 +328,16 @@ func RunServeLoad(cfg ServeConfig) (*ServeLoad, error) {
 	}
 	out.Load = *rep
 	out.Stats = srv.Stats()
+
+	// Phase 6: chaos — a seeded fault plan against a second server over the
+	// same payload, scored against the fault-free hash from phase 1.
+	if cfg.ChaosRequests > 0 {
+		chaos, err := runChaosPhase(cfg, body, out.PressureSHA256)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve chaos phase: %w", err)
+		}
+		out.Chaos = chaos
+	}
 	return out, nil
 }
 
@@ -382,6 +403,15 @@ func (s *ServeLoad) Render(w io.Writer) error {
 	for _, it := range l.PerItem {
 		fmt.Fprintf(tw, "  item %s\t%d sent, %d completed\tp50 %.4f s, memo %d\n",
 			it.Name, it.Sent, it.Completed, it.P50Seconds, it.MemoHits)
+	}
+	if c := s.Chaos; c != nil {
+		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "chaos: %d requests under %d panics / %d stalls / %d breakdowns\n",
+			c.Requests, c.PanicsFired, c.StallsFired, c.BreakdownsFired)
+		fmt.Fprintf(tw, "completed\t%d\t(faulted %d, collateral %d)\n", c.Completed, c.Faulted, c.Collateral)
+		fmt.Fprintf(tw, "availability (non-faulted)\t%.4f\t(required ≥ 0.99)\n", c.AvailabilityNonFaulted)
+		fmt.Fprintf(tw, "bit-identical successes\t%v\t(engine panics %d, restarts %d, cancelled %d)\n",
+			c.BitIdentical, c.EnginePanics, c.EngineRestarts, c.CancelledSolves)
 	}
 	fmt.Fprintln(tw)
 	st := s.Stats

@@ -54,11 +54,34 @@ func TestRunServeLoadSmall(t *testing.T) {
 	if res.BatchMax != serve.DefaultBatchMax || res.MemoCapacity != serve.DefaultMemoCapacity {
 		t.Errorf("knob echo drifted from serve defaults: batch %d, memo %d", res.BatchMax, res.MemoCapacity)
 	}
+	c := res.Chaos
+	if c == nil {
+		t.Fatal("chaos phase missing from the report")
+	}
+	if c.Requests != 40 {
+		t.Errorf("chaos requests = %d, want the default 40", c.Requests)
+	}
+	if c.PanicsFired+c.StallsFired+c.BreakdownsFired == 0 {
+		t.Error("chaos phase fired no faults")
+	}
+	if c.Completed+c.Faulted+c.Collateral != c.Requests {
+		t.Errorf("chaos accounting off: %d + %d + %d != %d",
+			c.Completed, c.Faulted, c.Collateral, c.Requests)
+	}
+	if c.AvailabilityNonFaulted < 0.99 {
+		t.Errorf("chaos availability %.4f below the 0.99 gate", c.AvailabilityNonFaulted)
+	}
+	if !c.BitIdentical {
+		t.Error("chaos-phase successes diverged from the fault-free reference")
+	}
+	if c.EnginePanics != uint64(c.PanicsFired) {
+		t.Errorf("EnginePanics = %d, want %d (one per fired panic)", c.EnginePanics, c.PanicsFired)
+	}
 	var sb strings.Builder
 	if err := res.Render(&sb); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"memo hit", "memo speedup", "sched"} {
+	for _, want := range []string{"memo hit", "memo speedup", "sched", "chaos", "availability"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("render missing %q:\n%s", want, sb.String())
 		}

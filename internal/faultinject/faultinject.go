@@ -1,0 +1,184 @@
+// Package faultinject provides deterministic, seeded fault plans for the
+// serving layer's failure-domain tests: a Plan schedules faults onto the
+// Nth, Mth, ... engine step-solves a process performs, and Hook() adapts it
+// to the test-only seams the stack exposes (serve.Options.SolveHook /
+// umesh.TransientOptions.BeforeSolve). Three fault kinds cover the failure
+// domains the serving layer defends:
+//
+//   - Panic: an unrecovered panic inside the solve — exercises the engine
+//     pool's recover/retire/recompile path;
+//   - Stall: the solve wedges for a fixed duration — exercises deadlines,
+//     cancellation and bounded drains (the stall polls the solve's cancel
+//     hook, exactly like a cooperative long computation would);
+//   - Breakdown: the solve fails with solver.ErrBreakdown — exercises the
+//     422 error surface.
+//
+// Determinism: a Plan is pure data (fault kind per solve ordinal), and
+// RandomPlan derives that data from a seed through its own rng — the same
+// seed always faults the same ordinals the same way, so chaos runs replay
+// bit-identically on the non-faulted requests.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/solver"
+)
+
+// Kind is a fault flavor.
+type Kind int
+
+const (
+	// Panic panics inside the solve (the engine pool must recover it).
+	Panic Kind = iota
+	// Stall blocks the solve for StallFor, polling the cancel hook — a
+	// cooperative wedge that deadlines and forced drains can unstick.
+	Stall
+	// Breakdown fails the solve with solver.ErrBreakdown.
+	Breakdown
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Breakdown:
+		return "breakdown"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault schedules one fault onto the Solve-th engine step-solve the hook
+// observes (1-based: Solve=1 faults the very first solve).
+type Fault struct {
+	Solve    int
+	Kind     Kind
+	StallFor time.Duration // Stall only
+}
+
+// Counts reports how many faults of each kind a Plan has fired.
+type Counts struct {
+	Panics, Stalls, Breakdowns int
+}
+
+// Plan is a deterministic fault schedule. Install it with Hook(); every
+// engine step-solve increments the ordinal and fires the fault scheduled
+// for it, if any. Safe for concurrent use — ordinals are assigned under a
+// lock, so exactly one solve observes each scheduled fault.
+type Plan struct {
+	now   func() time.Time
+	sleep time.Duration // stall poll interval
+
+	mu      sync.Mutex
+	byOrd   map[int]Fault
+	ordinal int
+
+	panics, stalls, breakdowns atomic.Int64
+}
+
+// New builds a plan from an explicit fault list. now drives stall timing
+// (nil = time.Now) — pass the server's injected clock so stalls and
+// deadlines share one notion of time.
+func New(faults []Fault, now func() time.Time) *Plan {
+	if now == nil {
+		now = time.Now
+	}
+	p := &Plan{now: now, sleep: 200 * time.Microsecond, byOrd: make(map[int]Fault)}
+	for _, f := range faults {
+		p.byOrd[f.Solve] = f
+	}
+	return p
+}
+
+// RandomPlan seeds a plan with nPanics+nStalls+nBreakdowns faults spread
+// uniformly (without collision) over solve ordinals 1..totalSolves. The
+// same seed always yields the same plan.
+func RandomPlan(seed int64, totalSolves, nPanics, nStalls, nBreakdowns int, stallFor time.Duration, now func() time.Time) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	want := nPanics + nStalls + nBreakdowns
+	if want > totalSolves {
+		want = totalSolves
+	}
+	used := make(map[int]bool, want)
+	ordinals := make([]int, 0, want)
+	for len(ordinals) < want {
+		ord := 1 + rng.Intn(totalSolves)
+		if !used[ord] {
+			used[ord] = true
+			ordinals = append(ordinals, ord)
+		}
+	}
+	var faults []Fault
+	for i, ord := range ordinals {
+		switch {
+		case i < nPanics:
+			faults = append(faults, Fault{Solve: ord, Kind: Panic})
+		case i < nPanics+nStalls:
+			faults = append(faults, Fault{Solve: ord, Kind: Stall, StallFor: stallFor})
+		default:
+			faults = append(faults, Fault{Solve: ord, Kind: Breakdown})
+		}
+	}
+	return New(faults, now)
+}
+
+// Counts snapshots the fired-fault counters.
+func (p *Plan) Counts() Counts {
+	return Counts{
+		Panics:     int(p.panics.Load()),
+		Stalls:     int(p.stalls.Load()),
+		Breakdowns: int(p.breakdowns.Load()),
+	}
+}
+
+// Scheduled reports the total number of faults in the plan.
+func (p *Plan) Scheduled() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.byOrd)
+}
+
+// Hook adapts the plan to the stack's fault seams: install the returned
+// function as serve.Options.SolveHook (or umesh.TransientOptions.
+// BeforeSolve directly). It runs before each engine step-solve with that
+// solve's cancel hook.
+func (p *Plan) Hook() func(cancel func() bool) error {
+	return func(cancel func() bool) error {
+		p.mu.Lock()
+		p.ordinal++
+		f, ok := p.byOrd[p.ordinal]
+		p.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		switch f.Kind {
+		case Panic:
+			p.panics.Add(1)
+			panic(fmt.Sprintf("faultinject: scheduled panic on solve %d", f.Solve))
+		case Stall:
+			p.stalls.Add(1)
+			start := p.now()
+			for p.now().Sub(start) < f.StallFor {
+				if cancel != nil && cancel() {
+					// A cancelled stall reports like a cancelled solve, so
+					// deadlines and forced drains see the wedge end the same
+					// way a cooperative computation would.
+					return fmt.Errorf("faultinject: stall on solve %d cancelled: %w", f.Solve, solver.ErrCancelled)
+				}
+				time.Sleep(p.sleep)
+			}
+			return nil
+		case Breakdown:
+			p.breakdowns.Add(1)
+			return fmt.Errorf("faultinject: forced breakdown on solve %d: %w", f.Solve, solver.ErrBreakdown)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/solver"
+)
+
+// TestPlanFiresOnScheduledOrdinals: faults fire on exactly the scheduled
+// solves, nowhere else.
+func TestPlanFiresOnScheduledOrdinals(t *testing.T) {
+	p := New([]Fault{
+		{Solve: 2, Kind: Breakdown},
+		{Solve: 4, Kind: Breakdown},
+	}, nil)
+	hook := p.Hook()
+	never := func() bool { return false }
+	for ord := 1; ord <= 6; ord++ {
+		err := hook(never)
+		want := ord == 2 || ord == 4
+		if got := err != nil; got != want {
+			t.Fatalf("solve %d: err=%v, want fault=%v", ord, err, want)
+		}
+		if err != nil && !errors.Is(err, solver.ErrBreakdown) {
+			t.Fatalf("solve %d: %v does not wrap solver.ErrBreakdown", ord, err)
+		}
+	}
+	if c := p.Counts(); c.Breakdowns != 2 || c.Panics != 0 || c.Stalls != 0 {
+		t.Fatalf("counts = %+v, want 2 breakdowns", c)
+	}
+}
+
+// TestPanicFault: the hook panics — the caller (the engine pool) is the one
+// who must recover.
+func TestPanicFault(t *testing.T) {
+	p := New([]Fault{{Solve: 1, Kind: Panic}}, nil)
+	hook := p.Hook()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduled panic did not fire")
+		}
+		if c := p.Counts(); c.Panics != 1 {
+			t.Fatalf("counts = %+v, want 1 panic", c)
+		}
+	}()
+	_ = hook(func() bool { return false })
+}
+
+// TestStallHonorsInjectedClockAndCancel: a stall waits out its duration on
+// the injected clock, and a tripped cancel unsticks it early with an error
+// wrapping solver.ErrCancelled — the property bounded drains rely on.
+func TestStallHonorsInjectedClockAndCancel(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(10 * time.Millisecond) // stepping clock: each poll advances
+		return now
+	}
+	p := New([]Fault{{Solve: 1, Kind: Stall, StallFor: 50 * time.Millisecond}}, clock)
+	p.sleep = 0
+	if err := p.Hook()(func() bool { return false }); err != nil {
+		t.Fatalf("uncancelled stall returned %v, want nil (it just delays)", err)
+	}
+
+	p2 := New([]Fault{{Solve: 1, Kind: Stall, StallFor: time.Hour}}, clock)
+	p2.sleep = 0
+	polls := 0
+	cancel := func() bool { polls++; return polls > 3 }
+	err := p2.Hook()(cancel)
+	if !errors.Is(err, solver.ErrCancelled) {
+		t.Fatalf("cancelled stall returned %v, want ErrCancelled wrap", err)
+	}
+	if c := p2.Counts(); c.Stalls != 1 {
+		t.Fatalf("counts = %+v, want 1 stall", c)
+	}
+}
+
+// TestRandomPlanDeterministic: the same seed yields the same schedule; a
+// different seed a different one (for any usefully sized space).
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := RandomPlan(7, 100, 2, 2, 2, time.Millisecond, nil)
+	b := RandomPlan(7, 100, 2, 2, 2, time.Millisecond, nil)
+	if a.Scheduled() != 6 || b.Scheduled() != 6 {
+		t.Fatalf("scheduled %d/%d faults, want 6", a.Scheduled(), b.Scheduled())
+	}
+	for ord := 1; ord <= 100; ord++ {
+		fa, oka := a.byOrd[ord]
+		fb, okb := b.byOrd[ord]
+		if oka != okb || fa != fb {
+			t.Fatalf("solve %d: plans diverged for one seed: %v/%v vs %v/%v", ord, fa, oka, fb, okb)
+		}
+	}
+}
+
+// TestRandomPlanKindMix: the requested kind counts survive the shuffle.
+func TestRandomPlanKindMix(t *testing.T) {
+	p := RandomPlan(3, 200, 3, 2, 4, time.Millisecond, nil)
+	kinds := map[Kind]int{}
+	for _, f := range p.byOrd {
+		kinds[f.Kind]++
+	}
+	if kinds[Panic] != 3 || kinds[Stall] != 2 || kinds[Breakdown] != 4 {
+		t.Fatalf("kind mix = %v, want 3 panics / 2 stalls / 4 breakdowns", kinds)
+	}
+}

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"time"
@@ -16,11 +17,30 @@ type PostResult struct {
 	// Batched and MemoHit echo the server's response markers.
 	Batched bool
 	MemoHit bool
+	// RetryAfterSeconds is the response's parsed Retry-After header (0 when
+	// absent) — the server's own wait advice, which the retry loop honors
+	// over its backoff when larger.
+	RetryAfterSeconds float64
 	// Err is a transport-level failure (connection refused, timeout).
 	Err error
 
-	// Seconds is the shot's latency, measured by the driver.
+	// Seconds is the shot's latency, measured by the driver — arrival to
+	// final response, retries and their waits included.
 	Seconds float64
+
+	// Retries counts re-fires the driver spent on this shot; GaveUp marks a
+	// shot whose retry budget ran out with the outcome still retryable.
+	Retries int
+	GaveUp  bool
+}
+
+// retryable reports whether an outcome is worth re-firing: the server said
+// "later" (admission 429, brownout/drain 503) or transport failed entirely.
+// Hard failures (4xx client bugs, 422, 500, 504) are final.
+func (r PostResult) retryable() bool {
+	return r.Err != nil ||
+		r.Status == http.StatusTooManyRequests ||
+		r.Status == http.StatusServiceUnavailable
 }
 
 // Poster fires one workload item at the target and reports the outcome —
@@ -62,6 +82,11 @@ type Report struct {
 	Errors          int `json:"errors"`
 	BatchedRequests int `json:"batched_requests"`
 	MemoHits        int `json:"memo_hits"`
+	// Retries is the total re-fires spent across all shots; GaveUp counts
+	// shots whose retry budget ran out with the outcome still retryable
+	// (those also land in their final status bucket).
+	Retries int `json:"retries"`
+	GaveUp  int `json:"gave_up"`
 	// SustainedReqPerSec is completions over the span from first arrival to
 	// last completion — the throughput the target actually sustained.
 	SustainedReqPerSec float64 `json:"sustained_req_per_sec"`
@@ -115,6 +140,10 @@ func (d Driver) Run(spec Spec) (*Report, error) {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
+	backoff := spec.RetryBackoffSeconds
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoffSeconds
+	}
 
 	results := make([]PostResult, len(shots))
 	items := make([]int, len(shots))
@@ -131,6 +160,20 @@ func (d Driver) Run(spec Spec) (*Report, error) {
 			}
 			fired := now()
 			r := d.Post(spec.Items[shot.Item])
+			// Retry loop: seeded exponential backoff with the shot's
+			// pre-drawn jitter, never waiting less than the server's own
+			// Retry-After advice.
+			for attempt := 0; attempt < spec.MaxRetries && r.retryable(); attempt++ {
+				wait := backoff * math.Pow(2, float64(attempt)) * (0.5 + 0.5*shot.Jitter[attempt])
+				if r.RetryAfterSeconds > wait {
+					wait = r.RetryAfterSeconds
+				}
+				sleep(time.Duration(wait * float64(time.Second)))
+				retries := r.Retries + 1
+				r = d.Post(spec.Items[shot.Item])
+				r.Retries = retries
+			}
+			r.GaveUp = spec.MaxRetries > 0 && r.retryable()
 			done := now()
 			r.Seconds = done.Sub(fired).Seconds()
 			results[shot.Index] = r
@@ -155,6 +198,10 @@ func (d Driver) Run(spec Spec) (*Report, error) {
 	for i, r := range results {
 		it := items[i]
 		perItem[it].Sent++
+		rep.Retries += r.Retries
+		if r.GaveUp {
+			rep.GaveUp++
+		}
 		switch {
 		case r.Err != nil:
 			rep.Errors++

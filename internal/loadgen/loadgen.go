@@ -37,7 +37,22 @@ type Spec struct {
 	RatePerSec float64 `json:"rate_per_sec"`
 	Seed       int64   `json:"seed"`
 	Items      []Item  `json:"items"`
+
+	// MaxRetries re-fires a shot up to this many times after a retryable
+	// outcome (429, 503, transport failure), honoring the server's
+	// Retry-After when it exceeds the backoff. 0 disables retries — and
+	// keeps the plan's rng stream byte-identical to pre-retry specs.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// RetryBackoffSeconds is the exponential backoff base: attempt k waits
+	// max(Retry-After, base·2^k·(0.5+0.5·jitter)) with the jitter pre-drawn
+	// at plan time, so a replay retries at identical offsets. 0 defaults to
+	// DefaultRetryBackoffSeconds.
+	RetryBackoffSeconds float64 `json:"retry_backoff_seconds,omitempty"`
 }
+
+// DefaultRetryBackoffSeconds is the backoff base when a retrying spec does
+// not set one.
+const DefaultRetryBackoffSeconds = 0.1
 
 // Validate rejects specs the planner cannot honor.
 func (s Spec) Validate() error {
@@ -46,6 +61,12 @@ func (s Spec) Validate() error {
 	}
 	if s.RatePerSec <= 0 || math.IsInf(s.RatePerSec, 0) || math.IsNaN(s.RatePerSec) {
 		return fmt.Errorf("loadgen: rate_per_sec must be positive and finite, got %g", s.RatePerSec)
+	}
+	if s.MaxRetries < 0 {
+		return fmt.Errorf("loadgen: max_retries must be non-negative, got %d", s.MaxRetries)
+	}
+	if s.RetryBackoffSeconds < 0 || math.IsInf(s.RetryBackoffSeconds, 0) || math.IsNaN(s.RetryBackoffSeconds) {
+		return fmt.Errorf("loadgen: retry_backoff_seconds must be non-negative and finite, got %g", s.RetryBackoffSeconds)
 	}
 	if len(s.Items) == 0 {
 		return fmt.Errorf("loadgen: at least one workload item is required")
@@ -65,11 +86,14 @@ func (s Spec) Validate() error {
 }
 
 // Shot is one planned arrival: fire Items[Item] at offset At from the start
-// of the run. Index is the arrival's position in the plan.
+// of the run. Index is the arrival's position in the plan. Jitter holds the
+// shot's pre-drawn backoff jitters (one uniform [0,1) per allowed retry) —
+// drawing them at plan time keeps retrying runs fully seed-deterministic.
 type Shot struct {
-	Index int
-	At    time.Duration
-	Item  int
+	Index  int
+	At     time.Duration
+	Item   int
+	Jitter []float64
 }
 
 // Plan expands a spec into its deterministic shot sequence. One rng stream
@@ -102,6 +126,18 @@ func Plan(spec Spec) ([]Shot, error) {
 			item++
 		}
 		shots[i] = Shot{Index: i, At: time.Duration(at * float64(time.Second)), Item: item}
+	}
+	// Retry jitters draw after the whole arrival sequence, so turning
+	// retries on (or resizing the budget) never perturbs the arrival
+	// process — the same seed fires the same traffic either way.
+	if spec.MaxRetries > 0 {
+		for i := range shots {
+			jit := make([]float64, spec.MaxRetries)
+			for j := range jit {
+				jit[j] = rng.Float64()
+			}
+			shots[i].Jitter = jit
+		}
 	}
 	return shots, nil
 }

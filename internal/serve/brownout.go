@@ -1,0 +1,55 @@
+package serve
+
+import "sync/atomic"
+
+// This file is the overload brownout: when the estimated queue wait (the
+// summed cost estimates of every admitted-but-unfinished engine-bound
+// request) crosses a high-water mark, admission enters degraded mode and
+// sheds the costliest work first — requests whose own estimated cost exceeds
+// the shed threshold get 503 with a Retry-After, while cheap requests and
+// memo hits keep being served. Hysteresis (exit at a lower watermark than
+// entry) keeps the mode from flapping at the boundary. The state is
+// advertised in /healthz and /v1/stats so load balancers can steer.
+
+// brownout is the degraded-mode state machine. Enabled when high > 0.
+type brownout struct {
+	high float64 // enter degraded when queued cost exceeds this (seconds)
+	low  float64 // exit degraded when queued cost falls below this
+	shed float64 // in degraded mode, shed requests estimated ≥ this
+
+	degraded atomic.Bool
+	stats    *Stats
+}
+
+func newBrownout(high, low, shed float64, stats *Stats) *brownout {
+	return &brownout{high: high, low: low, shed: shed, stats: stats}
+}
+
+func (b *brownout) enabled() bool { return b != nil && b.high > 0 }
+
+// observe folds the current estimated queue wait into the state machine:
+// cross high going up → degraded; fall below low → healthy. Called on every
+// admission and completion, so the mode tracks the queue without a ticker.
+func (b *brownout) observe(queuedSeconds float64) {
+	if !b.enabled() {
+		return
+	}
+	if b.degraded.Load() {
+		if queuedSeconds < b.low && b.degraded.CompareAndSwap(true, false) {
+			b.stats.DegradedExits.Add(1)
+		}
+	} else if queuedSeconds > b.high && b.degraded.CompareAndSwap(false, true) {
+		b.stats.DegradedEnters.Add(1)
+	}
+}
+
+// shedNow reports whether a request with the given estimated cost should be
+// shed under the current mode — the costliest-first policy: only work at or
+// above the shed threshold is refused, so degraded mode keeps serving the
+// cheap majority.
+func (b *brownout) shedNow(estimatedCost float64) bool {
+	return b.enabled() && b.degraded.Load() && estimatedCost >= b.shed
+}
+
+// isDegraded reports the current mode (false when disabled).
+func (b *brownout) isDegraded() bool { return b.enabled() && b.degraded.Load() }

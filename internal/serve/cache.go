@@ -2,21 +2,31 @@ package serve
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/solver"
 	"repro/internal/umesh"
 )
 
+// errPoolUnhealthy marks a job that was queued behind an engine panic: the
+// pool it was waiting on is gone (retired, recompiling in the background).
+// The handler resubmits such jobs once to the healed pool instead of failing
+// them — collateral of a panic is a retry, not an error.
+var errPoolUnhealthy = errors.New("serve: engine pool lost to a panic")
+
 // job is one admitted solve request travelling through the queue: the
-// request, its batching identity, and the channel its result comes back on
-// (buffered so an engine never blocks delivering).
+// request, its batching identity, its deadline (zero = none), and the
+// channel its result comes back on (buffered so an engine never blocks
+// delivering).
 type job struct {
 	req        SolveRequest
 	payloadKey string
 	enqueued   time.Time
+	deadline   time.Time
 	done       chan jobResult
 }
 
@@ -33,11 +43,14 @@ type jobResult struct {
 // engine is one resident compiled solver plus its dispatch state: inflight
 // is 1 while a batch is executing on it (the dispatcher only hands work to
 // idle engines, so the backlog stays in the dispatcher where it can batch).
+// unhealthy is set when a solve on it panicked: the dispatcher never hands
+// it work again and the entry retires for a background recompile.
 type engine struct {
-	id       int
-	solver   *umesh.TransientSolver
-	ch       chan []*job
-	inflight atomic.Int64
+	id        int
+	solver    *umesh.TransientSolver
+	ch        chan []*job
+	inflight  atomic.Int64
+	unhealthy atomic.Bool
 }
 
 // entry is one cached scenario: the compiled shared state, a pool of
@@ -68,6 +81,7 @@ type entry struct {
 
 	refs    sync.WaitGroup // one per in-flight Acquire
 	retired atomic.Bool
+	healing atomic.Bool   // a panic already scheduled this entry's recompile
 	done    chan struct{} // closed when dispatcher and engines have stopped
 }
 
@@ -79,6 +93,12 @@ type cacheConfig struct {
 	batchMax int
 	stats    *Stats
 	now      func() time.Time
+	// forceCancel, when set (DrainWithin past its bound), trips every
+	// solve's cancel hook regardless of deadlines.
+	forceCancel *atomic.Bool
+	// solveHook, when non-nil, runs immediately before each engine step
+	// solve with the batch's cancel hook — the fault-injection seam.
+	solveHook func(cancel func() bool) error
 }
 
 // cache is the scenario cache: an LRU of compiled entries keyed by the
@@ -141,6 +161,7 @@ func (c *cache) acquire(scn Scenario) (e *entry, hit bool, release func(), err e
 	}
 	c.mu.Unlock()
 	if evicted != nil {
+		c.cfg.stats.Evictions.Add(1)
 		c.retire(evicted)
 	}
 	c.cfg.stats.CacheMisses.Add(1)
@@ -198,16 +219,60 @@ func (c *cache) compileEntry(e *entry) error {
 
 // retire schedules an entry's shutdown: once the last in-flight reference
 // releases, the queue closes and the dispatcher drains and stops the
-// engines.
+// engines. Callers account the reason themselves (eviction vs heal).
 func (c *cache) retire(e *entry) {
 	if e.retired.Swap(true) {
 		return
 	}
-	c.cfg.stats.Evictions.Add(1)
 	go func() {
 		e.refs.Wait()
 		close(e.pending)
 	}()
+}
+
+// heal is the panic recovery path: the broken entry leaves the cache (so
+// new acquires compile a fresh pool), retires, and — unless the cache is
+// closing — a background goroutine recompiles the scenario immediately so
+// the next request finds warm engines again. Runs once per entry.
+func (c *cache) heal(e *entry) {
+	if e.healing.Swap(true) {
+		return
+	}
+	c.mu.Lock()
+	closed := c.closed
+	if el, ok := c.entries[e.key]; ok && el.Value.(*entry) == e {
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+	}
+	c.mu.Unlock()
+	c.retire(e)
+	if closed {
+		return
+	}
+	go func() {
+		if _, _, release, err := c.acquire(e.scn); err == nil {
+			release()
+			c.cfg.stats.EngineRestarts.Add(1)
+		}
+	}()
+}
+
+// peekCost returns a resident scenario's refined cost model without
+// touching LRU order or references — the brownout admission estimate.
+func (c *cache) peekCost(key string) (*costModel, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				return e.cost, true
+			}
+		default: // still compiling — fall back to the static prior
+		}
+	}
+	return nil, false
 }
 
 // close retires every entry and waits for their engines to stop.
@@ -222,6 +287,7 @@ func (c *cache) close() {
 	c.lru.Init()
 	c.mu.Unlock()
 	for _, e := range all {
+		c.cfg.stats.Evictions.Add(1)
 		c.retire(e)
 	}
 	for _, e := range all {
@@ -266,7 +332,17 @@ func (c *cache) dispatch(e *entry) {
 		ready[i] = true
 	}
 	nReady := len(ready)
-	markReady := func(id int) { ready[id] = true; nReady++ }
+	nHealthy := len(ready)
+	// markReady returns an engine to the idle set — unless its last batch
+	// panicked, in which case it leaves the pool for good.
+	markReady := func(id int) {
+		if e.engines[id].unhealthy.Load() {
+			nHealthy--
+			return
+		}
+		ready[id] = true
+		nReady++
+	}
 	var backlog []*job
 	open := true
 	for open || len(backlog) > 0 {
@@ -308,7 +384,31 @@ func (c *cache) dispatch(e *entry) {
 			}
 			break
 		}
+		// Shed jobs whose deadline already passed before they cost an engine
+		// anything: they 504 with zero iterations and the slot stays free.
+		if n := len(backlog); n > 0 {
+			now := c.cfg.now()
+			live := backlog[:0]
+			for _, j := range backlog {
+				if !j.deadline.IsZero() && !now.Before(j.deadline) {
+					j.done <- jobResult{engine: -1, err: fmt.Errorf("serve: deadline expired while queued: %w", solver.ErrCancelled)}
+					continue
+				}
+				live = append(live, j)
+			}
+			backlog = live
+		}
 		if len(backlog) == 0 {
+			continue
+		}
+		if nHealthy == 0 {
+			// The whole pool panicked away. Fail the backlog fast — the
+			// handler resubmits these to the recompiled pool — and keep
+			// draining the queue until retirement closes it.
+			for _, j := range backlog {
+				j.done <- jobResult{engine: -1, err: fmt.Errorf("%w (scenario %s, recompiling)", errPoolUnhealthy, e.key)}
+			}
+			backlog = backlog[:0]
 			continue
 		}
 		if nReady == 0 {
@@ -365,18 +465,67 @@ func (c *cache) dispatch(e *entry) {
 	close(e.done)
 }
 
-// runEngine executes batches on one resident engine: one Solve per batch,
-// the result fanned out to every batch member, the observed cost folded
-// back into the scenario's estimate.
+// batchCancel builds the cancel hook one engine solve runs under: trip on
+// the server-wide force-cancel (DrainWithin past its bound), or once the
+// batch's latest member deadline passes. Batch-mates share one solve, so
+// the solve runs to the *loosest* deadline in the batch — a member without
+// a deadline keeps the solve unbounded; individually-expired members were
+// already shed pre-dispatch.
+func (c *cache) batchCancel(batch []*job) func() bool {
+	deadline := time.Time{}
+	bounded := true
+	for _, j := range batch {
+		if j.deadline.IsZero() {
+			bounded = false
+			break
+		}
+		if j.deadline.After(deadline) {
+			deadline = j.deadline
+		}
+	}
+	fc := c.cfg.forceCancel
+	now := c.cfg.now
+	return func() bool {
+		if fc != nil && fc.Load() {
+			return true
+		}
+		return bounded && !now().Before(deadline)
+	}
+}
+
+// solveBatch runs one batch's solve under recover(): a panic anywhere in
+// the engine (umesh, solver, exec) becomes an error on the batch and an
+// unhealthy mark on the engine instead of a dead daemon.
+func (c *cache) solveBatch(e *entry, eng *engine, opts umesh.TransientOptions) (res *umesh.TransientResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.cfg.stats.EnginePanics.Add(1)
+			eng.unhealthy.Store(true)
+			res, err = nil, fmt.Errorf("serve: engine %d panicked: %v", eng.id, r)
+		}
+	}()
+	return eng.solver.Solve(opts)
+}
+
+// runEngine executes batches on one resident engine: one Solve per batch
+// (under panic isolation, with the batch's cancel hook installed), the
+// result fanned out to every batch member, the observed cost folded back
+// into the scenario's estimate. A panic retires the entry for a background
+// recompile (heal) after the batch has been failed — waiters never hang.
 func (c *cache) runEngine(e *entry, eng *engine) {
 	for batch := range eng.ch {
 		lead := batch[0]
+		opts := lead.req.transientOptions()
+		opts.Cancel = c.batchCancel(batch)
+		opts.BeforeSolve = c.cfg.solveHook
 		start := c.cfg.now()
-		res, err := eng.solver.Solve(lead.req.transientOptions())
+		res, err := c.solveBatch(e, eng, opts)
 		sec := c.cfg.now().Sub(start).Seconds()
 		c.cfg.stats.Solves.Add(1)
 		c.cfg.stats.SolveSecondsTotal.add(sec)
-		e.cost.observe(sec, lead.req.effectiveSteps())
+		if err == nil {
+			e.cost.observe(sec, lead.req.effectiveSteps())
+		}
 		for i, j := range batch {
 			j.done <- jobResult{
 				res:          res,
@@ -388,6 +537,9 @@ func (c *cache) runEngine(e *entry, eng *engine) {
 			}
 		}
 		eng.inflight.Add(-1)
+		if eng.unhealthy.Load() {
+			c.heal(e)
+		}
 		e.freed <- eng.id
 	}
 }

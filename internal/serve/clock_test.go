@@ -61,22 +61,26 @@ func TestTimingsUseInjectedClock(t *testing.T) {
 	}
 }
 
+// allowed is the boolean shorthand for admission checks that don't inspect
+// the rejected path's computed Retry-After.
+func allowed(b *tokenBucket) bool { ok, _ := b.allow(); return ok }
+
 // TestTokenBucketRefill pins the admission bucket on a fake clock: the burst
 // drains, refill is proportional to elapsed fake time, and the cap holds.
 func TestTokenBucketRefill(t *testing.T) {
 	clock := newFakeClock()
 	b := newTokenBucket(2, 2, clock.Now) // 2 tokens/s, burst 2
-	if !b.allow() || !b.allow() {
+	if !allowed(b) || !allowed(b) {
 		t.Fatal("burst tokens not available")
 	}
-	if b.allow() {
+	if allowed(b) {
 		t.Fatal("empty bucket admitted a request")
 	}
 	clock.Advance(500 * time.Millisecond) // refills exactly one token
-	if !b.allow() {
+	if !allowed(b) {
 		t.Fatal("refilled token not available")
 	}
-	if b.allow() {
+	if allowed(b) {
 		t.Fatal("bucket over-refilled")
 	}
 }
@@ -88,11 +92,11 @@ func TestTokenBucketBurstCap(t *testing.T) {
 	b := newTokenBucket(10, 3, clock.Now)
 	clock.Advance(time.Hour)
 	for i := 0; i < 3; i++ {
-		if !b.allow() {
+		if !allowed(b) {
 			t.Fatalf("burst token %d not available", i)
 		}
 	}
-	if b.allow() {
+	if allowed(b) {
 		t.Error("bucket exceeded its burst cap after idling")
 	}
 }
@@ -103,7 +107,7 @@ func TestTokenBucketZeroRateBypass(t *testing.T) {
 	clock := newFakeClock()
 	b := newTokenBucket(0, 0, clock.Now)
 	for i := 0; i < 100; i++ {
-		if !b.allow() {
+		if !allowed(b) {
 			t.Fatalf("zero-rate bucket rejected request %d", i)
 		}
 	}

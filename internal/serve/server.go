@@ -38,14 +38,17 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/solver"
 	"repro/internal/umesh"
 )
 
@@ -91,6 +94,29 @@ type Options struct {
 	// (scenario, payload), served without touching an engine. Default
 	// DefaultMemoCapacity; negative disables memoization.
 	MemoCapacity int
+	// DefaultDeadline bounds every solve that does not carry its own
+	// deadline_ms: past it the Krylov loop cancels at the next iteration
+	// boundary and the request gets 504 with partial-progress diagnostics.
+	// 0 leaves solves unbounded unless the request asks.
+	DefaultDeadline time.Duration
+	// BrownoutHighSeconds enables overload brownout: when the summed cost
+	// estimates of admitted engine-bound requests exceed it, admission
+	// enters degraded mode and sheds the costliest requests with 503 (see
+	// BrownoutShedSeconds) until the estimate falls below
+	// BrownoutLowSeconds. 0 disables brownout.
+	BrownoutHighSeconds float64
+	// BrownoutLowSeconds is the exit watermark of the brownout hysteresis.
+	// Default: BrownoutHighSeconds/2.
+	BrownoutLowSeconds float64
+	// BrownoutShedSeconds is the per-request cost at or above which degraded
+	// mode sheds (cheaper requests keep being served). Default:
+	// BrownoutHighSeconds/4.
+	BrownoutShedSeconds float64
+	// SolveHook, when non-nil, runs immediately before every engine step
+	// solve with that solve's cancel hook. It exists for deterministic
+	// fault injection (internal/faultinject) — production servers leave it
+	// nil.
+	SolveHook func(cancel func() bool) error
 	// Now overrides the clock (tests, replays). Every duration the layer
 	// reports derives from it. Default time.Now.
 	Now func() time.Time
@@ -128,6 +154,14 @@ func (o Options) WithDefaults() Options {
 	if o.MemoCapacity < 0 {
 		o.MemoCapacity = 0
 	}
+	if o.BrownoutHighSeconds > 0 {
+		if o.BrownoutLowSeconds == 0 {
+			o.BrownoutLowSeconds = o.BrownoutHighSeconds / 2
+		}
+		if o.BrownoutShedSeconds == 0 {
+			o.BrownoutShedSeconds = o.BrownoutHighSeconds / 4
+		}
+	}
 	if o.Now == nil {
 		o.Now = time.Now
 	}
@@ -156,6 +190,13 @@ type SolveRequest struct {
 	// engine and its result is not stored. Benchmarks use it to measure the
 	// engine path behind a populated memo.
 	NoMemo bool `json:"no_memo,omitempty"`
+	// DeadlineMillis bounds this request's solve: past the deadline the
+	// Krylov loop cancels at the next iteration boundary and the request
+	// gets 504 with the iterations it completed. 0 falls back to the
+	// server's default deadline. The deadline does not change the payload
+	// identity — batch-mates sharing one solve run it to the loosest member
+	// deadline, and memo hits are served regardless.
+	DeadlineMillis int `json:"deadline_ms,omitempty"`
 }
 
 // effectiveSteps is the step count the engine will run (0 defaults to 1).
@@ -238,9 +279,15 @@ type SolveResponse struct {
 	Timings Timings `json:"timings"`
 }
 
-// errorResponse is every non-200 body.
+// errorResponse is every non-200 body. Failed solves (504 deadline, 422
+// breakdown / not converged) carry partial-progress diagnostics: how many
+// steps finished, how far the failing step's Krylov iteration got, and its
+// residual history.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error               string    `json:"error"`
+	StepsCompleted      int       `json:"steps_completed,omitempty"`
+	IterationsCompleted int       `json:"iterations_completed,omitempty"`
+	ResidualHistory     []float64 `json:"residual_history,omitempty"`
 }
 
 // tokenBucket is the admission gate: capacity burst, refill rate tokens/sec.
@@ -260,10 +307,13 @@ func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket 
 	return b
 }
 
-// allow takes one token if available. A zero rate admits everything.
-func (b *tokenBucket) allow() bool {
+// allow takes one token if available. A zero rate admits everything. On
+// rejection, retryAfter is the bucket's actual time-to-next-token in
+// seconds — what the 429's Retry-After header should carry instead of a
+// hardcoded guess.
+func (b *tokenBucket) allow() (ok bool, retryAfter float64) {
 	if b.rate <= 0 {
-		return true
+		return true, 0
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -274,24 +324,30 @@ func (b *tokenBucket) allow() bool {
 	}
 	b.last = t
 	if b.tokens < 1 {
-		return false
+		return false, (1 - b.tokens) / b.rate
 	}
 	b.tokens--
-	return true
+	return true, 0
 }
 
 // Server is the resident-engine serving layer. Create one with New, mount
 // Handler on an http.Server, and Drain it on shutdown.
 type Server struct {
-	opts  Options
-	cache *cache
-	memo  *memo
-	admit *tokenBucket
-	stats Stats
+	opts     Options
+	cache    *cache
+	memo     *memo
+	admit    *tokenBucket
+	brownout *brownout
+	stats    Stats
 
-	queued   atomic.Int64
-	draining atomic.Bool
-	inflight sync.WaitGroup
+	queued atomic.Int64
+	// queuedCost is the estimated queue wait in seconds: the summed cost
+	// estimates of admitted engine-bound requests still in flight. It
+	// drives the brownout state machine and the queue-full Retry-After.
+	queuedCost  atomicSeconds
+	draining    atomic.Bool
+	forceCancel atomic.Bool
+	inflight    sync.WaitGroup
 
 	mux *http.ServeMux
 }
@@ -302,13 +358,16 @@ func New(opts Options) *Server {
 	s := &Server{opts: opts}
 	s.admit = newTokenBucket(opts.RatePerSec, opts.Burst, opts.Now)
 	s.memo = newMemo(opts.MemoCapacity)
+	s.brownout = newBrownout(opts.BrownoutHighSeconds, opts.BrownoutLowSeconds, opts.BrownoutShedSeconds, &s.stats)
 	s.cache = newCache(cacheConfig{
-		capacity: opts.CacheCapacity,
-		engines:  opts.EnginesPerScenario,
-		queue:    opts.QueueDepth,
-		batchMax: opts.BatchMax,
-		stats:    &s.stats,
-		now:      opts.Now,
+		capacity:    opts.CacheCapacity,
+		engines:     opts.EnginesPerScenario,
+		queue:       opts.QueueDepth,
+		batchMax:    opts.BatchMax,
+		stats:       &s.stats,
+		now:         opts.Now,
+		forceCancel: &s.forceCancel,
+		solveHook:   opts.SolveHook,
 	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -325,15 +384,38 @@ func (s *Server) Stats() StatsSnapshot {
 	snap := s.stats.snapshot()
 	snap.ResidentScenarios = s.cache.size()
 	snap.MemoEntries = s.memo.size()
+	snap.Degraded = s.brownout.isDegraded()
+	snap.QueuedCostSeconds = s.queuedCost.load()
 	return snap
 }
 
 // Drain gracefully shuts the serving layer down: new requests are rejected
 // with 503, every admitted request runs to completion, then the scenario
 // cache retires and every resident engine is released. Safe to call once.
-func (s *Server) Drain() {
+func (s *Server) Drain() { s.DrainWithin(0) }
+
+// DrainWithin is Drain with a bound: if the in-flight requests have not
+// completed after timeout, every remaining solve is force-cancelled (the
+// Krylov loops stop at their next iteration boundary, fault-injected stalls
+// unblock through the same hook) and the drain finishes once they unwind —
+// a wedged solve cannot hang shutdown. timeout <= 0 waits forever. The
+// bound is real wall-clock, independent of the injected stats clock: it
+// guards the process's exit, not a measurement.
+func (s *Server) DrainWithin(timeout time.Duration) {
 	s.draining.Store(true)
-	s.inflight.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			s.forceCancel.Store(true)
+		}
+	}
+	<-done
 	s.cache.close()
 }
 
@@ -354,7 +436,65 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	if s.brownout.isDegraded() {
+		// Still serving (cheap work and memo hits), but shedding expensive
+		// requests — 200 with the mode advertised, so load balancers can
+		// steer without killing the instance.
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// retryAfterHeader sets Retry-After from a computed wait, clamped to ≥1s
+// (the header is integer seconds; zero would invite an immediate hammer).
+func retryAfterHeader(w http.ResponseWriter, seconds float64) {
+	secs := int(math.Ceil(seconds))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// estimateCost is a request's expected engine seconds — the brownout and
+// queue-wait currency. A resident scenario answers from its EWMA-refined
+// cost model; otherwise the static prior (cells × rung iteration factor ×
+// per-cell seconds) stands in, exactly as the dispatcher's model would be
+// seeded.
+func (s *Server) estimateCost(req SolveRequest) float64 {
+	steps := req.effectiveSteps()
+	if cm, ok := s.cache.peekCost(req.Scenario.Key()); ok {
+		return cm.estimate(steps)
+	}
+	n := req.Scenario.normalized()
+	return float64(n.cellEstimate()) * rungIterationFactor(n.Precond) * priorSecondsPerCellFactor * float64(steps)
+}
+
+// failSolve maps a solve error onto its HTTP shape: 504 for a deadline or
+// drain cancellation, 422 for a Krylov breakdown or non-convergence, 500
+// otherwise — each with whatever partial-progress diagnostics the engine
+// attached (steps completed, iterations, residual history).
+func (s *Server) failSolve(w http.ResponseWriter, err error) {
+	resp := errorResponse{Error: err.Error()}
+	var se *umesh.StepError
+	if errors.As(err, &se) {
+		resp.StepsCompleted = se.Step
+		if se.Stats != nil {
+			resp.IterationsCompleted = se.Stats.Iterations
+			resp.ResidualHistory = se.Stats.History
+		}
+	}
+	s.stats.Failed.Add(1)
+	switch {
+	case errors.Is(err, solver.ErrCancelled):
+		s.stats.CancelledSolves.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+	case errors.Is(err, solver.ErrBreakdown), errors.Is(err, solver.ErrNotConverged):
+		s.stats.SolverErrors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	default:
+		writeJSON(w, http.StatusInternalServerError, resp)
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -380,6 +520,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid, "serve: steps must be non-negative, got %d", req.Steps)
 		return
 	}
+	if req.DeadlineMillis < 0 {
+		s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid, "serve: deadline_ms must be non-negative, got %d", req.DeadlineMillis)
+		return
+	}
 	// Negative well cells can never be valid; the upper bound is checked
 	// against the compiled mesh's real cell count after the cache resolves
 	// (cellEstimate is only the pre-compile MaxCells bound).
@@ -399,14 +543,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusServiceUnavailable, &s.stats.RejectedDraining, "serve: draining")
 		return
 	}
-	if !s.admit.allow() {
-		w.Header().Set("Retry-After", "1")
+	if ok, retryAfter := s.admit.allow(); !ok {
+		// Retry-After from the bucket's actual refill clock: the time until
+		// one token exists, not a hardcoded constant.
+		retryAfterHeader(w, retryAfter)
 		s.reject(w, http.StatusTooManyRequests, &s.stats.RejectedRate, "serve: admission rate exceeded")
 		return
 	}
 	if n := s.queued.Add(1); n > int64(s.opts.QueueDepth) {
 		s.queued.Add(-1)
-		w.Header().Set("Retry-After", "1")
+		// Retry-After from the queue's estimated drain time: the summed cost
+		// estimates of everything admitted ahead of this request.
+		retryAfterHeader(w, s.queuedCost.load())
 		s.reject(w, http.StatusTooManyRequests, &s.stats.RejectedQueue,
 			"serve: queue full (%d jobs)", s.opts.QueueDepth)
 		return
@@ -446,47 +594,90 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
-	entry, hit, release, err := s.cache.acquire(req.Scenario)
-	if err != nil {
-		s.stats.Failed.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	// Brownout: past the memo (hits are cheap and still served while
+	// degraded), an engine-bound request is priced and — in degraded mode —
+	// shed if it is among the costly ones the mode exists to keep out.
+	estCost := s.estimateCost(req)
+	if s.brownout.shedNow(estCost) {
+		retryAfterHeader(w, s.queuedCost.load())
+		s.reject(w, http.StatusServiceUnavailable, &s.stats.RejectedDegraded,
+			"serve: degraded (overload brownout), estimated cost %.3gs over the shed threshold", estCost)
 		return
 	}
-	defer release()
-	compileSeconds := 0.0
-	if !hit {
-		compileSeconds = entry.compileSeconds
-		s.stats.CompileSecondsTotal.add(compileSeconds)
-	}
-	// Validate well cells against the compiled mesh, not the estimate —
-	// the estimate is exact for the radial family today, but the compiled
-	// count is the one the engine will index with.
-	for _, well := range req.Wells {
-		if well.Cell >= entry.cells {
-			s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid,
-				"serve: well cell %d outside the compiled %d-cell mesh", well.Cell, entry.cells)
-			return
-		}
+	s.queuedCost.add(estCost)
+	s.brownout.observe(s.queuedCost.load())
+	defer func() {
+		s.queuedCost.add(-estCost)
+		s.brownout.observe(s.queuedCost.load())
+	}()
+
+	// The request's deadline: its own deadline_ms, else the server default,
+	// else unbounded. Measured from handler entry so decode/validation time
+	// counts against it.
+	var deadline time.Time
+	if req.DeadlineMillis > 0 {
+		deadline = start.Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
+	} else if s.opts.DefaultDeadline > 0 {
+		deadline = start.Add(s.opts.DefaultDeadline)
 	}
 
-	j := &job{
-		req:        req,
-		payloadKey: req.payloadKey(),
-		enqueued:   s.opts.Now(),
-		done:       make(chan jobResult, 1),
+	var (
+		jr             jobResult
+		hit            bool
+		entryKey       string
+		compileSeconds float64
+		queueSeconds   float64
+	)
+	for attempt := 0; ; attempt++ {
+		entry, h, release, err := s.cache.acquire(req.Scenario)
+		if err != nil {
+			s.stats.Failed.Add(1)
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		hit, entryKey = h, entry.key
+		if !h {
+			compileSeconds = entry.compileSeconds
+			s.stats.CompileSecondsTotal.add(compileSeconds)
+		}
+		// Validate well cells against the compiled mesh, not the estimate —
+		// the estimate is exact for the radial family today, but the
+		// compiled count is the one the engine will index with.
+		for _, well := range req.Wells {
+			if well.Cell >= entry.cells {
+				release()
+				s.reject(w, http.StatusBadRequest, &s.stats.RejectedInvalid,
+					"serve: well cell %d outside the compiled %d-cell mesh", well.Cell, entry.cells)
+				return
+			}
+		}
+		j := &job{
+			req:        req,
+			payloadKey: req.payloadKey(),
+			enqueued:   s.opts.Now(),
+			deadline:   deadline,
+			done:       make(chan jobResult, 1),
+		}
+		entry.pending <- j
+		jr = <-j.done
+		release()
+		queueSeconds = s.opts.Now().Sub(j.enqueued).Seconds()
+		s.stats.QueueSecondsTotal.add(queueSeconds)
+		// Queued behind an engine panic: the pool retired under this job.
+		// The heal already kicked off a recompile — resubmit once to the
+		// fresh pool instead of surfacing a collateral error.
+		if errors.Is(jr.err, errPoolUnhealthy) && attempt == 0 && !s.draining.Load() {
+			continue
+		}
+		break
 	}
-	entry.pending <- j
-	jr := <-j.done
-	queueSeconds := s.opts.Now().Sub(j.enqueued).Seconds()
-	s.stats.QueueSecondsTotal.add(queueSeconds)
 	if jr.err != nil {
-		s.stats.Failed.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: jr.err.Error()})
+		s.failSolve(w, jr.err)
 		return
 	}
 
 	resp := &SolveResponse{
-		ScenarioKey:    entry.key,
+		ScenarioKey:    entryKey,
 		Cells:          len(jr.res.Pressure),
 		CacheHit:       hit,
 		Batched:        jr.shared,

@@ -29,17 +29,34 @@ func (a *atomicSeconds) load() float64 { return math.Float64frombits(a.bits.Load
 type Stats struct {
 	// Request accounting: every POST /v1/solve increments Requests, then
 	// exactly one of Admitted / RejectedRate / RejectedQueue /
-	// RejectedDraining / RejectedInvalid. One exception: well indices are
-	// validated against the compiled mesh, which exists only past admission,
-	// so a request shed there counts both Admitted and RejectedInvalid.
+	// RejectedDraining / RejectedInvalid. Two exceptions count both Admitted
+	// and a rejection: well indices are validated against the compiled mesh,
+	// which exists only past admission (RejectedInvalid), and brownout
+	// shedding decides after the memo is consulted (RejectedDegraded).
 	Requests         atomic.Uint64
 	Admitted         atomic.Uint64
 	RejectedRate     atomic.Uint64 // token bucket empty → 429
 	RejectedQueue    atomic.Uint64 // bounded queue full → 429
 	RejectedDraining atomic.Uint64 // drain in progress → 503
 	RejectedInvalid  atomic.Uint64 // bad JSON / bad scenario → 400
+	RejectedDegraded atomic.Uint64 // brownout shed → 503
 	Completed        atomic.Uint64
 	Failed           atomic.Uint64
+
+	// Failure-domain accounting: EnginePanics counts solves that panicked
+	// (recovered, engine marked unhealthy); EngineRestarts background
+	// recompiles that brought a panicked scenario back; CancelledSolves
+	// requests that 504'd (deadline or forced drain); SolverErrors requests
+	// that 422'd (Krylov breakdown / not converged).
+	EnginePanics    atomic.Uint64
+	EngineRestarts  atomic.Uint64
+	CancelledSolves atomic.Uint64
+	SolverErrors    atomic.Uint64
+
+	// Brownout accounting: mode transitions of the degradation state
+	// machine (the current mode itself is in the snapshot).
+	DegradedEnters atomic.Uint64
+	DegradedExits  atomic.Uint64
 
 	// Scenario cache accounting.
 	CacheHits   atomic.Uint64
@@ -83,8 +100,21 @@ type StatsSnapshot struct {
 	RejectedQueue    uint64 `json:"rejected_queue"`
 	RejectedDraining uint64 `json:"rejected_draining"`
 	RejectedInvalid  uint64 `json:"rejected_invalid"`
+	RejectedDegraded uint64 `json:"rejected_degraded"`
 	Completed        uint64 `json:"completed"`
 	Failed           uint64 `json:"failed"`
+
+	EnginePanics    uint64 `json:"engine_panics"`
+	EngineRestarts  uint64 `json:"engine_restarts"`
+	CancelledSolves uint64 `json:"cancelled_solves"`
+	SolverErrors    uint64 `json:"solver_errors"`
+
+	DegradedEnters uint64 `json:"degraded_enters"`
+	DegradedExits  uint64 `json:"degraded_exits"`
+	// Degraded is the brownout mode at snapshot time; QueuedCostSeconds the
+	// estimated queue wait driving it.
+	Degraded          bool    `json:"degraded"`
+	QueuedCostSeconds float64 `json:"queued_cost_seconds"`
 
 	CacheHits         uint64 `json:"cache_hits"`
 	CacheMisses       uint64 `json:"cache_misses"`
@@ -118,8 +148,17 @@ func (s *Stats) snapshot() StatsSnapshot {
 		RejectedQueue:    s.RejectedQueue.Load(),
 		RejectedDraining: s.RejectedDraining.Load(),
 		RejectedInvalid:  s.RejectedInvalid.Load(),
+		RejectedDegraded: s.RejectedDegraded.Load(),
 		Completed:        s.Completed.Load(),
 		Failed:           s.Failed.Load(),
+
+		EnginePanics:    s.EnginePanics.Load(),
+		EngineRestarts:  s.EngineRestarts.Load(),
+		CancelledSolves: s.CancelledSolves.Load(),
+		SolverErrors:    s.SolverErrors.Load(),
+
+		DegradedEnters: s.DegradedEnters.Load(),
+		DegradedExits:  s.DegradedExits.Load(),
 
 		CacheHits:   s.CacheHits.Load(),
 		CacheMisses: s.CacheMisses.Load(),

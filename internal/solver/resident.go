@@ -138,6 +138,13 @@ func cgResident(a VectorSpace, x, b []float64, opts Options) (*Stats, error) {
 		return nil, err
 	}
 	for k := 0; k < opts.MaxIter; k++ {
+		// The cancel poll sits between iterations — between one prog.Run()
+		// and the next — so a cancelled solve stops at a clean iteration
+		// boundary and every completed iteration's arithmetic is untouched.
+		if opts.cancelled() {
+			a.StoreVec(x, cgX)
+			return st, cancelErr(st)
+		}
 		s.k = k
 		stopped, err := prog.Run()
 		if err != nil {
@@ -261,6 +268,11 @@ func bicgstabResident(a VectorSpace, x, b []float64, opts Options) (*Stats, erro
 		return nil, err
 	}
 	for k := 0; k < opts.MaxIter; k++ {
+		// Same iteration-boundary cancel discipline as cgResident.
+		if opts.cancelled() {
+			a.StoreVec(x, biX)
+			return st, cancelErr(st)
+		}
 		s.k = k
 		prog := steadyProg
 		if k == 0 {

@@ -159,6 +159,14 @@ type Options struct {
 	// bit-identical across paths and part counts. Ignored when Precond is
 	// set.
 	PrecondKind PrecondKind
+	// Cancel, when non-nil, is polled at the top of every Krylov iteration
+	// — the iteration barrier. When it returns true the solve stops before
+	// starting the next iteration and returns ErrCancelled with the best
+	// iterate written to x and Stats covering the completed iterations.
+	// Cancellation never interrupts an iteration in flight, so the
+	// arithmetic of completed iterations (and therefore the bit-identity of
+	// solves that finish) is untouched.
+	Cancel func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -187,6 +195,18 @@ var ErrBreakdown = errors.New("solver: Krylov breakdown")
 // ErrNotConverged is returned when MaxIter is reached above tolerance; the
 // best iterate is still written to x.
 var ErrNotConverged = errors.New("solver: not converged")
+
+// ErrCancelled is returned when Options.Cancel reports true at an iteration
+// boundary; the best iterate is still written to x and Stats reflects the
+// iterations that completed.
+var ErrCancelled = errors.New("solver: cancelled")
+
+// cancelled polls the cancel hook (nil means never).
+func (o Options) cancelled() bool { return o.Cancel != nil && o.Cancel() }
+
+func cancelErr(st *Stats) error {
+	return fmt.Errorf("%w after %d iterations (rel residual %.3e)", ErrCancelled, st.Iterations, st.Residual)
+}
 
 // CG solves A·x = b for symmetric positive definite A. x carries the
 // initial guess and receives the solution.
@@ -226,6 +246,9 @@ func CG(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	rz := dotOf(a, r, z)
 	st := &Stats{}
 	for k := 0; k < opts.MaxIter; k++ {
+		if opts.cancelled() {
+			return st, cancelErr(st)
+		}
 		if err := a.Apply(ap, p); err != nil {
 			return nil, err
 		}
@@ -294,6 +317,9 @@ func BiCGStab(a Operator, x, b []float64, opts Options) (*Stats, error) {
 	t := make([]float64, n)
 	st := &Stats{}
 	for k := 0; k < opts.MaxIter; k++ {
+		if opts.cancelled() {
+			return st, cancelErr(st)
+		}
 		rhoNew := dotOf(a, rHat, r)
 		if rhoNew == 0 {
 			return st, fmt.Errorf("%w: ρ = 0 at iteration %d", ErrBreakdown, k)

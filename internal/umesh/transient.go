@@ -43,6 +43,20 @@ type TransientOptions struct {
 	InitialPressure []float64
 	// Solver overrides the Krylov options (tolerance, iterations).
 	Solver solver.Options
+	// Cancel, when non-nil, is polled by the Krylov loop at every iteration
+	// boundary (see solver.Options.Cancel). A tripped cancel stops the
+	// in-flight step cleanly between iterations and Solve returns a
+	// *StepError wrapping solver.ErrCancelled with the partial convergence
+	// stats attached. Per-request: a Cancel on the Solve request overrides
+	// the compiled template's.
+	Cancel func() bool
+	// BeforeSolve, when non-nil, runs immediately before each step's Krylov
+	// solve with the effective cancel hook (never nil; a no-op when no
+	// Cancel is installed). It exists for fault injection in tests — a
+	// deterministic place to panic, stall (polling cancel so drains can
+	// unblock it), or force an error, without touching production arithmetic.
+	// A returned error aborts the step as a *StepError.
+	BeforeSolve func(cancel func() bool) error
 }
 
 func (o TransientOptions) withDefaults() TransientOptions {
@@ -54,6 +68,22 @@ func (o TransientOptions) withDefaults() TransientOptions {
 	}
 	return o
 }
+
+// StepError reports a transient step that failed mid-run: which step, the
+// failing solve's partial convergence stats (nil when the step never reached
+// the Krylov loop), and the underlying cause. It unwraps to the solver
+// sentinels, so callers dispatch on errors.Is(err, solver.ErrCancelled /
+// ErrBreakdown / ErrNotConverged) and read Iterations/History for
+// diagnostics. The message keeps the historical "umesh: step %d: ..." shape.
+type StepError struct {
+	Step  int
+	Stats *solver.Stats
+	Err   error
+}
+
+func (e *StepError) Error() string { return fmt.Sprintf("umesh: step %d: %v", e.Step, e.Err) }
+
+func (e *StepError) Unwrap() error { return e.Err }
 
 // TransientStep summarizes one implicit step, including the solver's full
 // residual history — the golden regression tests assert the history is
@@ -265,6 +295,23 @@ func (s *TransientSolver) Solve(req TransientOptions) (*TransientResult, error) 
 	if s.opts.UseBiCGStab || req.UseBiCGStab {
 		solve = solver.BiCGStab
 	}
+	// Per-request cancellation: the request's hook wins, the compiled
+	// template's is the fallback. It flows into the Krylov options so the
+	// resident loop polls it at every iteration barrier.
+	cancel := req.Cancel
+	if cancel == nil {
+		cancel = s.opts.Cancel
+	}
+	solverOpts := s.opts.Solver
+	solverOpts.Cancel = cancel
+	beforeSolve := req.BeforeSolve
+	if beforeSolve == nil {
+		beforeSolve = s.opts.BeforeSolve
+	}
+	pollCancel := cancel
+	if pollCancel == nil {
+		pollCancel = func() bool { return false }
+	}
 	res := &TransientResult{}
 	x := s.x
 	sumQ := 0.0
@@ -275,9 +322,14 @@ func (s *TransientSolver) Solve(req TransientOptions) (*TransientResult, error) 
 		for i := range x {
 			x[i] = 0 // fresh δp each step (coefficients are frozen)
 		}
-		st, err := solve(s.op, x, b, s.opts.Solver)
+		if beforeSolve != nil {
+			if err := beforeSolve(pollCancel); err != nil {
+				return nil, &StepError{Step: step, Err: err}
+			}
+		}
+		st, err := solve(s.op, x, b, solverOpts)
 		if err != nil {
-			return nil, fmt.Errorf("umesh: step %d: %w", step, err)
+			return nil, &StepError{Step: step, Stats: st, Err: err}
 		}
 		maxDp, mass := 0.0, 0.0
 		for i := range x {
